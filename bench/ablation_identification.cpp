@@ -1,0 +1,62 @@
+// Ablation of the C1G2 Q algorithm's knobs (beyond the paper; sizes the
+// identification baseline that motivates estimation):
+//   * c_step — how aggressively Qfp chases the optimum frame size;
+//   * q_initial — how wrong the first frame may be.
+// Output: slots per tag and total airtime; the floor is e ≈ 2.72
+// slots/tag for ideal framed ALOHA.
+
+#include "bench_common.hpp"
+#include "identification/qprotocol.hpp"
+
+using namespace bfce;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"n"});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 20000));
+  bench::PopulationCache pops(cli.seed());
+  const auto& pop = pops.get(n, rfid::TagIdDistribution::kT1Uniform);
+
+  util::Table c_table({"c_step", "slots_per_tag", "collision_share",
+                       "time_s"});
+  for (const double c : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    identification::QProtocolParams params;
+    params.c_step = c;
+    identification::QProtocol q(params);
+    rfid::ReaderContext ctx(pop, cli.seed() + 1);
+    const auto out = q.identify(ctx);
+    c_table.add_row(
+        {util::Table::num(c, 1),
+         util::Table::num(static_cast<double>(out.total_slots) /
+                              static_cast<double>(n),
+                          2),
+         util::Table::num(static_cast<double>(out.collision_slots) /
+                              static_cast<double>(out.total_slots),
+                          3),
+         util::Table::num(out.total_seconds(ctx.timing()), 1)});
+  }
+  bench::emit(cli, "Q algorithm: adaptation step sweep (n=" +
+                       std::to_string(n) + ")",
+              c_table);
+
+  util::Table q_table({"q_initial", "slots_per_tag", "time_s"});
+  for (const std::uint32_t q0 : {1u, 4u, 8u, 12u, 15u}) {
+    identification::QProtocolParams params;
+    params.q_initial = q0;
+    identification::QProtocol q(params);
+    rfid::ReaderContext ctx(pop, cli.seed() + 2);
+    const auto out = q.identify(ctx);
+    q_table.add_row(
+        {util::Table::num(static_cast<std::uint64_t>(q0)),
+         util::Table::num(static_cast<double>(out.total_slots) /
+                              static_cast<double>(n),
+                          2),
+         util::Table::num(out.total_seconds(ctx.timing()), 1)});
+  }
+  bench::emit(cli, "Q algorithm: initial Q sweep", q_table);
+
+  std::puts("shape check: slots/tag stays in [3, 5] across sane settings "
+            "(framed-ALOHA floor is e = 2.72); a bad q_initial costs a "
+            "few adaptation frames, not the run — identification time is "
+            "dominated by the O(n) singleton exchanges either way.");
+  return 0;
+}

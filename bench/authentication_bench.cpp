@@ -1,0 +1,69 @@
+// Batch-verification and threshold-query benches (beyond the paper):
+// cost and detection quality of the access-control primitives built on
+// the BFCE substrate.
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/authenticate.hpp"
+#include "core/threshold.hpp"
+#include "rfid/reader.hpp"
+#include "util/rng.hpp"
+
+using namespace bfce;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {});
+  bench::PopulationCache pops(cli.seed());
+
+  // 1. Batch verification vs batch size (5% of tags missing).
+  util::Table auth({"enrolled", "rounds", "airtime_s", "missing_actual",
+                    "missing_found", "unverified", "fp_mean"});
+  for (std::size_t n : {5000UL, 20000UL, 50000UL, 100000UL}) {
+    const auto& enrolled = pops.get(n, rfid::TagIdDistribution::kT1Uniform);
+    const auto gone = n / 20;
+    std::vector<rfid::Tag> field_tags(
+        enrolled.tags().begin(),
+        enrolled.tags().end() - static_cast<long>(gone));
+    const rfid::TagPopulation field{std::move(field_tags)};
+    util::Xoshiro256ss rng(cli.seed() + n);
+    const auto out = core::verify_batch(enrolled, field, core::AuthConfig{},
+                                        rfid::Channel{}, rng);
+    auth.add_row(
+        {util::Table::num(static_cast<std::uint64_t>(n)),
+         util::Table::num(static_cast<std::uint64_t>(out.rounds_used)),
+         util::Table::num(out.airtime.total_seconds(rfid::TimingModel{}), 2),
+         util::Table::num(static_cast<std::uint64_t>(gone)),
+         util::Table::num(static_cast<std::uint64_t>(out.absent_count)),
+         util::Table::num(static_cast<std::uint64_t>(out.unverified_count)),
+         util::Table::num(out.false_presence_mean, 4)});
+  }
+  bench::emit(cli, "Batch verification: cost & detection vs batch size "
+                   "(5% missing)",
+              auth);
+
+  // 2. SPRT threshold query: slots vs distance from the threshold.
+  util::Table sprt({"n/T", "decisive", "slots", "airtime_s"});
+  constexpr double kT = 20000.0;
+  for (const double ratio : {0.2, 0.5, 0.8, 0.95, 1.05, 1.25, 2.0, 5.0}) {
+    const auto n = static_cast<std::size_t>(kT * ratio);
+    const auto& pop = pops.get(n, rfid::TagIdDistribution::kT1Uniform);
+    rfid::ReaderContext ctx(pop, cli.seed() + n,
+                            rfid::FrameMode::kSampled);
+    core::ThresholdQuery q;
+    q.threshold = kT;
+    const auto ans = core::threshold_query(ctx, q);
+    sprt.add_row({util::Table::num(ratio, 2), ans.decisive ? "yes" : "no",
+                  util::Table::num(static_cast<std::uint64_t>(ans.slots)),
+                  util::Table::num(ans.time_us / 1e6, 3)});
+  }
+  bench::emit(cli,
+              "SPRT threshold query (T=20000, gamma=1.5): adaptive cost",
+              sprt);
+  std::puts("shape check: verification rounds grow ~linearly in batch "
+            "size (sampling keeps per-round load at the target) yet stay "
+            "50-100x cheaper than identifying the batch; SPRT slot counts "
+            "explode only inside the indifference band and collapse to a "
+            "handful far from T.");
+  return 0;
+}

@@ -1,0 +1,67 @@
+#pragma once
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench binary reproduces one figure of the paper: it runs the
+// experiment, prints the figure's series as an aligned table (or CSV with
+// --csv), and finishes with a short "paper vs measured" note so the
+// output is self-describing. All binaries accept --trials, --seed,
+// --csv and --exact (agent-level frames instead of the sampled law).
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "rfid/population.hpp"
+#include "sim/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace bfce::bench {
+
+/// Caches populations across sweep points — building 5M tags once, not
+/// once per estimator.
+class PopulationCache {
+ public:
+  explicit PopulationCache(std::uint64_t seed) : seed_(seed) {}
+
+  const rfid::TagPopulation& get(std::size_t n, rfid::TagIdDistribution d) {
+    const auto key = std::make_pair(n, d);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      it = cache_
+               .emplace(key, rfid::make_population(
+                                 n, d, seed_ ^ (0x9E37ULL * n) ^
+                                           static_cast<std::uint64_t>(d)))
+               .first;
+    }
+    return it->second;
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::map<std::pair<std::size_t, rfid::TagIdDistribution>,
+           rfid::TagPopulation>
+      cache_;
+};
+
+/// Prints `table` as text or CSV per the CLI flag, preceded by a title.
+inline void emit(const util::Cli& cli, const std::string& title,
+                 const util::Table& table) {
+  if (cli.csv()) {
+    std::cout << "# " << title << "\n";
+    table.print_csv(std::cout);
+  } else {
+    std::cout << "== " << title << " ==\n";
+    table.print(std::cout);
+  }
+  std::cout << "\n";
+}
+
+/// Frame mode from the --exact flag.
+inline rfid::FrameMode mode_from(const util::Cli& cli) {
+  return cli.has("exact") ? rfid::FrameMode::kExact
+                          : rfid::FrameMode::kSampled;
+}
+
+}  // namespace bfce::bench

@@ -1,0 +1,59 @@
+#pragma once
+// Shared sweep machinery for the Fig 9 / Fig 10 comparisons of BFCE
+// against ZOE and SRC on the T2 distribution.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/bfce.hpp"
+#include "estimators/registry.hpp"
+
+namespace bfce::bench {
+
+inline const std::vector<std::string>& comparison_protocols() {
+  static const std::vector<std::string> kNames = {"BFCE", "ZOE", "SRC"};
+  return kNames;
+}
+
+/// One comparison point: protocol × (n, ε, δ) on T2.
+inline sim::ExperimentSummary comparison_point(
+    PopulationCache& pops, const std::string& protocol, std::size_t n,
+    double eps, double delta, const util::Cli& cli, std::size_t trials) {
+  sim::ExperimentConfig cfg;
+  cfg.trials = trials;
+  cfg.req = {eps, delta};
+  cfg.mode = mode_from(cli);
+  cfg.seed = cli.seed() ^ (n * 1099511628211ULL) ^
+             static_cast<std::uint64_t>(eps * 1e4) ^
+             (static_cast<std::uint64_t>(delta * 1e4) << 18) ^
+             std::hash<std::string>{}(protocol);
+  const auto& pop = pops.get(n, rfid::TagIdDistribution::kT2ApproxNormal);
+  const auto records = sim::run_experiment(
+      pop,
+      [&protocol] { return estimators::make_estimator(protocol); },
+      cfg);
+  return sim::summarize_records(records, eps);
+}
+
+/// The x-axes of Fig 9 / Fig 10.
+inline const std::vector<std::size_t>& comparison_ns() {
+  static const std::vector<std::size_t> kNs = {50000, 100000, 200000,
+                                               500000, 1000000};
+  return kNs;
+}
+
+inline const std::vector<double>& comparison_eps() {
+  static const std::vector<double> kEps = {0.05, 0.10, 0.15, 0.20, 0.25,
+                                           0.30};
+  return kEps;
+}
+
+inline const std::vector<double>& comparison_deltas() {
+  static const std::vector<double> kDeltas = {0.05, 0.10, 0.15, 0.20, 0.25,
+                                              0.30};
+  return kDeltas;
+}
+
+}  // namespace bfce::bench

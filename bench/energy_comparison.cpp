@@ -1,0 +1,47 @@
+// Tag-side energy comparison (beyond the paper's figures; connects to
+// the MLE baseline's energy-efficiency motivation): per-tag energy of
+// every estimator for a population of active tags.
+//
+// Listening dominates for broadcast-heavy protocols: every tag hears
+// every reader bit, so ZOE's m×32-bit seed stream costs each tag far
+// more energy than its own replies.
+
+#include "bench_common.hpp"
+#include "estimators/registry.hpp"
+#include "rfid/energy.hpp"
+
+using namespace bfce;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"n"});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 100000));
+  bench::PopulationCache pops(cli.seed());
+  const auto& pop = pops.get(n, rfid::TagIdDistribution::kT2ApproxNormal);
+  const rfid::EnergyModel em;
+
+  util::Table table({"protocol", "reader_bits", "tag_tx_bits",
+                     "listen_uj_per_tag", "tx_uj_per_tag",
+                     "total_uj_per_tag"});
+  for (const std::string& name : estimators::estimator_names()) {
+    const auto est = estimators::make_estimator(name);
+    rfid::ReaderContext ctx(pop, cli.seed() + 5, rfid::FrameMode::kSampled);
+    const auto out = est->estimate(ctx, {0.05, 0.05});
+    const double listen = static_cast<double>(out.airtime.reader_bits) *
+                          em.tag_rx_uj_per_bit;
+    const double tx = static_cast<double>(out.airtime.tag_tx_bits) *
+                      em.tag_tx_uj_per_bit / static_cast<double>(n);
+    table.add_row(
+        {name, util::Table::num(out.airtime.reader_bits),
+         util::Table::num(out.airtime.tag_tx_bits),
+         util::Table::num(listen, 2), util::Table::num(tx, 4),
+         util::Table::num(em.per_tag_uj(out.airtime, n), 2)});
+  }
+  bench::emit(cli,
+              "Per-tag energy (active tags), n=" + std::to_string(n) +
+                  ", (eps,delta)=(0.05,0.05)",
+              table);
+  std::puts("shape check: listen energy tracks reader_bits — ZOE's seed "
+            "broadcasts dwarf everything; BFCE's 2 broadcasts + 9216 "
+            "bit-slots make it among the cheapest per tag.");
+  return 0;
+}

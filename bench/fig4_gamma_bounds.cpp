@@ -1,0 +1,40 @@
+// Fig 4 — the scalability envelope γ = −ln(ρ̄)/(k·p) over the
+// {1/1024 … 1023/1024} grid of (p, ρ̄), for k = 3.
+//
+// Paper numbers to reproduce: 0.000326 ≤ γ ≤ 2365.9, hence a maximum
+// estimable cardinality of γ_max·w ≈ 19.4 million for w = 8192.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/analysis.hpp"
+
+using namespace bfce;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {});
+
+  // Coarse surface sample (the 3-D plot of the figure).
+  util::Table surface({"p", "rho=0.05", "rho=0.25", "rho=0.50", "rho=0.75",
+                       "rho=0.95"});
+  for (const double p : {0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.95}) {
+    std::vector<std::string> row{util::Table::num(p, 2)};
+    for (const double rho : {0.05, 0.25, 0.50, 0.75, 0.95}) {
+      row.push_back(util::Table::num(-std::log(rho) / (3.0 * p), 4));
+    }
+    surface.add_row(std::move(row));
+  }
+  bench::emit(cli, "Fig 4: gamma = -ln(rho)/(3p) surface (sample)", surface);
+
+  const core::GammaBounds b = core::gamma_bounds(3);
+  util::Table bounds({"quantity", "measured", "paper"});
+  bounds.add_row({"gamma_min", util::Table::num(b.min, 6), "0.000326"});
+  bounds.add_row({"gamma_max", util::Table::num(b.max, 1), "2365.9"});
+  bounds.add_row({"at p (min)", util::Table::num(b.p_at_min, 6), "-"});
+  bounds.add_row({"at rho (min)", util::Table::num(b.rho_at_min, 6), "-"});
+  bounds.add_row({"max cardinality (w=8192)",
+                  util::Table::num(b.max_cardinality(8192), 0),
+                  ">19 million"});
+  bench::emit(cli, "Fig 4: envelope on the i/1024 grid", bounds);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig 5 — monotonicity of f1 and f2 in n for small persistence
+// probabilities (w = 8192, k = 3, ε = 0.05).
+//
+// Paper shape: f1 decreases and f2 increases with n, crossing the ±d
+// thresholds — which is what makes Theorem 4's "plug in the lower bound"
+// argument sound.
+
+#include "bench_common.hpp"
+#include "core/analysis.hpp"
+#include "math/erf.hpp"
+
+using namespace bfce;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"eps", "delta"});
+  const double eps = cli.get_double("eps", 0.05);
+  const double delta = cli.get_double("delta", 0.05);
+  const double d = math::confidence_d(delta);
+
+  util::Table table({"n", "f1(p=3/1024)", "f2(p=3/1024)", "f1(p=8/1024)",
+                     "f2(p=8/1024)"});
+  for (double n = 50000; n <= 1000000; n += 50000) {
+    table.add_row(
+        {util::Table::num(n, 0),
+         util::Table::num(core::f1(n, 8192, 3, 3.0 / 1024.0, eps), 3),
+         util::Table::num(core::f2(n, 8192, 3, 3.0 / 1024.0, eps), 3),
+         util::Table::num(core::f1(n, 8192, 3, 8.0 / 1024.0, eps), 3),
+         util::Table::num(core::f2(n, 8192, 3, 8.0 / 1024.0, eps), 3)});
+  }
+  bench::emit(cli, "Fig 5: f1/f2 vs n (w=8192, k=3, eps=" +
+                       util::Table::num(eps, 2) + ")",
+              table);
+  std::printf("threshold d = sqrt(2)*erfinv(1-delta) = %.4f  "
+              "(Theorem 3 needs f1 <= -d and f2 >= +d)\n",
+              d);
+  std::puts("shape check: each f1 column strictly decreasing, each f2 "
+            "column strictly increasing in n.");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Identification vs estimation (beyond the paper's figures; quantifies
+// §III-A / Fig 1's motivation): how much airtime does exact inventory
+// cost compared with BFCE's constant-time estimate, as n grows?
+
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/bfce.hpp"
+#include "identification/qprotocol.hpp"
+#include "identification/treewalk.hpp"
+
+using namespace bfce;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {});
+  bench::PopulationCache pops(cli.seed());
+
+  util::Table table({"n", "Q_protocol_s", "TreeWalk_s", "BFCE_s",
+                     "Q/BFCE", "slots_per_tag(Q)"});
+  for (std::size_t n : {1000UL, 5000UL, 20000UL, 50000UL, 100000UL}) {
+    const auto& pop = pops.get(n, rfid::TagIdDistribution::kT1Uniform);
+
+    rfid::ReaderContext q_ctx(pop, cli.seed() + 1);
+    identification::QProtocol q;
+    const auto q_out = q.identify(q_ctx);
+
+    rfid::ReaderContext t_ctx(pop, cli.seed() + 2);
+    identification::TreeWalk tree;
+    const auto t_out = tree.identify(t_ctx);
+
+    rfid::ReaderContext b_ctx(pop, cli.seed() + 3,
+                              rfid::FrameMode::kSampled);
+    core::BfceEstimator bfce;
+    const auto b_out = bfce.estimate(b_ctx, {0.05, 0.05});
+
+    const double tq = q_out.total_seconds(q_ctx.timing());
+    const double tt = t_out.total_seconds(t_ctx.timing());
+    const double tb = b_out.airtime.total_seconds(b_ctx.timing());
+    table.add_row({util::Table::num(static_cast<std::uint64_t>(n)),
+                   util::Table::num(tq, 2), util::Table::num(tt, 2),
+                   util::Table::num(tb, 3), util::Table::num(tq / tb, 0),
+                   util::Table::num(
+                       static_cast<double>(q_out.total_slots) /
+                           static_cast<double>(n),
+                       2)});
+  }
+  bench::emit(cli, "Exact identification vs BFCE estimation", table);
+  std::puts("shape check: identification airtime grows linearly in n "
+            "(minutes at 10^5 tags); BFCE stays ~0.2 s — the gap that "
+            "motivates cardinality estimation in the first place.");
+  return 0;
+}

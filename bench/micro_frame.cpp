@@ -1,0 +1,109 @@
+// Micro-benchmarks (google-benchmark): frame-executor throughput — the
+// simulator's hot path. Shows the exact/sampled cost gap that motivates
+// the two-mode design (DESIGN.md §5).
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <map>
+
+#include "rfid/frame.hpp"
+#include "rfid/population.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bfce;
+
+const rfid::TagPopulation& pop_of(std::size_t n) {
+  static std::map<std::size_t, rfid::TagPopulation> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(n, rfid::make_population(
+                             n, rfid::TagIdDistribution::kT1Uniform, n))
+             .first;
+  }
+  return it->second;
+}
+
+rfid::BloomFrameConfig bloom_cfg() {
+  rfid::BloomFrameConfig cfg;
+  cfg.set_p_numerator(64);
+  cfg.seeds = {1, 2, 3};
+  return cfg;
+}
+
+void BM_BloomFrameExact(benchmark::State& state) {
+  const auto& pop = pop_of(static_cast<std::size_t>(state.range(0)));
+  util::Xoshiro256ss rng(1);
+  const rfid::Channel ch;
+  const auto cfg = bloom_cfg();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rfid::run_bloom_frame(pop, cfg, ch, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BloomFrameExact)->Arg(10000)->Arg(100000);
+
+void BM_BloomFrameSampled(benchmark::State& state) {
+  util::Xoshiro256ss rng(2);
+  const rfid::Channel ch;
+  const auto cfg = bloom_cfg();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rfid::sampled_bloom_frame(n, cfg, ch, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BloomFrameSampled)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_SingleSlotExact(benchmark::State& state) {
+  const auto& pop = pop_of(static_cast<std::size_t>(state.range(0)));
+  util::Xoshiro256ss rng(3);
+  const rfid::Channel ch;
+  const double q = 1.594 / static_cast<double>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rfid::run_single_slot(pop, q, ++seed, ch, rng));
+  }
+}
+BENCHMARK(BM_SingleSlotExact)->Arg(10000)->Arg(100000);
+
+void BM_SingleSlotSampled(benchmark::State& state) {
+  util::Xoshiro256ss rng(4);
+  const rfid::Channel ch;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double q = 1.594 / static_cast<double>(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rfid::sampled_single_slot(n, q, ch, rng));
+  }
+}
+BENCHMARK(BM_SingleSlotSampled)->Arg(100000)->Arg(10000000);
+
+void BM_LotteryFrameExact(benchmark::State& state) {
+  const auto& pop = pop_of(static_cast<std::size_t>(state.range(0)));
+  util::Xoshiro256ss rng(5);
+  const rfid::Channel ch;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rfid::run_lottery_frame(pop, 32, ++seed, ch, rng));
+  }
+}
+BENCHMARK(BM_LotteryFrameExact)->Arg(10000)->Arg(100000);
+
+void BM_AlohaFrameSampled(benchmark::State& state) {
+  util::Xoshiro256ss rng(6);
+  const rfid::Channel ch;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rfid::sampled_aloha_frame(n, 1024, 1.594 * 1024 / static_cast<double>(n), ch, rng));
+  }
+}
+BENCHMARK(BM_AlohaFrameSampled)->Arg(100000)->Arg(1000000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Micro-benchmarks (google-benchmark): hash-family throughput.
+// Engineering benches, not paper figures — they justify the "lightweight"
+// label of the paper's tag-side hash and size the simulator's hot path.
+
+#include <benchmark/benchmark.h>
+
+#include "hash/mix.hpp"
+#include "hash/persistence.hpp"
+#include "hash/slot_hash.hpp"
+
+namespace {
+
+void BM_MixWithSeed(benchmark::State& state) {
+  std::uint64_t key = 0x12345678;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfce::hash::mix_with_seed(key, 42));
+    ++key;
+  }
+}
+BENCHMARK(BM_MixWithSeed);
+
+void BM_IdealSlotHash(benchmark::State& state) {
+  const bfce::hash::IdealSlotHash h(7);
+  std::uint64_t id = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.slot(id, 8192));
+    ++id;
+  }
+}
+BENCHMARK(BM_IdealSlotHash);
+
+void BM_LightweightSlotHash(benchmark::State& state) {
+  const bfce::hash::LightweightSlotHash h(0xBEEF);
+  std::uint32_t rn = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.slot(rn, 8192));
+    ++rn;
+  }
+}
+BENCHMARK(BM_LightweightSlotHash);
+
+void BM_GeometricSlotHash(benchmark::State& state) {
+  const bfce::hash::GeometricSlotHash g(11);
+  std::uint64_t id = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.slot(id, 32));
+    ++id;
+  }
+}
+BENCHMARK(BM_GeometricSlotHash);
+
+void BM_RnBitsPersistence(benchmark::State& state) {
+  std::uint32_t rn = 0xABCD;
+  std::uint32_t slot = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bfce::hash::rn_bits_respond(rn, slot, 99, 512));
+    ++rn;
+    slot = (slot + 1) & 8191;
+  }
+}
+BENCHMARK(BM_RnBitsPersistence);
+
+}  // namespace
+
+BENCHMARK_MAIN();

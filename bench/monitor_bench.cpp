@@ -1,0 +1,78 @@
+// CUSUM monitor detection-latency bench (beyond the paper): how many
+// monitoring periods until a drift of a given rate is detected, and at
+// what false-alarm cost.
+
+#include "bench_common.hpp"
+#include "core/bfce.hpp"
+#include "core/monitor.hpp"
+#include "math/stats.hpp"
+#include "rfid/reader.hpp"
+
+using namespace bfce;
+
+namespace {
+
+/// Runs one monitored story: `warmup` stable periods then drift at
+/// `loss_per_period`; returns periods-until-alarm (or -1).
+int detection_latency(double loss_per_period, std::uint64_t seed,
+                      int warmup = 12, int horizon = 80) {
+  core::BfceEstimator bfce;
+  core::CardinalityMonitor monitor;
+  double truth = 100000.0;
+  for (int t = 0; t < warmup + horizon; ++t) {
+    if (t >= warmup) truth *= 1.0 - loss_per_period;
+    const auto pop = rfid::make_population(
+        static_cast<std::size_t>(truth),
+        rfid::TagIdDistribution::kT1Uniform,
+        seed * 1000 + static_cast<std::uint64_t>(t));
+    rfid::ReaderContext ctx(pop,
+                            seed ^ (static_cast<std::uint64_t>(t) << 20),
+                            rfid::FrameMode::kSampled);
+    const auto r = monitor.update(bfce, ctx);
+    if (t >= warmup && r.loss_alarm) return t - warmup + 1;
+    if (t < warmup && (r.loss_alarm || r.gain_alarm)) {
+      return -2;  // false alarm during warmup
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"trials"});
+  const auto trials = static_cast<int>(cli.get_int("trials", 8));
+
+  util::Table table({"loss_per_period", "detect_mean_periods",
+                     "detect_max", "missed", "false_alarms"});
+  for (const double rate : {0.002, 0.005, 0.01, 0.02, 0.05}) {
+    math::RunningStats latency;
+    int missed = 0;
+    int false_alarms = 0;
+    for (int t = 0; t < trials; ++t) {
+      const int lat = detection_latency(
+          rate, cli.seed() + static_cast<std::uint64_t>(t));
+      if (lat == -1) {
+        ++missed;
+      } else if (lat == -2) {
+        ++false_alarms;
+      } else {
+        latency.add(static_cast<double>(lat));
+      }
+    }
+    table.add_row({util::Table::num(rate, 3),
+                   util::Table::num(latency.mean(), 1),
+                   util::Table::num(latency.max(), 0),
+                   util::Table::num(static_cast<std::int64_t>(missed)),
+                   util::Table::num(
+                       static_cast<std::int64_t>(false_alarms))});
+  }
+  bench::emit(cli,
+              "CUSUM monitor: periods to detect sustained loss "
+              "(eps=0.05 readings, one BFCE round per period)",
+              table);
+  std::puts("shape check: detection latency scales ~1/rate (a 0.5%/period "
+            "trickle takes tens of periods, 5%/period takes ~2) with no "
+            "false alarms during the stable warmup.");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Batch access control — the application the paper's introduction
+// opens with (its refs [1][2]).
+//
+//   $ access_control [--enrolled=20000] [--missing=600] [--intruders=150]
+//
+// A secured area holds `enrolled` tagged assets. The reader verifies the
+// whole batch from a few dozen Bloom rounds: which enrolled assets are
+// missing, and is anything transmitting that shouldn't be? It also asks
+// the cheaper SPRT question first: "are we even near the expected
+// count?"
+
+#include <cstdio>
+#include <vector>
+
+#include "core/authenticate.hpp"
+#include "core/threshold.hpp"
+#include "rfid/reader.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+using namespace bfce;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"enrolled", "missing", "intruders"});
+  const auto n = static_cast<std::size_t>(cli.get_int("enrolled", 20000));
+  const auto missing =
+      static_cast<std::size_t>(cli.get_int("missing", 600));
+  const auto intruders =
+      static_cast<std::size_t>(cli.get_int("intruders", 150));
+
+  const auto enrolled = rfid::make_population(
+      n, rfid::TagIdDistribution::kT1Uniform, cli.seed());
+  const auto foreign = rfid::make_population(
+      intruders, rfid::TagIdDistribution::kT3Normal, cli.seed() + 1);
+  std::vector<rfid::Tag> field_tags(
+      enrolled.tags().begin(),
+      enrolled.tags().end() - static_cast<long>(missing));
+  for (const rfid::Tag& t : foreign.tags()) field_tags.push_back(t);
+  const rfid::TagPopulation field{std::move(field_tags)};
+
+  std::printf("secured area: %zu enrolled assets; tonight %zu are gone "
+              "and %zu foreign tags slipped in\n\n",
+              n, missing, intruders);
+
+  // Stage 1: the cheap question — has the count collapsed (bulk theft)?
+  // A decisive "still above 90%" costs a few dozen slots; the per-asset
+  // details are stage 2's job.
+  rfid::ReaderContext ctx(field, cli.seed() + 2, rfid::FrameMode::kSampled);
+  core::ThresholdQuery tq;
+  tq.threshold = static_cast<double>(n) * 0.90;
+  tq.gamma = 1.05;
+  tq.max_slots = 3000;
+  const auto tans = core::threshold_query(ctx, tq);
+  std::printf("stage 1 (SPRT, %u slots, %.3f s): population %s %.0f%s\n",
+              tans.slots, tans.time_us / 1e6,
+              tans.above ? "still above" : "BELOW", tq.threshold,
+              tans.decisive ? "" : " (indecisive: near the line)");
+
+  // Stage 2: full batch verification.
+  core::AuthConfig cfg;
+  util::Xoshiro256ss rng(cli.seed() + 3);
+  const auto out =
+      core::verify_batch(enrolled, field, cfg, rfid::Channel{}, rng);
+  std::printf("stage 2 (batch verify, %u rounds, %.2f s of airtime):\n",
+              out.rounds_used,
+              out.airtime.total_seconds(rfid::TimingModel{}));
+  std::printf("  present    : %zu\n", out.present_count);
+  std::printf("  MISSING    : %zu   (actual %zu; residual false-presence "
+              "%.4f)\n",
+              out.absent_count, missing, out.false_presence_mean);
+  std::printf("  unverified : %zu   (never sampled; re-run to cover)\n",
+              out.unverified_count);
+  std::printf("  intruder evidence: %llu busy slots no enrolled asset "
+              "explains (%s)\n",
+              static_cast<unsigned long long>(out.unexplained_busy_slots),
+              out.unexplained_busy_slots > 10 ? "ALARM" : "clean");
+
+  // Name a few missing assets — the verdicts are per-tag.
+  std::printf("\nfirst few missing asset IDs:");
+  int shown = 0;
+  for (std::size_t t = 0; t < enrolled.size() && shown < 5; ++t) {
+    if (out.verdicts[t] == core::AuthVerdict::kAbsent) {
+      std::printf(" %llu", static_cast<unsigned long long>(enrolled[t].id));
+      ++shown;
+    }
+  }
+  std::printf("\n\nan EPC inventory of this room would take minutes; the "
+              "two stages above used a few seconds of airtime.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Per-category census with C1G2 Select + BFCE.
+//
+//   $ category_census [--prefix_bits=4]
+//
+// A warehouse stores four product lines whose EPCs share category
+// prefixes. The reader broadcasts one Select per category to scope the
+// round, then runs BFCE — counting each line in ~0.2 s without reading
+// a single full EPC.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/bfce.hpp"
+#include "rfid/reader.hpp"
+#include "rfid/select.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace bfce;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"prefix_bits"});
+  const auto prefix_bits =
+      static_cast<std::uint32_t>(cli.get_int("prefix_bits", 4));
+
+  const std::vector<std::size_t> truth = {12000, 45000, 8000, 70000};
+  const char* names[] = {"beverages", "apparel", "electronics", "grocery"};
+  const auto pop =
+      rfid::make_categorized_population(truth, prefix_bits, cli.seed());
+  std::printf("warehouse: %zu tags across %zu categories "
+              "(%u-bit EPC prefix)\n\n",
+              pop.size(), truth.size(), prefix_bits);
+
+  core::BfceEstimator bfce;
+  util::Table table({"category", "actual", "estimate", "ci_95", "error",
+                     "airtime_s"});
+  double grand_total = 0.0;
+  for (std::uint64_t c = 0; c < truth.size(); ++c) {
+    rfid::SelectMask mask;
+    mask.prefix = c;
+    mask.prefix_bits = prefix_bits;
+    const auto sub = rfid::select_population(pop, mask);
+
+    rfid::ReaderContext ctx(sub, cli.seed() + 100 + c,
+                            rfid::FrameMode::kSampled);
+    auto out = bfce.estimate(ctx, {0.05, 0.05});
+    out.airtime += mask.airtime_cost();  // the Select broadcast itself
+    grand_total += out.n_hat;
+
+    table.add_row(
+        {names[c], util::Table::num(static_cast<std::uint64_t>(truth[c])),
+         util::Table::num(out.n_hat, 0),
+         "[" + util::Table::num(out.ci_low, 0) + ", " +
+             util::Table::num(out.ci_high, 0) + "]",
+         util::Table::num(
+             out.relative_error(static_cast<double>(truth[c])), 4),
+         util::Table::num(out.airtime.total_seconds(ctx.timing()), 3)});
+  }
+  table.print(std::cout);
+  std::printf("\nsum of category estimates: %.0f (actual %zu)\n",
+              grand_total, pop.size());
+  std::printf("four Select+BFCE rounds ~ 0.8 s of airtime total; an EPC "
+              "inventory of this stock would take minutes per category.\n");
+  return 0;
+}

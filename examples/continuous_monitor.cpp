@@ -1,0 +1,66 @@
+// Continuous monitoring with CUSUM change detection.
+//
+//   $ continuous_monitor [--periods=40]
+//
+// A distribution centre runs one BFCE round per period. The naive
+// alternative — compare each reading against a fixed trusted baseline —
+// needs that baseline to exist and fires on any single 5% noise
+// excursion; the CardinalityMonitor works from the estimates alone,
+// accumulating standardised innovations (CUSUM) so that sustained
+// drift is distinguished from one noisy reading.
+
+#include <cstdio>
+
+#include "core/bfce.hpp"
+#include "core/monitor.hpp"
+#include "rfid/reader.hpp"
+#include "util/cli.hpp"
+
+using namespace bfce;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"periods"});
+  const int periods = static_cast<int>(cli.get_int("periods", 40));
+
+  core::BfceEstimator bfce;
+  core::CardinalityMonitor monitor;
+
+  double truth = 100000.0;
+  std::printf("period  actual  estimate  level    cusum-   cusum+  "
+              "naive>5%%  monitor\n");
+  std::printf("------------------------------------------------------"
+              "-----------------\n");
+  for (int t = 1; t <= periods; ++t) {
+    // Phase 1 (periods 1-15): stable. Phase 2 (16+): 1% trickle loss
+    // per period — each step is well under the 5% estimation band.
+    if (t > 15) truth *= 0.99;
+
+    const auto pop = rfid::make_population(
+        static_cast<std::size_t>(truth),
+        rfid::TagIdDistribution::kT1Uniform,
+        cli.seed() + static_cast<std::uint64_t>(t));
+    rfid::ReaderContext ctx(pop,
+                            cli.seed() ^ (static_cast<std::uint64_t>(t)
+                                          << 24),
+                            rfid::FrameMode::kSampled);
+    const core::MonitorReading r = monitor.update(bfce, ctx);
+
+    const bool naive = t > 1 && std::fabs(r.n_hat - 100000.0) > 5000.0;
+    std::printf("%5d  %7.0f  %8.0f  %7.0f  %6.2f  %6.2f  %-8s  %s\n", t,
+                truth, r.n_hat, r.level, r.cusum_low, r.cusum_high,
+                naive ? "ALARM" : "-",
+                r.loss_alarm   ? "LOSS ALARM"
+                : r.gain_alarm ? "GAIN ALARM"
+                               : "-");
+    if (r.loss_alarm) {
+      std::printf("       -> drift detected after %.1f%% cumulative loss; "
+                  "books re-anchored at %.0f\n",
+                  100.0 * (1.0 - truth / 100000.0), r.level);
+    }
+  }
+  std::printf("\nthe fixed-baseline threshold needs a trusted baseline "
+              "and trips on any single 5%% excursion; the CUSUM needs "
+              "neither — it accumulates evidence across readings and "
+              "re-anchors itself after each confirmed change.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Multi-reader deployment — §III-A's system model in action.
+//
+//   $ multi_reader_floor [--n=60000] [--readers=9] [--radius=0.35]
+//
+// Drops tags on a warehouse floor, covers it with a grid of readers,
+// and contrasts the back-end's coordinated (logical-reader) BFCE
+// estimate with the naive sum of independent per-reader estimates —
+// the double-counting pitfall the related work warns about.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/bfce.hpp"
+#include "core/multiset.hpp"
+#include "rfid/multireader.hpp"
+#include "rfid/reader.hpp"
+#include "util/cli.hpp"
+
+using namespace bfce;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"n", "readers", "radius"});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 60000));
+  const auto reader_count =
+      static_cast<std::size_t>(cli.get_int("readers", 9));
+  const double radius = cli.get_double("radius", 0.35);
+
+  const auto pop =
+      rfid::make_population(n, rfid::TagIdDistribution::kT1Uniform,
+                            cli.seed());
+  const rfid::MultiReaderSystem sys(
+      pop, rfid::MultiReaderSystem::grid(reader_count, radius));
+
+  std::printf("floor: %zu tags, %zu readers (radius %.2f)\n", n,
+              sys.reader_count(), radius);
+  std::printf("coverage: union=%zu, overlap(>=2 readers)=%zu, "
+              "blind=%zu\n\n",
+              sys.union_population().size(), sys.overlap_count(),
+              sys.uncovered_count());
+
+  core::BfceEstimator bfce;
+
+  // Coordinated: the back-end synchronises all readers into one logical
+  // reader over the union population (the paper's model).
+  rfid::ReaderContext union_ctx(sys.union_population(), cli.seed() + 1,
+                                rfid::FrameMode::kSampled);
+  const auto coordinated = bfce.estimate(union_ctx, {0.05, 0.05});
+
+  // Naive: every reader estimates its own disc independently and the
+  // server adds the numbers up.
+  double naive_sum = 0.0;
+  for (std::size_t r = 0; r < sys.reader_count(); ++r) {
+    if (sys.reader_population(r).size() == 0) continue;
+    rfid::ReaderContext ctx(sys.reader_population(r),
+                            cli.seed() + 10 + r, rfid::FrameMode::kSampled);
+    naive_sum += bfce.estimate(ctx, {0.05, 0.05}).n_hat;
+  }
+
+  // Distributed: each reader takes one aligned Bloom snapshot of its own
+  // disc; the back-end ORs the bitmaps — no tag-level data ever moves —
+  // and inverts the merged snapshot (the multiple-set machinery).
+  core::DifferentialConfig snap_cfg;
+  snap_cfg.tune_for(static_cast<double>(n));
+  const rfid::Channel channel;
+  util::Xoshiro256ss snap_rng(cli.seed() + 99);
+  std::vector<util::BitVector> snapshots;
+  for (std::size_t r = 0; r < sys.reader_count(); ++r) {
+    snapshots.push_back(core::take_snapshot(sys.reader_population(r),
+                                            snap_cfg, channel, snap_rng));
+  }
+  std::vector<const util::BitVector*> ptrs;
+  for (const auto& s : snapshots) ptrs.push_back(&s);
+  const double distributed = core::estimate_snapshot(
+      core::merge_snapshots(ptrs, snap_cfg), snap_cfg);
+
+  const double union_n =
+      static_cast<double>(sys.union_population().size());
+  std::printf("coordinated (logical reader) : %8.0f   (true union %zu, "
+              "error %.3f)\n",
+              coordinated.n_hat, sys.union_population().size(),
+              coordinated.relative_error(union_n));
+  std::printf("distributed (OR of snapshots): %8.0f   (error %.3f, no "
+              "tag-level merging)\n",
+              distributed,
+              std::fabs(distributed - union_n) / union_n);
+  std::printf("naive per-reader sum         : %8.0f   (overcounts by "
+              "%.0f%%)\n",
+              naive_sum, 100.0 * (naive_sum - union_n) / union_n);
+
+  // Reader-to-reader interference: overlapping readers cannot
+  // interrogate at once, so the floor runs in coloured rounds.
+  std::printf("\ninterference schedule: %u rounds for %zu readers -> "
+              "whole-floor snapshot sweep ~ %.2f s of airtime\n",
+              sys.schedule_rounds(), sys.reader_count(),
+              static_cast<double>(sys.schedule_rounds()) * 0.16);
+  std::printf("coordination is what makes multiple readers 'logically "
+              "one reader' (paper SS III-A); without it, overlap regions "
+              "are double-counted.\n");
+  return 0;
+}

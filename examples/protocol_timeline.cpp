@@ -1,0 +1,54 @@
+// Where does the airtime go? Frame-log timelines for BFCE, SRC and ZOE
+// on the same population — Fig 1's "design space" argument, made
+// visible frame by frame.
+//
+//   $ protocol_timeline [--n=50000]
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/bfce.hpp"
+#include "estimators/src_protocol.hpp"
+#include "estimators/zoe.hpp"
+#include "rfid/reader.hpp"
+#include "util/cli.hpp"
+
+using namespace bfce;
+
+namespace {
+
+template <typename Estimator>
+void show(const char* title, Estimator& estimator,
+          const rfid::TagPopulation& pop, std::uint64_t seed) {
+  rfid::ReaderContext ctx(pop, seed, rfid::FrameMode::kSampled);
+  rfid::FrameLog log;
+  ctx.attach_log(&log);
+  const auto out = estimator.estimate(ctx, {0.05, 0.05});
+  std::printf("%s  ->  n_hat = %.0f, total %.3f s over %zu frames\n",
+              title, out.n_hat, out.airtime.total_seconds(ctx.timing()),
+              log.size());
+  log.render_timeline(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"n"});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 50000));
+  const auto pop = rfid::make_population(
+      n, rfid::TagIdDistribution::kT2ApproxNormal, cli.seed());
+  std::printf("population: %zu tags; requirement (0.05, 0.05)\n\n", n);
+
+  core::BfceEstimator bfce;
+  show("BFCE", bfce, pop, cli.seed() + 1);
+  estimators::SrcEstimator src;
+  show("SRC ", src, pop, cli.seed() + 2);
+  estimators::ZoeEstimator zoe;
+  show("ZOE ", zoe, pop, cli.seed() + 3);
+
+  std::printf("ZOE's wall of single-slot frames is almost entirely seed "
+              "broadcasts (32 reader bits per 1 tag bit) — the overhead "
+              "BFCE's two-broadcast design eliminates.\n");
+  return 0;
+}

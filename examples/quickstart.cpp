@@ -1,0 +1,66 @@
+// Quickstart: estimate the cardinality of a tag population with BFCE.
+//
+//   $ quickstart [--n=500000] [--eps=0.05] [--delta=0.05] [--seed=...]
+//
+// Walks through the full §IV protocol and prints the per-phase trace so
+// you can see the probe, the rough lower bound, the Theorem-4 choice of
+// p_o and the final estimate.
+
+#include <cstdio>
+
+#include "core/bfce.hpp"
+#include "rfid/reader.hpp"
+#include "util/cli.hpp"
+
+using namespace bfce;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"n", "eps", "delta"});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 500000));
+  const estimators::Requirement req{cli.get_double("eps", 0.05),
+                                    cli.get_double("delta", 0.05)};
+
+  // 1. A population of tags in the reader's range (T1: uniform tagIDs).
+  std::printf("deploying %zu tags...\n", n);
+  const rfid::TagPopulation pop = rfid::make_population(
+      n, rfid::TagIdDistribution::kT1Uniform, cli.seed());
+
+  // 2. A reader context: channel, C1G2 timing, RNG stream.
+  rfid::ReaderContext ctx(pop, cli.seed() + 1);
+
+  // 3. Run BFCE with the paper's default parameters (w=8192, k=3, c=0.5).
+  core::BfceEstimator bfce;
+  core::BfceTrace trace;
+  const estimators::EstimateOutcome out =
+      bfce.estimate_traced(ctx, req, trace);
+
+  // 4. Results.
+  std::printf("\n-- protocol trace --------------------------------\n");
+  std::printf("probe iterations     : %u (settled on p_s = %u/1024)\n",
+              trace.probe_iterations, trace.p_s_numerator);
+  std::printf("rough phase          : rho=%.4f over %u slots -> n_r=%.0f\n",
+              trace.rho_rough, trace.rough_slots_observed, trace.n_rough);
+  std::printf("lower bound (c=%.1f)  : n_low=%.0f\n", bfce.params().c,
+              trace.n_low);
+  std::printf("Theorem-4 choice     : p_o = %u/1024 (margin %.3f, %s)\n",
+              trace.p_choice.p_n, trace.p_choice.margin,
+              trace.p_choice.satisfies ? "satisfies Theorem 3"
+                                       : "best-effort fallback");
+  std::printf("accurate phase       : rho=%.4f over %u slots\n",
+              trace.rho_accurate, bfce.params().w);
+  std::printf("\n-- result ----------------------------------------\n");
+  std::printf("true cardinality     : %zu\n", n);
+  std::printf("estimated            : %.0f  (relative error %.4f, "
+              "requirement eps=%.2f)\n",
+              out.n_hat, out.relative_error(static_cast<double>(n)),
+              req.epsilon);
+  std::printf("execution time       : %.4f s  (reader bits=%llu, tag "
+              "bit-slots=%llu, gaps=%llu)\n",
+              out.airtime.total_seconds(ctx.timing()),
+              static_cast<unsigned long long>(out.airtime.reader_bits),
+              static_cast<unsigned long long>(out.airtime.tag_bits),
+              static_cast<unsigned long long>(out.airtime.intervals));
+  std::printf("constant-time claim  : < 0.19 s two-phase budget + probe "
+              "cost, independent of n\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Warehouse inventory monitoring — the inventory-management scenario the
+// paper's introduction motivates.
+//
+//   $ warehouse_inventory [--days=14] [--stock=120000] [--seed=...]
+//
+// A warehouse starts with `stock` tagged items. Every day goods ship out
+// (and occasionally "shrink" — theft/misplacement). The reader runs one
+// BFCE round per day (≈0.2 s of airtime instead of minutes of full
+// inventory) and raises an alarm when the estimated stock deviates from
+// the books by more than the estimation error can explain.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/bfce.hpp"
+#include "rfid/reader.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+using namespace bfce;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"days", "stock", "eps"});
+  const int days = static_cast<int>(cli.get_int("days", 14));
+  const auto stock0 = static_cast<std::size_t>(cli.get_int("stock", 120000));
+  const double eps = cli.get_double("eps", 0.05);
+
+  util::Xoshiro256ss world(cli.seed());
+  core::BfceEstimator bfce;
+
+  // The books: what the warehouse management system believes.
+  double booked = static_cast<double>(stock0);
+  std::size_t actual = stock0;
+
+  std::printf("day  booked    actual    estimate  deviation  airtime  "
+              "status\n");
+  std::printf("---------------------------------------------------------"
+              "------\n");
+  for (int day = 1; day <= days; ++day) {
+    // Legitimate shipments: 2-5% of stock, recorded in the books.
+    const auto shipped = static_cast<std::size_t>(
+        static_cast<double>(actual) * (0.02 + 0.03 * world.uniform()));
+    actual -= shipped;
+    booked -= static_cast<double>(shipped);
+
+    // Shrinkage: on two days of the window, 3% of stock walks out
+    // unrecorded — this is what the estimator should catch.
+    const bool theft_day = (day == 6 || day == 11);
+    if (theft_day) {
+      const auto stolen =
+          static_cast<std::size_t>(static_cast<double>(actual) * 0.03);
+      actual -= stolen;
+    }
+
+    // One BFCE round against the tags actually present.
+    const rfid::TagPopulation pop = rfid::make_population(
+        actual, rfid::TagIdDistribution::kT1Uniform,
+        cli.seed() + static_cast<std::uint64_t>(day) * 1000);
+    rfid::ReaderContext ctx(pop,
+                            cli.seed() ^ (static_cast<std::uint64_t>(day)
+                                          << 32),
+                            rfid::FrameMode::kSampled);
+    const auto out = bfce.estimate(ctx, {eps, 0.05});
+
+    // Alarm rule: deviation beyond what an (ε, δ) estimate can explain.
+    const double deviation = (booked - out.n_hat) / booked;
+    const bool alarm = deviation > eps;
+    std::printf("%3d  %8.0f  %8zu  %8.0f  %8.2f%%  %.3fs  %s\n", day,
+                booked, actual, out.n_hat, 100.0 * deviation,
+                out.airtime.total_seconds(ctx.timing()),
+                alarm ? "ALARM: shrinkage suspected"
+                      : (theft_day ? "(theft today)" : "ok"));
+    if (alarm) {
+      // After a physical recount the books are corrected.
+      booked = static_cast<double>(actual);
+      std::printf("     -> full inventory ordered; books corrected to %zu\n",
+                  actual);
+    }
+  }
+  std::printf("\nEach daily check cost ~0.2 s of airtime; a full C1G2 "
+              "inventory of this stock would take minutes.\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+#include "core/authenticate.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "hash/mix.hpp"
+#include "hash/slot_hash.hpp"
+#include "util/bitvector.hpp"
+
+namespace bfce::core {
+
+double AuthConfig::sample_p(double n_expected) const noexcept {
+  if (n_expected <= 0.0) return 1.0;
+  return std::clamp(target_lambda * static_cast<double>(w) /
+                        (static_cast<double>(k) * n_expected),
+                    1.0 / 1024.0, 1.0);
+}
+
+std::uint32_t AuthConfig::rounds(double n_expected) const noexcept {
+  const double p = sample_p(n_expected);
+  if (p >= 1.0) return std::min<std::uint32_t>(3, max_rounds);
+  const double needed = std::log(coverage_miss) / std::log1p(-p);
+  return static_cast<std::uint32_t>(std::clamp(
+      std::ceil(needed), 1.0, static_cast<double>(max_rounds)));
+}
+
+namespace {
+
+/// Deterministic per-round sampling decision.
+bool sampled(std::uint64_t id, std::uint64_t round_seed, double p) {
+  if (p >= 1.0) return true;
+  const auto threshold = static_cast<std::uint64_t>(
+      p * 18446744073709551616.0 /* 2^64 */);
+  return hash::mix_with_seed(id, round_seed ^ 0x5A3B1E) < threshold;
+}
+
+/// The k slots a tag energises in a round.
+void tag_slots(std::uint64_t id, const AuthConfig& cfg,
+               std::uint64_t round_seed, std::uint32_t* out) {
+  for (std::uint32_t j = 0; j < cfg.k; ++j) {
+    out[j] = hash::IdealSlotHash(round_seed * 1315423911ULL + j)
+                 .slot(id, cfg.w);
+  }
+}
+
+}  // namespace
+
+AuthOutcome verify_batch(const rfid::TagPopulation& enrolled,
+                         const rfid::TagPopulation& field,
+                         const AuthConfig& cfg, const rfid::Channel& channel,
+                         util::Xoshiro256ss& rng) {
+  assert(cfg.k >= 1 && cfg.k <= 8);
+  AuthOutcome out;
+  const double n_expected = static_cast<double>(enrolled.size());
+  const double p = cfg.sample_p(n_expected);
+  out.rounds_used = cfg.rounds(n_expected);
+
+  // Per-tag state: still presumed present, ever sampled, and the
+  // accumulated log false-presence probability of its sampled rounds.
+  std::vector<bool> alive(enrolled.size(), true);
+  std::vector<bool> ever_sampled(enrolled.size(), false);
+  std::vector<double> log_fp(enrolled.size(), 0.0);
+
+  std::uint32_t slots[8];
+  for (std::uint32_t round = 0; round < out.rounds_used; ++round) {
+    const std::uint64_t round_seed = util::derive_seed(cfg.seed, round);
+
+    // Field side: sampled in-range tags answer in all their slots.
+    std::vector<std::uint32_t> counts(cfg.w, 0);
+    for (const rfid::Tag& tag : field.tags()) {
+      if (!sampled(tag.id, round_seed, p)) continue;
+      tag_slots(tag.id, cfg, round_seed, slots);
+      for (std::uint32_t j = 0; j < cfg.k; ++j) ++counts[slots[j]];
+    }
+    util::BitVector busy(cfg.w);
+    for (std::uint32_t i = 0; i < cfg.w; ++i) {
+      if (rfid::is_busy(channel.observe(counts[i], rng))) busy.set(i);
+    }
+    out.airtime.add_reader_broadcast(static_cast<std::uint64_t>(cfg.k) *
+                                         32 +
+                                     32 /* sample seed */);
+    out.airtime.add_tag_slots(cfg.w);
+    const double busy_ratio = static_cast<double>(busy.count_ones()) /
+                              static_cast<double>(cfg.w);
+
+    // Back-end side: check the sampled enrolled tags, then find busy
+    // slots no presumed-present sampled tag explains.
+    util::BitVector explained(cfg.w);
+    for (std::size_t t = 0; t < enrolled.size(); ++t) {
+      if (!sampled(enrolled[t].id, round_seed, p)) continue;
+      ever_sampled[t] = true;
+      if (!alive[t]) continue;
+      tag_slots(enrolled[t].id, cfg, round_seed, slots);
+      bool all_busy = true;
+      for (std::uint32_t j = 0; j < cfg.k; ++j) {
+        if (!busy.get(slots[j])) {
+          all_busy = false;
+          break;
+        }
+      }
+      if (!all_busy) {
+        alive[t] = false;
+      } else {
+        log_fp[t] += static_cast<double>(cfg.k) *
+                     std::log(std::max(1e-12, busy_ratio));
+        for (std::uint32_t j = 0; j < cfg.k; ++j) explained.set(slots[j]);
+      }
+    }
+    for (std::uint32_t i = 0; i < cfg.w; ++i) {
+      if (busy.get(i) && !explained.get(i)) ++out.unexplained_busy_slots;
+    }
+  }
+
+  out.verdicts.resize(enrolled.size());
+  double fp_sum = 0.0;
+  for (std::size_t t = 0; t < enrolled.size(); ++t) {
+    if (!ever_sampled[t]) {
+      out.verdicts[t] = AuthVerdict::kUnverified;
+      ++out.unverified_count;
+    } else if (alive[t]) {
+      out.verdicts[t] = AuthVerdict::kPresent;
+      ++out.present_count;
+      fp_sum += std::exp(log_fp[t]);
+    } else {
+      out.verdicts[t] = AuthVerdict::kAbsent;
+      ++out.absent_count;
+    }
+  }
+  out.false_presence_mean =
+      out.present_count == 0
+          ? 0.0
+          : fp_sum / static_cast<double>(out.present_count);
+  return out;
+}
+
+}  // namespace bfce::core

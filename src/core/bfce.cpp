@@ -1,0 +1,208 @@
+#include "core/bfce.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/erf.hpp"
+#include "math/stats.hpp"
+#include "util/bitvector.hpp"
+
+namespace bfce::core {
+
+namespace {
+
+/// Runs one Bloom frame in the context's execution mode, accumulating
+/// individual tag transmissions into `tx` for the energy model.
+util::BitVector execute_frame(rfid::ReaderContext& ctx,
+                              const rfid::BloomFrameConfig& cfg,
+                              std::uint64_t* tx) {
+  if (ctx.mode() == rfid::FrameMode::kExact) {
+    return rfid::run_bloom_frame(ctx.tags(), cfg, ctx.channel(), ctx.rng(),
+                                 tx);
+  }
+  return rfid::sampled_bloom_frame(ctx.tags().size(), cfg, ctx.channel(),
+                                   ctx.rng(), tx);
+}
+
+/// Fresh per-phase frame configuration with newly broadcast seeds.
+rfid::BloomFrameConfig make_config(rfid::ReaderContext& ctx,
+                                   const BfceParams& params,
+                                   std::uint32_t p_n) {
+  rfid::BloomFrameConfig cfg;
+  cfg.w = params.w;
+  cfg.k = params.k;
+  cfg.hash = params.hash;
+  cfg.persistence = params.persistence;
+  cfg.set_p_numerator(p_n);
+  for (std::uint32_t j = 0; j < params.k; ++j) cfg.seeds[j] = ctx.next_seed();
+  return cfg;
+}
+
+/// Idle ratio over the first `prefix` slots of a busy bitmap.
+double idle_ratio(const util::BitVector& busy, std::size_t prefix) {
+  const std::size_t busy_count = busy.count_ones_prefix(prefix);
+  return 1.0 - static_cast<double>(busy_count) / static_cast<double>(prefix);
+}
+
+}  // namespace
+
+estimators::EstimateOutcome BfceEstimator::estimate(
+    rfid::ReaderContext& ctx, const estimators::Requirement& req) {
+  BfceTrace trace;
+  return estimate_traced(ctx, req, trace);
+}
+
+estimators::EstimateOutcome BfceEstimator::estimate_traced(
+    rfid::ReaderContext& ctx, const estimators::Requirement& req,
+    BfceTrace& trace) {
+  estimators::EstimateOutcome out;
+  trace = BfceTrace{};
+  const auto& prm = params_;
+  const std::uint64_t seed_broadcast_bits =
+      static_cast<std::uint64_t>(prm.k) * prm.seed_bits;
+
+  // ---- Persistence probe (§IV-C) -------------------------------------
+  // Find a p_s whose 32-slot window shows both idle and busy slots.
+  // Every attempt costs a parameter broadcast plus the probe window.
+  std::uint32_t p_s_n = prm.probe_start_pn;
+  for (std::uint32_t iter = 0; iter < prm.max_probe_iters; ++iter) {
+    ++trace.probe_iterations;
+    const auto cfg = make_config(ctx, prm, p_s_n);
+    const double t_before = out.airtime.total_us(ctx.timing());
+    const util::BitVector busy =
+        execute_frame(ctx, cfg, &out.airtime.tag_tx_bits);
+    out.airtime.add_reader_broadcast(seed_broadcast_bits + prm.p_bits);
+    out.airtime.add_tag_slots(prm.probe_slots);
+
+    const std::size_t busy_count = busy.count_ones_prefix(prm.probe_slots);
+    ctx.log_frame(rfid::FrameKind::kProbe, prm.probe_slots, cfg.p,
+                  static_cast<std::uint32_t>(busy_count),
+                  out.airtime.total_us(ctx.timing()) - t_before);
+    if (busy_count == 0) {
+      if (p_s_n >= 1023) break;  // p at ceiling and still silent: tiny n
+      p_s_n = std::min<std::uint32_t>(1023, p_s_n + prm.probe_up_step);
+    } else if (busy_count == prm.probe_slots) {
+      if (p_s_n <= 1) break;  // p at floor and still saturated: huge n
+      p_s_n = std::max<std::uint32_t>(1, p_s_n - prm.probe_down_step);
+    } else {
+      break;  // mixed window: p_s is workable
+    }
+  }
+  trace.p_s_numerator = p_s_n;
+
+  // ---- Phase 1: rough lower bound (§IV-C) ----------------------------
+  // One Bloom frame with p_s, truncated after `rough_prefix` slots. If
+  // the observed prefix is degenerate (all idle / all busy) the reader
+  // simply keeps listening — the frame is already on the air — doubling
+  // the window up to the full w.
+  const auto rough_cfg = make_config(ctx, prm, p_s_n);
+  const double t_rough_before = out.airtime.total_us(ctx.timing());
+  const util::BitVector rough_busy =
+      execute_frame(ctx, rough_cfg, &out.airtime.tag_tx_bits);
+  std::uint32_t observed = prm.rough_prefix;
+  double rho = idle_ratio(rough_busy, observed);
+  while ((rho <= 0.0 || rho >= 1.0) && observed < prm.w) {
+    observed = std::min(prm.w, observed * 2);
+    rho = idle_ratio(rough_busy, observed);
+  }
+  out.airtime.add_reader_broadcast(seed_broadcast_bits + prm.p_bits);
+  // The ledger mirrors §IV-E.1: the interval preceding the reply window
+  // is already charged by add_reader_broadcast; the slots follow without
+  // a trailing gap (the next broadcast charges its own).
+  out.airtime.tag_bits += observed;
+  ctx.log_frame(rfid::FrameKind::kBloomRough, observed, rough_cfg.p,
+                static_cast<std::uint32_t>(
+                    rough_busy.count_ones_prefix(observed)),
+                out.airtime.total_us(ctx.timing()) - t_rough_before);
+
+  trace.rho_rough = rho;
+  trace.rough_slots_observed = observed;
+
+  double n_rough;
+  if (rho >= 1.0) {
+    // Even the full bitmap is all idle: fewer tags than the estimator can
+    // see at the ceiling probability. Report the smallest resolvable n.
+    n_rough = 1.0;
+    out.met_by_design = false;
+    out.note = "rough phase saw an all-idle bitmap";
+  } else if (rho <= 0.0) {
+    // Saturated even at the floor probability: clamp at the scalability
+    // envelope (γ_max · w, the >19M bound of §IV-B).
+    n_rough = estimate_from_rho(1.0 / static_cast<double>(prm.w), prm.w,
+                                prm.k, rough_cfg.p);
+    out.met_by_design = false;
+    out.note = "rough phase saw an all-busy bitmap";
+  } else {
+    n_rough = estimate_from_rho(rho, prm.w, prm.k, rough_cfg.p);
+  }
+  trace.n_rough = n_rough;
+  const double n_low = std::max(1.0, prm.c * n_rough);
+  trace.n_low = n_low;
+
+  // ---- Phase 2: accurate estimation (§IV-D) --------------------------
+  const PersistenceChoice choice =
+      find_persistence(n_low, prm.w, prm.k, req.epsilon, req.delta);
+  trace.p_choice = choice;
+  if (!choice.satisfies) {
+    out.met_by_design = false;
+    if (out.note.empty()) {
+      out.note = "no p on the 1/1024 grid satisfies Theorem 3 at n_low";
+    }
+  }
+
+  const auto acc_cfg = make_config(ctx, prm, choice.p_n);
+  const double t_acc_before = out.airtime.total_us(ctx.timing());
+  const util::BitVector acc_busy =
+      execute_frame(ctx, acc_cfg, &out.airtime.tag_tx_bits);
+  out.airtime.intervals += 1;  // gap between phase-1 replies and broadcast
+  out.airtime.add_reader_broadcast(seed_broadcast_bits + prm.p_bits);
+  out.airtime.tag_bits += prm.w;
+  ctx.log_frame(rfid::FrameKind::kBloomAccurate, prm.w, acc_cfg.p,
+                static_cast<std::uint32_t>(acc_busy.count_ones()),
+                out.airtime.total_us(ctx.timing()) - t_acc_before);
+
+  double rho_acc = idle_ratio(acc_busy, prm.w);
+  if (rho_acc <= 0.0) {
+    rho_acc = 1.0 / static_cast<double>(prm.w);
+    trace.rho_clamped = true;
+  } else if (rho_acc >= 1.0) {
+    rho_acc = 1.0 - 1.0 / static_cast<double>(prm.w);
+    trace.rho_clamped = true;
+  }
+  trace.rho_accurate = rho_acc;
+
+  out.n_hat = estimate_from_rho(rho_acc, prm.w, prm.k, acc_cfg.p);
+  const ConfidenceInterval ci =
+      interval_from_rho(rho_acc, prm.w, prm.k, acc_cfg.p, req.delta);
+  out.ci_low = ci.lo;
+  out.ci_high = ci.hi;
+  out.rounds = 1;  // the whole protocol is a single two-phase round
+  out.time_us = out.airtime.total_us(ctx.timing());
+  return out;
+}
+
+estimators::EstimateOutcome AveragedBfceEstimator::estimate(
+    rfid::ReaderContext& ctx, const estimators::Requirement& req) {
+  estimators::EstimateOutcome out;
+  out.rounds = 0;
+  math::RunningStats estimates;
+  for (std::uint32_t r = 0; r < rounds_; ++r) {
+    const estimators::EstimateOutcome one = inner_.estimate(ctx, req);
+    estimates.add(one.n_hat);
+    out.airtime += one.airtime;
+    ++out.rounds;
+    out.met_by_design = out.met_by_design && one.met_by_design;
+    if (!one.note.empty() && out.note.empty()) out.note = one.note;
+  }
+  out.n_hat = estimates.mean();
+  if (estimates.count() >= 2) {
+    const double half = math::confidence_d(req.delta) * estimates.stddev() /
+                        std::sqrt(static_cast<double>(estimates.count()));
+    out.ci_low = out.n_hat - half;
+    out.ci_high = out.n_hat + half;
+  }
+  out.time_us = out.airtime.total_us(ctx.timing());
+  return out;
+}
+
+}  // namespace bfce::core

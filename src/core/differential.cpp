@@ -1,0 +1,90 @@
+#include "core/differential.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "hash/mix.hpp"
+#include "hash/slot_hash.hpp"
+
+namespace bfce::core {
+
+void DifferentialConfig::tune_for(double n_expected,
+                                  double lambda_target) noexcept {
+  if (n_expected <= 0.0) {
+    p = 1.0;
+    return;
+  }
+  p = std::clamp(lambda_target * static_cast<double>(w) /
+                     (static_cast<double>(k) * n_expected),
+                 1.0 / 1024.0, 1.0);
+}
+
+util::BitVector take_snapshot(const rfid::TagPopulation& tags,
+                              const DifferentialConfig& cfg,
+                              const rfid::Channel& channel,
+                              util::Xoshiro256ss& rng) {
+  assert(cfg.k >= 1 && cfg.k <= 3);
+  const auto threshold =
+      cfg.p >= 1.0 ? ~0ULL
+                   : static_cast<std::uint64_t>(
+                         cfg.p * 18446744073709551616.0 /* 2^64 */);
+  std::vector<std::uint32_t> counts(cfg.w, 0);
+  for (const rfid::Tag& tag : tags.tags()) {
+    // Deterministic persistence: the same tag participates in every
+    // snapshot (or in none), so set differences are bit-aligned.
+    if (hash::mix_with_seed(tag.id, cfg.sample_seed) >= threshold) continue;
+    for (std::uint32_t j = 0; j < cfg.k; ++j) {
+      ++counts[hash::IdealSlotHash(cfg.slot_seeds[j]).slot(tag.id, cfg.w)];
+    }
+  }
+  util::BitVector busy(cfg.w);
+  for (std::uint32_t i = 0; i < cfg.w; ++i) {
+    if (rfid::is_busy(channel.observe(counts[i], rng))) busy.set(i);
+  }
+  return busy;
+}
+
+ChurnEstimate compare_snapshots(const util::BitVector& reference,
+                                const util::BitVector& current,
+                                const DifferentialConfig& cfg) {
+  assert(reference.size() == cfg.w && current.size() == cfg.w);
+  const double w = static_cast<double>(cfg.w);
+
+  std::size_t busy_ref = 0;
+  std::size_t busy_now = 0;
+  std::size_t busy_either = 0;
+  for (std::uint32_t i = 0; i < cfg.w; ++i) {
+    const bool r = reference.get(i);
+    const bool c = current.get(i);
+    busy_ref += r;
+    busy_now += c;
+    busy_either += (r || c);
+  }
+  const double floor_rho = 1.0 / (2.0 * w);
+  auto clamp_rho = [&](std::size_t busy) {
+    return std::clamp(1.0 - static_cast<double>(busy) / w, floor_rho,
+                      1.0 - floor_rho);
+  };
+  ChurnEstimate out;
+  const double rho_ref_raw = 1.0 - static_cast<double>(busy_ref) / w;
+  const double rho_now_raw = 1.0 - static_cast<double>(busy_now) / w;
+  const double rho_both_raw = 1.0 - static_cast<double>(busy_either) / w;
+  out.degenerate = rho_ref_raw <= 0.0 || rho_now_raw <= 0.0 ||
+                   rho_both_raw <= 0.0 || rho_ref_raw >= 1.0 ||
+                   rho_now_raw >= 1.0;
+  const double rho_ref = clamp_rho(busy_ref);
+  const double rho_now = clamp_rho(busy_now);
+  const double rho_both = clamp_rho(busy_either);
+
+  const double scale = w / (static_cast<double>(cfg.k) * cfg.p);
+  // ρ_both ≤ min(ρ_ref, ρ_now) by construction, so the logs below are
+  // non-negative up to the clamping.
+  out.departed = std::max(0.0, scale * std::log(rho_now / rho_both));
+  out.arrived = std::max(0.0, scale * std::log(rho_ref / rho_both));
+  out.stayed =
+      std::max(0.0, -scale * std::log(rho_ref * rho_now / rho_both));
+  return out;
+}
+
+}  // namespace bfce::core

@@ -1,0 +1,72 @@
+#pragma once
+// Differential cardinality estimation — an extension of BFCE's Bloom
+// machinery beyond the paper (DESIGN.md §6).
+//
+// Monitoring applications (the paper's inventory-management motivation)
+// rarely want one number; they want *churn*: how many tags left and how
+// many arrived since the last check. Two Bloom snapshots taken with the
+// SAME seeds and a DETERMINISTIC persistence sample make that a closed-
+// form computation.
+//
+// Determinism is the key trick: a tag participates iff
+// hash(id, sample_seed) < p·2^64, so the responding subpopulation is
+// identical across snapshots. Writing s, d, a for the sampled counts of
+// stayers, departed and arrived tags, and ρ_ref / ρ_now / ρ_both for the
+// idle ratios of the reference bitmap, the new bitmap, and their
+// intersection-of-idles (bit idle in both), Theorem 1 gives
+//
+//   ρ_ref  = e^{−k(s+d)/w},  ρ_now = e^{−k(s+a)/w},
+//   ρ_both = e^{−k(s+d+a)/w}
+//
+// which inverts exactly:
+//
+//   d̂ = (w/k)·ln(ρ_now/ρ_both) / p,   â = (w/k)·ln(ρ_ref/ρ_both) / p,
+//   ŝ = −(w/k)·ln(ρ_ref·ρ_now/ρ_both) / p.
+
+#include <cstdint>
+
+#include "rfid/population.hpp"
+#include "rfid/channel.hpp"
+#include "util/bitvector.hpp"
+#include "util/rng.hpp"
+
+namespace bfce::core {
+
+/// Fixed protocol parameters shared by both snapshots. The seeds MUST be
+/// identical across the snapshots being compared — that is what aligns
+/// the bitmaps bit-for-bit.
+struct DifferentialConfig {
+  std::uint32_t w = 8192;
+  std::uint32_t k = 3;
+  /// Deterministic sampling probability. Pick so the sampled load
+  /// k·p·n/w stays near 1: p ≈ w/(k·n_expected), clamped to (0, 1].
+  double p = 1.0;
+  std::uint64_t sample_seed = 0x5A4D91E5;
+  std::uint64_t slot_seeds[3] = {0xA5A5A5A5, 0x5A5A5A5A, 0x0F0F0F0F};
+
+  /// Convenience: tunes p for an expected population size.
+  void tune_for(double n_expected, double lambda_target = 1.0) noexcept;
+};
+
+/// One over-the-air snapshot: the busy bitmap of a deterministic Bloom
+/// frame over `tags`. Costs w bit-slots plus the parameter broadcast
+/// (same ledger shape as one BFCE phase).
+util::BitVector take_snapshot(const rfid::TagPopulation& tags,
+                              const DifferentialConfig& cfg,
+                              const rfid::Channel& channel,
+                              util::Xoshiro256ss& rng);
+
+/// Churn estimate between two aligned snapshots.
+struct ChurnEstimate {
+  double stayed = 0.0;
+  double departed = 0.0;
+  double arrived = 0.0;
+  bool degenerate = false;  ///< a bitmap was saturated; values clamped
+};
+
+/// Inverts the three-idle-ratio system above.
+ChurnEstimate compare_snapshots(const util::BitVector& reference,
+                                const util::BitVector& current,
+                                const DifferentialConfig& cfg);
+
+}  // namespace bfce::core

@@ -1,0 +1,56 @@
+#include "core/multiset.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/analysis.hpp"
+
+namespace bfce::core {
+
+util::BitVector merge_snapshots(
+    const std::vector<const util::BitVector*>& snapshots,
+    const DifferentialConfig& cfg) {
+  util::BitVector merged(cfg.w);
+  for (const util::BitVector* snap : snapshots) {
+    assert(snap != nullptr && snap->size() == cfg.w);
+    for (std::uint32_t i = 0; i < cfg.w; ++i) {
+      if (snap->get(i)) merged.set(i);
+    }
+  }
+  return merged;
+}
+
+double estimate_snapshot(const util::BitVector& snapshot,
+                         const DifferentialConfig& cfg) {
+  assert(snapshot.size() == cfg.w);
+  const double w = static_cast<double>(cfg.w);
+  const double floor_rho = 1.0 / (2.0 * w);
+  const double rho = std::clamp(
+      1.0 - static_cast<double>(snapshot.count_ones()) / w, floor_rho,
+      1.0 - floor_rho);
+  // Inversion over the deterministic sample, scaled back by 1/p.
+  return estimate_from_rho(rho, cfg.w, cfg.k, 1.0) / cfg.p;
+}
+
+double estimate_union(const util::BitVector& a, const util::BitVector& b,
+                      const DifferentialConfig& cfg) {
+  return estimate_snapshot(merge_snapshots({&a, &b}, cfg), cfg);
+}
+
+double estimate_intersection(const util::BitVector& a,
+                             const util::BitVector& b,
+                             const DifferentialConfig& cfg) {
+  const double na = estimate_snapshot(a, cfg);
+  const double nb = estimate_snapshot(b, cfg);
+  const double n_union = estimate_union(a, b, cfg);
+  return std::max(0.0, na + nb - n_union);
+}
+
+double estimate_jaccard(const util::BitVector& a, const util::BitVector& b,
+                        const DifferentialConfig& cfg) {
+  const double n_union = estimate_union(a, b, cfg);
+  if (n_union <= 0.0) return 0.0;
+  return std::min(1.0, estimate_intersection(a, b, cfg) / n_union);
+}
+
+}  // namespace bfce::core

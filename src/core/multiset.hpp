@@ -1,0 +1,49 @@
+#pragma once
+// Multi-set cardinality estimation over aligned Bloom snapshots.
+//
+// The SRC baseline paper (Chen, Zhou & Yu, MobiCom 2013) frames two
+// problems: single-set counting (what BFCE solves) and the
+// *multiple-set* problem — the cardinality of a union of tag sets seen
+// by different readers/warehouses, without shipping tag-level data
+// around. Aligned Bloom snapshots solve it by construction: snapshots
+// taken with the same seeds and the same deterministic sample OR
+// together bit-wise into exactly the snapshot the union population
+// would have produced, so Theorem 2 inverts the merged bitmap directly.
+//
+// From unions, inclusion–exclusion yields pairwise intersections — the
+// "how much stock is double-stored" question — at zero extra airtime.
+
+#include <vector>
+
+#include "core/differential.hpp"
+#include "util/bitvector.hpp"
+
+namespace bfce::core {
+
+/// Bit-wise OR of aligned snapshots (what the union population's
+/// snapshot would have been). All snapshots must share the config's w.
+util::BitVector merge_snapshots(
+    const std::vector<const util::BitVector*>& snapshots,
+    const DifferentialConfig& cfg);
+
+/// Cardinality estimate from one (possibly merged) snapshot.
+/// Degenerate bitmaps are clamped to the finest resolvable ratio.
+double estimate_snapshot(const util::BitVector& snapshot,
+                         const DifferentialConfig& cfg);
+
+/// |A ∪ B| from two aligned snapshots.
+double estimate_union(const util::BitVector& a, const util::BitVector& b,
+                      const DifferentialConfig& cfg);
+
+/// |A ∩ B| via inclusion–exclusion on aligned snapshots. Clamped at 0
+/// (estimation noise can push small intersections negative).
+double estimate_intersection(const util::BitVector& a,
+                             const util::BitVector& b,
+                             const DifferentialConfig& cfg);
+
+/// Jaccard similarity |A∩B| / |A∪B| of two aligned snapshots (0 when
+/// the union estimate is 0).
+double estimate_jaccard(const util::BitVector& a, const util::BitVector& b,
+                        const DifferentialConfig& cfg);
+
+}  // namespace bfce::core

@@ -1,0 +1,117 @@
+#include "core/search.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "hash/slot_hash.hpp"
+#include "util/bitvector.hpp"
+
+namespace bfce::core {
+
+namespace {
+
+std::uint32_t filter_width(const SearchConfig& cfg,
+                           std::size_t wanted_count) {
+  return std::max<std::uint32_t>(
+      64, cfg.bits_per_item *
+              static_cast<std::uint32_t>(std::max<std::size_t>(
+                  1, wanted_count)));
+}
+
+util::BitVector build_filter(const std::vector<std::uint64_t>& wanted_ids,
+                             const SearchConfig& cfg) {
+  const std::uint32_t w1 = filter_width(cfg, wanted_ids.size());
+  const std::uint32_t k1 = search_filter_hashes(cfg);
+  util::BitVector filter(w1);
+  for (const std::uint64_t id : wanted_ids) {
+    for (std::uint32_t j = 0; j < k1; ++j) {
+      filter.set(
+          hash::IdealSlotHash(cfg.filter_seed + j).slot(id, w1));
+    }
+  }
+  return filter;
+}
+
+bool test_filter(std::uint64_t id, const util::BitVector& filter,
+                 const SearchConfig& cfg) {
+  const auto w1 = static_cast<std::uint32_t>(filter.size());
+  const std::uint32_t k1 = search_filter_hashes(cfg);
+  for (std::uint32_t j = 0; j < k1; ++j) {
+    if (!filter.get(
+            hash::IdealSlotHash(cfg.filter_seed + j).slot(id, w1))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t search_filter_hashes(const SearchConfig& cfg) noexcept {
+  if (cfg.filter_hashes != 0) return cfg.filter_hashes;
+  const auto optimal = static_cast<std::uint32_t>(
+      static_cast<double>(cfg.bits_per_item) * 0.6931471805599453);
+  return std::clamp<std::uint32_t>(optimal, 1, 16);
+}
+
+bool passes_search_filter(std::uint64_t id,
+                          const std::vector<std::uint64_t>& wanted_ids,
+                          const SearchConfig& cfg) {
+  return test_filter(id, build_filter(wanted_ids, cfg), cfg);
+}
+
+SearchOutcome search_tags(const rfid::TagPopulation& wanted,
+                          const rfid::TagPopulation& field,
+                          const SearchConfig& cfg,
+                          const rfid::Channel& channel,
+                          util::Xoshiro256ss& rng) {
+  SearchOutcome out;
+
+  // Stage 1: downlink filter broadcast + on-tag membership test.
+  std::vector<std::uint64_t> wanted_ids;
+  wanted_ids.reserve(wanted.size());
+  for (const rfid::Tag& t : wanted.tags()) wanted_ids.push_back(t.id);
+  const util::BitVector filter = build_filter(wanted_ids, cfg);
+  out.airtime.add_reader_broadcast(filter.size());
+
+  std::vector<rfid::Tag> survivors;
+  for (const rfid::Tag& tag : field.tags()) {
+    if (!test_filter(tag.id, filter, cfg)) continue;
+    survivors.push_back(tag);
+    if (std::find(wanted_ids.begin(), wanted_ids.end(), tag.id) ==
+        wanted_ids.end()) {
+      ++out.filter_false_positives;
+    }
+  }
+  const rfid::TagPopulation reduced{std::move(survivors)};
+
+  // Stage 2: uplink batch verification of the wanted list against the
+  // surviving responders.
+  AuthConfig verify_cfg = cfg.verify;
+  const AuthOutcome verified =
+      verify_batch(wanted, reduced, verify_cfg, channel, rng);
+  out.verdicts = verified.verdicts;
+  out.found_count = verified.present_count;
+  out.missing_count = verified.absent_count;
+  out.unverified_count = verified.unverified_count;
+  out.unexplained_busy_slots = verified.unexplained_busy_slots;
+  out.airtime += verified.airtime;
+  return out;
+}
+
+rfid::Airtime polling_cost(std::size_t wanted_count) {
+  // Per wanted ID: a targeted Query carrying the 50-bit ID (+ command
+  // overhead), the tag's RN16, the ACK and the EPC backscatter — the
+  // same exchange costs as the identification module.
+  rfid::Airtime a;
+  for (std::size_t i = 0; i < wanted_count; ++i) {
+    a.add_reader_broadcast(22 + 50);  // Query + ID mask
+    a.add_tag_slots(16);              // RN16
+    a.add_reader_broadcast(18);       // ACK
+    a.add_tag_slots(128);             // PC + EPC + CRC
+  }
+  return a;
+}
+
+}  // namespace bfce::core

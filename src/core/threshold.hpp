@@ -1,0 +1,45 @@
+#pragma once
+// Threshold queries: "are there more than T tags?" answered cheaper
+// than a full estimate.
+//
+// Monitoring applications often need only a yes/no (fire an alarm when
+// stock drops below T), and a sequential probability ratio test (SPRT)
+// over single bit-slots answers it with a number of slots that *adapts
+// to how far n is from T* — far away: a handful of slots; near the
+// boundary: more. Each slot is the familiar Bernoulli observation: with
+// per-tag participation q = λ*/T the slot is busy w.p. 1 − e^{−qn}, so
+// the log-likelihood ratio between H1: n ≥ T·γ and H0: n ≤ T/γ moves a
+// fixed amount per observation.
+
+#include <cstdint>
+
+#include "estimators/estimator.hpp"
+#include "rfid/reader.hpp"
+
+namespace bfce::core {
+
+struct ThresholdQuery {
+  double threshold = 0.0;  ///< T
+  /// Indifference band: the test separates n ≤ T/γ from n ≥ T·γ; inside
+  /// the band either answer is acceptable.
+  double gamma = 1.5;
+  double alpha = 0.05;  ///< Pr{say "above" | n ≤ T/γ}
+  double beta = 0.05;   ///< Pr{say "below" | n ≥ T·γ}
+  std::uint32_t seed_bits = 32;
+  std::uint32_t max_slots = 100000;  ///< hard cap (indifference-band edge)
+};
+
+struct ThresholdAnswer {
+  bool above = false;        ///< the verdict
+  bool decisive = true;      ///< false if the cap was hit (n ≈ T)
+  std::uint32_t slots = 0;   ///< single-slot frames consumed
+  double llr = 0.0;          ///< final log-likelihood ratio
+  rfid::Airtime airtime;
+  double time_us = 0.0;
+};
+
+/// Runs the SPRT against the context's population.
+ThresholdAnswer threshold_query(rfid::ReaderContext& ctx,
+                                const ThresholdQuery& query);
+
+}  // namespace bfce::core

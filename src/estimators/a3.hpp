@@ -1,0 +1,50 @@
+#pragma once
+// A³ — Arbitrarily Accurate Approximation (Gong et al., INFOCOM 2014),
+// the fourth state-of-the-art scheme the paper cites alongside PET, ZOE
+// and SRC.
+//
+// Two stages, following the published mechanism:
+//
+//  1. *Pivot search*: single bit-slots with geometrically halving
+//     persistence 1, 1/2, 1/4, … locate the scale 2^j at which the
+//     channel turns quiet — a constant-factor estimate in O(log n)
+//     slots, without any frame.
+//  2. *Refinement*: repeated bit-frames at the variance-optimal load
+//     seeded by the pivot; per-round estimates are combined by
+//     inverse-variance (Fisher) weighting, and rounds continue until
+//     the accumulated information meets the (ε, δ) target — this is
+//     what makes the accuracy "arbitrarily" tunable.
+
+#include <cstdint>
+#include <string>
+
+#include "estimators/estimator.hpp"
+
+namespace bfce::estimators {
+
+struct A3Params {
+  std::uint32_t frame_size = 1024;
+  double lambda_target = 1.594;
+  std::uint32_t seed_bits = 32;
+  std::uint32_t size_bits = 16;
+  std::uint32_t pivot_slots_per_level = 4;  ///< repeats per probe level
+  std::uint32_t max_levels = 40;
+  std::uint32_t max_rounds = 1024;
+};
+
+class A3Estimator final : public CardinalityEstimator {
+ public:
+  A3Estimator() = default;
+  explicit A3Estimator(A3Params params) : params_(params) {}
+
+  std::string name() const override { return "A3"; }
+  const A3Params& params() const noexcept { return params_; }
+
+  EstimateOutcome estimate(rfid::ReaderContext& ctx,
+                           const Requirement& req) override;
+
+ private:
+  A3Params params_;
+};
+
+}  // namespace bfce::estimators

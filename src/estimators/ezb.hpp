@@ -1,0 +1,46 @@
+#pragma once
+// EZB — Enhanced Zero-Based estimator (Kodialam, Nandagopal & Lau,
+// INFOCOM 2007).
+//
+// Repeated slotted bit-frames of fixed size f with persistence p; the
+// average number of empty slots across rounds is inverted through the
+// e^{−λ} law. EZB predates load tuning: p is set once from a coarse
+// first-frame guess, and accuracy is bought purely with repetition. The
+// number of rounds for an (ε, δ) target follows the same CLT bound as
+// Theorem 3 with w replaced by r·f (r rounds of f slots).
+
+#include <cstdint>
+#include <string>
+
+#include "estimators/estimator.hpp"
+
+namespace bfce::estimators {
+
+struct EzbParams {
+  std::uint32_t frame_size = 512;  ///< bit-slots per frame
+  double lambda_target = 1.594;    ///< load the persistence aims for
+  std::uint32_t seed_bits = 32;
+  std::uint32_t size_bits = 16;
+  std::uint32_t max_rounds = 512;  ///< hard cap on repetition
+};
+
+class EzbEstimator final : public CardinalityEstimator {
+ public:
+  EzbEstimator() = default;
+  explicit EzbEstimator(EzbParams params) : params_(params) {}
+
+  std::string name() const override { return "EZB"; }
+  const EzbParams& params() const noexcept { return params_; }
+
+  EstimateOutcome estimate(rfid::ReaderContext& ctx,
+                           const Requirement& req) override;
+
+  /// Rounds of f slots needed for (ε, δ) at load λ.
+  static std::uint32_t required_rounds(double epsilon, double delta,
+                                       double lambda, std::uint32_t f);
+
+ private:
+  EzbParams params_;
+};
+
+}  // namespace bfce::estimators

@@ -1,0 +1,44 @@
+#pragma once
+// LOF — Lottery-Frame estimator (Qian et al., TPDS 2011).
+//
+// Each tag replies in a geometrically distributed slot (slot j with
+// probability 2^-(j+1)), so the index of the first idle slot grows like
+// log2(n). Averaging that index over rounds and applying the
+// Flajolet–Martin-style bias correction gives the estimate
+//
+//     n̂ = 1.2897 · 2^(R̄)
+//
+// where R̄ is the mean first-idle-slot index. LOF is cheap and coarse; the
+// paper uses "LOF run for 10 rounds" as ZOE's rough-estimation input
+// (§V-C), which is exactly how ZoeEstimator consumes this class.
+
+#include <cstdint>
+#include <string>
+
+#include "estimators/estimator.hpp"
+
+namespace bfce::estimators {
+
+struct LofParams {
+  std::uint32_t frame_size = 32;  ///< slots per lottery frame
+  std::uint32_t rounds = 10;      ///< frames averaged (paper's choice for ZOE)
+  std::uint32_t seed_bits = 32;   ///< per-frame seed broadcast width
+};
+
+class LofEstimator final : public CardinalityEstimator {
+ public:
+  LofEstimator() = default;
+  explicit LofEstimator(LofParams params) : params_(params) {}
+
+  std::string name() const override { return "LOF"; }
+  const LofParams& params() const noexcept { return params_; }
+
+  /// LOF ignores (ε, δ): its accuracy is fixed by `rounds`.
+  EstimateOutcome estimate(rfid::ReaderContext& ctx,
+                           const Requirement& req) override;
+
+ private:
+  LofParams params_;
+};
+
+}  // namespace bfce::estimators

@@ -1,0 +1,57 @@
+#pragma once
+// MLE — maximum-likelihood estimation over multiple frames, in the
+// spirit of Li, Wu, Chen & Yang's energy-efficient estimator
+// (INFOCOM 2010).
+//
+// The reader runs a schedule of persistence-p_i ALOHA bit-frames; after
+// each frame it maximises the joint likelihood of every observed empty
+// count:
+//     e_i ~ Binomial(f, q_i(n)),   q_i(n) = e^{−p_i·n/f}
+//     L(n) = Σ_i [ e_i·ln q_i(n) + (f − e_i)·ln(1 − q_i(n)) ]
+// and then re-tunes p_{i+1} toward the variance-optimal load for the
+// current MLE. The likelihood is unimodal in n; we maximise by golden-
+// section search on ln n.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "estimators/estimator.hpp"
+
+namespace bfce::estimators {
+
+struct MleParams {
+  std::uint32_t frame_size = 512;
+  double lambda_target = 1.594;
+  std::uint32_t seed_bits = 32;
+  std::uint32_t size_bits = 16;
+  std::uint32_t max_rounds = 256;
+  double n_search_max = 5e8;  ///< upper bound of the likelihood search
+};
+
+class MleEstimator final : public CardinalityEstimator {
+ public:
+  MleEstimator() = default;
+  explicit MleEstimator(MleParams params) : params_(params) {}
+
+  std::string name() const override { return "MLE"; }
+  const MleParams& params() const noexcept { return params_; }
+
+  EstimateOutcome estimate(rfid::ReaderContext& ctx,
+                           const Requirement& req) override;
+
+  /// One frame's evidence: persistence used and empty slots observed.
+  struct FrameEvidence {
+    double p = 0.0;
+    std::uint32_t empties = 0;
+  };
+
+  /// Maximises the joint log-likelihood over n ∈ [1, n_max].
+  static double maximize_likelihood(const std::vector<FrameEvidence>& frames,
+                                    std::uint32_t frame_size, double n_max);
+
+ private:
+  MleParams params_;
+};
+
+}  // namespace bfce::estimators

@@ -1,0 +1,42 @@
+#pragma once
+// PET — Probabilistic Estimating Tree (Zheng & Li, TMC 2012), in its
+// O(log log n) binary-search formulation.
+//
+// Tags hash to a geometric level (level l with probability 2^-(l+1)).
+// A query at level l asks "any tag with level ≥ l?" and costs a single
+// bit-slot. The highest responding level L concentrates around log2(n),
+// so a binary search over levels finds L in O(log log n) slots, and
+//     n̂ = 1.2897 · 2^(L̄)
+// after averaging L over rounds (the same Flajolet–Martin correction as
+// LOF, but paid for with exponentially fewer slots per round).
+
+#include <cstdint>
+#include <string>
+
+#include "estimators/estimator.hpp"
+
+namespace bfce::estimators {
+
+struct PetParams {
+  std::uint32_t max_level = 40;  ///< supports n up to ~2^40
+  std::uint32_t rounds = 16;
+  std::uint32_t seed_bits = 32;
+  std::uint32_t level_bits = 6;  ///< level announcement width
+};
+
+class PetEstimator final : public CardinalityEstimator {
+ public:
+  PetEstimator() = default;
+  explicit PetEstimator(PetParams params) : params_(params) {}
+
+  std::string name() const override { return "PET"; }
+  const PetParams& params() const noexcept { return params_; }
+
+  EstimateOutcome estimate(rfid::ReaderContext& ctx,
+                           const Requirement& req) override;
+
+ private:
+  PetParams params_;
+};
+
+}  // namespace bfce::estimators

@@ -1,0 +1,41 @@
+#include "estimators/registry.hpp"
+
+#include "core/bfce.hpp"
+#include "estimators/a3.hpp"
+#include "estimators/art.hpp"
+#include "estimators/ezb.hpp"
+#include "estimators/fneb.hpp"
+#include "estimators/lof.hpp"
+#include "estimators/mle.hpp"
+#include "estimators/pet.hpp"
+#include "estimators/src_protocol.hpp"
+#include "estimators/upe.hpp"
+#include "estimators/zoe.hpp"
+
+namespace bfce::estimators {
+
+std::vector<std::string> estimator_names() {
+  return {"BFCE", "BFCE-avg", "ZOE", "SRC", "A3",  "LOF",
+          "UPE",  "EZB",      "FNEB", "ART", "MLE", "PET"};
+}
+
+std::unique_ptr<CardinalityEstimator> make_estimator(
+    const std::string& name) {
+  if (name == "BFCE") return std::make_unique<core::BfceEstimator>();
+  if (name == "BFCE-avg") {
+    return std::make_unique<core::AveragedBfceEstimator>();
+  }
+  if (name == "ZOE") return std::make_unique<ZoeEstimator>();
+  if (name == "SRC") return std::make_unique<SrcEstimator>();
+  if (name == "A3") return std::make_unique<A3Estimator>();
+  if (name == "LOF") return std::make_unique<LofEstimator>();
+  if (name == "UPE") return std::make_unique<UpeEstimator>();
+  if (name == "EZB") return std::make_unique<EzbEstimator>();
+  if (name == "FNEB") return std::make_unique<FnebEstimator>();
+  if (name == "ART") return std::make_unique<ArtEstimator>();
+  if (name == "MLE") return std::make_unique<MleEstimator>();
+  if (name == "PET") return std::make_unique<PetEstimator>();
+  return nullptr;
+}
+
+}  // namespace bfce::estimators

@@ -1,0 +1,21 @@
+#pragma once
+// Name-based construction of every estimator in the library.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "estimators/estimator.hpp"
+
+namespace bfce::estimators {
+
+/// Names accepted by make_estimator, in a stable presentation order.
+/// "BFCE" is included (constructed with its default paper parameters).
+std::vector<std::string> estimator_names();
+
+/// Constructs an estimator by name with default parameters; returns
+/// nullptr for an unknown name. Accepted: BFCE, BFCE-avg, ZOE, SRC, A3,
+/// LOF, UPE, EZB, FNEB, ART, MLE, PET.
+std::unique_ptr<CardinalityEstimator> make_estimator(const std::string& name);
+
+}  // namespace bfce::estimators

@@ -1,0 +1,47 @@
+#pragma once
+// UPE — Unified Probabilistic Estimator (Kodialam & Nandagopal,
+// MobiCom 2006).
+//
+// The first framed-slotted-ALOHA estimator: the reader distinguishes
+// empty, singleton and collision slots (which needs ~10-bit slots rather
+// than 1-bit bit-slots) and inverts the expected collision count
+//
+//     E[collisions] = f·(1 − (1+λ)·e^{−λ}),   λ = n·p/f
+//
+// numerically. A magnitude pilot picks p so the load sits near the
+// design point; the frame size carries the (ε, δ) burden.
+
+#include <cstdint>
+#include <string>
+
+#include "estimators/estimator.hpp"
+
+namespace bfce::estimators {
+
+struct UpeParams {
+  double lambda_target = 1.594;  ///< design load for the measurement frame
+  std::uint32_t slot_bits = 10;  ///< slot width: type detection needs >1 bit
+  std::uint32_t seed_bits = 32;
+  std::uint32_t size_bits = 16;
+  std::uint32_t max_frame = 1u << 16;  ///< cap on the measurement frame
+};
+
+class UpeEstimator final : public CardinalityEstimator {
+ public:
+  UpeEstimator() = default;
+  explicit UpeEstimator(UpeParams params) : params_(params) {}
+
+  std::string name() const override { return "UPE"; }
+  const UpeParams& params() const noexcept { return params_; }
+
+  EstimateOutcome estimate(rfid::ReaderContext& ctx,
+                           const Requirement& req) override;
+
+  /// Inverts c = 1 − (1+λ)e^{−λ} for λ ∈ (0, ∞); c in (0, 1).
+  static double invert_collision_ratio(double c);
+
+ private:
+  UpeParams params_;
+};
+
+}  // namespace bfce::estimators

@@ -1,0 +1,32 @@
+#pragma once
+// 64-bit mixing primitives shared by the hash families.
+
+#include <cstdint>
+
+namespace bfce::hash {
+
+/// MurmurHash3 fmix64 finaliser — full-avalanche 64-bit mixer.
+constexpr std::uint64_t fmix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// splitmix64 finaliser — a second independent mixer, used where two
+/// decorrelated mixes of the same key are needed.
+constexpr std::uint64_t smix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines a key with a seed into a mixed 64-bit value.
+constexpr std::uint64_t mix_with_seed(std::uint64_t key,
+                                      std::uint64_t seed) noexcept {
+  return fmix64(key ^ smix64(seed ^ 0x9E3779B97F4A7C15ULL));
+}
+
+}  // namespace bfce::hash

@@ -1,0 +1,54 @@
+#pragma once
+// Tag-side realisations of the persistence probability p.
+//
+// The analysis (Theorem 1) models each tag answering in each selected slot
+// as an independent Bernoulli(p) trial. Real C1G2 tags have no RNG, so the
+// paper's §IV-E.3 realises p from the tag's prestored random number: the
+// reader broadcasts the numerator p_n of p = p_n/1024 and the tag compares
+// 10 bits "randomly selected" from RN against p_n − 1.
+//
+// The paper does not say how the 10-bit selection varies between slots; a
+// fixed selection would freeze the responding subpopulation. We concretise
+// it as a rotating window over a remixed RN, indexed by (slot, seed), and
+// keep the idealised Bernoulli mode as the analysis reference. Tests check
+// that both satisfy Theorem 1's marginal statistics.
+
+#include <cstdint>
+
+#include "hash/mix.hpp"
+
+namespace bfce::hash {
+
+/// How tags realise the persistence probability.
+enum class PersistenceMode {
+  /// Independent Bernoulli(p) per (tag, slot) — the analysis model.
+  kIdealBernoulli,
+  /// One Bernoulli(p) draw per tag per frame, shared by its k slots
+  /// (what a naive "compare RN once" implementation would do).
+  kSharedDraw,
+  /// The paper's scheme with our rotating-window concretisation: 10 bits
+  /// extracted from a remix of RN at an offset derived from (slot, seed),
+  /// compared against p_n − 1.
+  kRnBits,
+};
+
+/// Decision function for PersistenceMode::kRnBits.
+///
+/// `p_n` is the broadcast numerator of p = p_n/1024 (1 ≤ p_n ≤ 1023).
+/// Responds iff the selected 10-bit value < p_n (i.e. value ≤ p_n − 1),
+/// which makes the response probability exactly p_n/1024 when the
+/// selected bits are uniform.
+constexpr bool rn_bits_respond(std::uint32_t rn, std::uint32_t slot,
+                               std::uint32_t seed,
+                               std::uint32_t p_n) noexcept {
+  // Remix RN with the (slot, seed) pair so that consecutive slots read
+  // decorrelated 10-bit windows; the tag-side cost is still a couple of
+  // shift/xor/multiply steps, in the same spirit as the paper's bitget.
+  const std::uint64_t mixed =
+      fmix64((static_cast<std::uint64_t>(rn) << 32) ^
+             (static_cast<std::uint64_t>(seed) << 10) ^ slot);
+  const auto ten_bits = static_cast<std::uint32_t>(mixed & 0x3FFU);
+  return ten_bits < p_n;
+}
+
+}  // namespace bfce::hash

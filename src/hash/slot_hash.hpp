@@ -1,0 +1,89 @@
+#pragma once
+// Slot-selection hash families used by the estimation protocols.
+//
+// Two families are provided:
+//
+//  * IdealSlotHash — a full-avalanche seeded hash of the tagID, the
+//    "uniform hash function" assumed by every analysis in the paper.
+//  * LightweightSlotHash — the paper's §IV-E.2 tag-side scheme:
+//    H(id) = bitget(RN ⊕ RS[i], 13:1) where RN is a 32-bit random number
+//    prestored on the tag at manufacture time and RS[i] is a broadcast
+//    seed. Costs one XOR + mask on the tag, but makes the k slot choices
+//    of different tags mutually rigid (H1(t) ⊕ H2(t) is the same for all
+//    t) — see DESIGN.md; the ablation bench quantifies the impact.
+
+#include <cstdint>
+
+#include "hash/mix.hpp"
+
+namespace bfce::hash {
+
+/// Uniform seeded hash of a tagID into [0, w).
+///
+/// `w` need not be a power of two; mapping uses the high-entropy
+/// multiply-shift reduction rather than modulo.
+class IdealSlotHash {
+ public:
+  explicit constexpr IdealSlotHash(std::uint64_t seed) noexcept
+      : seed_(seed) {}
+
+  constexpr std::uint32_t slot(std::uint64_t tag_id,
+                               std::uint32_t w) const noexcept {
+    const std::uint64_t h = mix_with_seed(tag_id, seed_);
+    return static_cast<std::uint32_t>(
+        (static_cast<__uint128_t>(h) * w) >> 64);
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// The paper's lightweight XOR + bitget hash.
+///
+/// Operates on the tag's prestored 32-bit random number RN, not on the
+/// tagID itself (the tagID only determines which RN was burned into the
+/// tag). Requires w to be a power of two ≤ 2^32; the paper uses w = 8192
+/// (13 bits).
+class LightweightSlotHash {
+ public:
+  explicit constexpr LightweightSlotHash(std::uint32_t seed) noexcept
+      : seed_(seed) {}
+
+  /// bitget(RN ⊕ RS, log2(w) : 1) — the lowest log2(w) bits of the XOR.
+  constexpr std::uint32_t slot(std::uint32_t rn,
+                               std::uint32_t w_pow2) const noexcept {
+    return (rn ^ seed_) & (w_pow2 - 1);
+  }
+
+ private:
+  std::uint32_t seed_;
+};
+
+/// Geometric (leading-zero) hash used by LOF-style lottery frames: slot j
+/// is chosen with probability 2^-(j+1), clamped to the last frame slot.
+///
+/// Implemented as the count of leading zeros of a seeded uniform hash,
+/// which is geometrically distributed with p = 1/2.
+class GeometricSlotHash {
+ public:
+  explicit constexpr GeometricSlotHash(std::uint64_t seed) noexcept
+      : seed_(seed) {}
+
+  constexpr std::uint32_t slot(std::uint64_t tag_id,
+                               std::uint32_t frame_size) const noexcept {
+    const std::uint64_t h = mix_with_seed(tag_id, seed_);
+    std::uint32_t zeros = 0;
+    // countl_zero is not constexpr-friendly across all our toolchains for
+    // the masked case; a loop over at most 64 bits keeps this constexpr.
+    for (std::uint64_t bit = 1ULL << 63; bit != 0 && (h & bit) == 0;
+         bit >>= 1) {
+      ++zeros;
+    }
+    return zeros < frame_size - 1 ? zeros : frame_size - 1;
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace bfce::hash

@@ -1,0 +1,36 @@
+#pragma once
+// The C1G2 Q algorithm (dynamic framed slotted ALOHA, standard §6.3.2.9).
+//
+// The reader announces a frame of 2^Q slots; every unidentified tag
+// draws a slot. Singleton slots complete the RN16/ACK/EPC exchange and
+// retire the tag; after each frame the floating-point shadow Qfp moves
+// up on collisions and down on empties (step C), tracking the optimum
+// Q ≈ log2(remaining). Rounds repeat until every tag is read.
+
+#include "identification/identification.hpp"
+
+namespace bfce::identification {
+
+struct QProtocolParams {
+  std::uint32_t q_initial = 4;
+  double c_step = 0.3;        ///< Qfp adjustment step (standard: 0.1-0.5)
+  std::uint32_t q_max = 15;
+  InventoryCosts costs{};
+  std::uint32_t max_frames = 100000;  ///< safety valve
+};
+
+class QProtocol final : public IdentificationProtocol {
+ public:
+  QProtocol() = default;
+  explicit QProtocol(QProtocolParams params) : params_(params) {}
+
+  std::string name() const override { return "C1G2-Q"; }
+  const QProtocolParams& params() const noexcept { return params_; }
+
+  IdentificationOutcome identify(rfid::ReaderContext& ctx) override;
+
+ private:
+  QProtocolParams params_;
+};
+
+}  // namespace bfce::identification

@@ -1,0 +1,76 @@
+#include "identification/treewalk.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace bfce::identification {
+
+namespace {
+
+/// Iterative DFS over the ID trie using a sorted ID array: a node is a
+/// (depth, [lo, hi)) range of IDs sharing a prefix. Identical in queries
+/// and costs to the over-the-air walk, but O(n log n) to simulate.
+struct Node {
+  std::uint32_t depth;
+  std::size_t lo;
+  std::size_t hi;
+};
+
+}  // namespace
+
+IdentificationOutcome TreeWalk::identify(rfid::ReaderContext& ctx) {
+  IdentificationOutcome out;
+  const InventoryCosts& cost = params_.costs;
+
+  std::vector<std::uint64_t> ids;
+  ids.reserve(ctx.tags().size());
+  for (const rfid::Tag& t : ctx.tags().tags()) ids.push_back(t.id);
+  std::sort(ids.begin(), ids.end());
+
+  std::vector<Node> stack;
+  stack.push_back(Node{0, 0, ids.size()});
+  while (!stack.empty()) {
+    const Node node = stack.back();
+    stack.pop_back();
+    const std::size_t count = node.hi - node.lo;
+
+    // One query: command overhead + the prefix bits walked so far.
+    out.airtime.add_reader_broadcast(cost.query_bits + node.depth);
+    ++out.total_slots;
+
+    if (count == 0) {
+      ++out.empty_slots;
+      out.airtime.intervals += 1;  // silence timeout
+      continue;
+    }
+    if (count == 1 || node.depth >= params_.id_bits) {
+      // Singleton (or exhausted prefix): read the EPC.
+      ++out.singleton_slots;
+      out.airtime.add_tag_slots(cost.epc_bits);
+      out.identified += count;
+      continue;
+    }
+    ++out.collision_slots;
+    out.airtime.add_tag_slots(cost.rn16_bits);  // colliding burst
+
+    // Split the range by the next prefix bit (IDs are sorted, so the
+    // boundary is a binary search on that bit).
+    const std::uint32_t bit_index = params_.id_bits - 1 - node.depth;
+    const std::uint64_t bit_mask = 1ULL << bit_index;
+    const auto mid = std::partition_point(
+        ids.begin() + static_cast<long>(node.lo),
+        ids.begin() + static_cast<long>(node.hi),
+        [bit_mask](std::uint64_t id) { return (id & bit_mask) == 0; });
+    const auto mid_index =
+        static_cast<std::size_t>(mid - ids.begin());
+    // Push right child first so the left (0) branch is walked first,
+    // matching the over-the-air order.
+    stack.push_back(Node{node.depth + 1, mid_index, node.hi});
+    stack.push_back(Node{node.depth + 1, node.lo, mid_index});
+  }
+
+  out.time_us = out.airtime.total_us(ctx.timing());
+  return out;
+}
+
+}  // namespace bfce::identification

@@ -1,0 +1,33 @@
+#pragma once
+// Binary tree walking — the deterministic identification family.
+//
+// The reader queries an ID prefix; tags whose ID starts with it
+// backscatter. Collisions split the prefix into its two children;
+// singleton responses read the tag; silence prunes the subtree. Every
+// tag is identified after visiting the trie of its IDs — ~2.9 queries
+// per tag on random IDs, each query carrying the (growing) prefix.
+
+#include "identification/identification.hpp"
+
+namespace bfce::identification {
+
+struct TreeWalkParams {
+  std::uint32_t id_bits = 50;  ///< 10^15 < 2^50: the paper's ID space
+  InventoryCosts costs{};
+};
+
+class TreeWalk final : public IdentificationProtocol {
+ public:
+  TreeWalk() = default;
+  explicit TreeWalk(TreeWalkParams params) : params_(params) {}
+
+  std::string name() const override { return "TreeWalk"; }
+  const TreeWalkParams& params() const noexcept { return params_; }
+
+  IdentificationOutcome identify(rfid::ReaderContext& ctx) override;
+
+ private:
+  TreeWalkParams params_;
+};
+
+}  // namespace bfce::identification

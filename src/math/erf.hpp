@@ -1,0 +1,28 @@
+#pragma once
+// Inverse error function and the confidence constant d(δ) from Theorem 3.
+//
+// The standard library provides erf but not erfinv; BFCE needs
+// d = √2 · erfinv(1 − δ) to translate an error probability δ into a CLT
+// z-score (Pr{−d ≤ Y ≤ d} = 1 − δ for standard normal Y).
+
+namespace bfce::math {
+
+/// Inverse of std::erf on (−1, 1).
+///
+/// Implementation: Mike Giles' single-precision-style rational initial
+/// guess extended with two Newton iterations against std::erf, giving
+/// ~1e-15 relative accuracy across the domain. Returns ±infinity at ±1 and
+/// NaN outside [−1, 1].
+double erfinv(double x);
+
+/// The constant d of Theorem 3: d = √2 · erfinv(1 − δ).
+///
+/// δ is the allowed error probability; e.g. δ = 0.05 → d ≈ 1.95996.
+/// Precondition: 0 < δ < 1.
+double confidence_d(double delta);
+
+/// Standard normal CDF Φ(x); used by tests to validate confidence_d and by
+/// the KS helper.
+double normal_cdf(double x);
+
+}  // namespace bfce::math

@@ -1,0 +1,151 @@
+#include "math/hypothesis.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "math/erf.hpp"
+
+namespace bfce::math {
+
+double chi_square_uniform(const std::vector<std::size_t>& observed) {
+  assert(!observed.empty());
+  std::size_t total = 0;
+  for (const std::size_t c : observed) total += c;
+  assert(total > 0);
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(observed.size());
+  double stat = 0.0;
+  for (const std::size_t c : observed) {
+    const double diff = static_cast<double>(c) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+double chi_square_pvalue(double statistic, std::size_t dof) {
+  if (dof == 0) return 1.0;
+  const double k = static_cast<double>(dof);
+  // Wilson–Hilferty: (X/k)^(1/3) is approximately normal with mean
+  // 1 − 2/(9k) and variance 2/(9k).
+  const double z = (std::cbrt(statistic / k) - (1.0 - 2.0 / (9.0 * k))) /
+                   std::sqrt(2.0 / (9.0 * k));
+  return 1.0 - normal_cdf(z);
+}
+
+double ks_statistic(std::vector<double> a, std::vector<double> b) {
+  assert(!a.empty() && !b.empty());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  double d = 0.0;
+  while (ia < a.size() && ib < b.size()) {
+    const double x = std::min(a[ia], b[ib]);
+    while (ia < a.size() && a[ia] <= x) ++ia;
+    while (ib < b.size() && b[ib] <= x) ++ib;
+    d = std::max(d, std::fabs(static_cast<double>(ia) / na -
+                              static_cast<double>(ib) / nb));
+  }
+  return d;
+}
+
+double ks_pvalue(double statistic, std::size_t na, std::size_t nb) {
+  const double n_eff = static_cast<double>(na) * static_cast<double>(nb) /
+                       static_cast<double>(na + nb);
+  const double lambda =
+      (std::sqrt(n_eff) + 0.12 + 0.11 / std::sqrt(n_eff)) * statistic;
+  // Kolmogorov tail series; converges in a handful of terms.
+  double p = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * lambda * lambda * j * j);
+    p += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * p, 0.0, 1.0);
+}
+
+double ks_normality_pvalue(std::vector<double> samples) {
+  assert(samples.size() >= 8);
+  std::sort(samples.begin(), samples.end());
+  double mean = 0.0;
+  for (const double x : samples) mean += x;
+  mean /= static_cast<double>(samples.size());
+  double var = 0.0;
+  for (const double x : samples) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(samples.size() - 1);
+  const double sd = std::sqrt(var);
+  if (sd <= 0.0) return 0.0;  // constant data is certainly not normal
+
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double cdf = normal_cdf((samples[i] - mean) / sd);
+    const double above = static_cast<double>(i + 1) / n - cdf;
+    const double below = cdf - static_cast<double>(i) / n;
+    d = std::max(d, std::max(above, below));
+  }
+  // One-sample Kolmogorov tail (same series as the two-sample case with
+  // n_eff = n).
+  const double lambda = (std::sqrt(n) + 0.12 + 0.11 / std::sqrt(n)) * d;
+  double p = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * lambda * lambda * j * j);
+    p += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * p, 0.0, 1.0);
+}
+
+double binomial_upper_tail(std::size_t m, std::size_t k, double p) {
+  if (k == 0) return 1.0;
+  if (k > m) return 0.0;
+  const double logp = std::log(p);
+  const double logq = std::log1p(-p);
+  double tail = 0.0;
+  for (std::size_t i = k; i <= m; ++i) {
+    const double log_choose = std::lgamma(static_cast<double>(m) + 1.0) -
+                              std::lgamma(static_cast<double>(i) + 1.0) -
+                              std::lgamma(static_cast<double>(m - i) + 1.0);
+    tail += std::exp(log_choose + static_cast<double>(i) * logp +
+                     static_cast<double>(m - i) * logq);
+  }
+  return std::min(tail, 1.0);
+}
+
+ProportionInterval wilson_interval(std::size_t successes,
+                                   std::size_t trials, double confidence) {
+  if (trials == 0) return ProportionInterval{};
+  const double z = confidence_d(1.0 - confidence);
+  const double n = static_cast<double>(trials);
+  const double p_hat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = (p_hat + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n)) / denom;
+  ProportionInterval ci;
+  // Snap the exact boundary cases (p̂ ∈ {0,1}) to their closed ends —
+  // the algebra otherwise leaves ±1e-17 residue.
+  ci.lo = successes == 0 ? 0.0 : std::max(0.0, centre - half);
+  ci.hi = successes == trials ? 1.0 : std::min(1.0, centre + half);
+  return ci;
+}
+
+std::size_t src_round_count(double delta, double per_round_success) {
+  // Odd m only: the median of an odd number of rounds is well defined, and
+  // the paper's formula sums from (m+1)/2 which presumes odd m.
+  for (std::size_t m = 1; m <= 201; m += 2) {
+    const double ok = binomial_upper_tail(m, (m + 1) / 2, per_round_success);
+    if (ok >= 1.0 - delta) return m;
+  }
+  return 201;  // δ so tiny the paper's rule was never meant for it
+}
+
+}  // namespace bfce::math

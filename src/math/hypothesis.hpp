@@ -1,0 +1,54 @@
+#pragma once
+// Goodness-of-fit helpers used by tests (hash uniformity, frame-mode
+// equivalence) and by the SRC protocol's round-count rule.
+
+#include <cstddef>
+#include <vector>
+
+namespace bfce::math {
+
+/// Pearson chi-square statistic for observed counts against a uniform
+/// expectation. Precondition: total observed > 0, bins non-empty.
+double chi_square_uniform(const std::vector<std::size_t>& observed);
+
+/// Upper-tail p-value of the chi-square distribution via the Wilson–
+/// Hilferty normal approximation — accurate enough for pass/fail testing
+/// at the sample sizes we use (k ≥ 30 bins).
+double chi_square_pvalue(double statistic, std::size_t dof);
+
+/// Two-sample Kolmogorov–Smirnov statistic (max CDF distance).
+double ks_statistic(std::vector<double> a, std::vector<double> b);
+
+/// Asymptotic two-sample KS p-value (Kolmogorov distribution tail).
+double ks_pvalue(double statistic, std::size_t na, std::size_t nb);
+
+/// One-sample KS test of normality: standardises by the sample mean/sd
+/// and compares against Φ. Parameters are estimated from the data, so
+/// the returned p-value is conservative (Lilliefors effect) — fine for
+/// the "is the CLT kicking in" assertions the tests make.
+double ks_normality_pvalue(std::vector<double> samples);
+
+/// Binomial tail Pr{X ≥ k} for X ~ Binomial(m, p); computed in log space.
+double binomial_upper_tail(std::size_t m, std::size_t k, double p);
+
+/// SRC's repetition rule (quoted verbatim in the paper's §V-C): the
+/// smallest odd m such that the majority of m rounds — each independently
+/// correct with probability `per_round_success` (0.8 in the paper) — is
+/// correct with probability ≥ 1 − δ.
+std::size_t src_round_count(double delta, double per_round_success = 0.8);
+
+/// Wilson score interval for a binomial proportion.
+///
+/// The experiment summaries report empirical violation rates from a few
+/// dozen trials; the Wilson interval is what makes "0 violations in 25
+/// trials" honestly comparable against δ (it stays inside [0, 1] and
+/// does not collapse to a zero-width interval at p̂ ∈ {0, 1}).
+struct ProportionInterval {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+ProportionInterval wilson_interval(std::size_t successes,
+                                   std::size_t trials,
+                                   double confidence = 0.95);
+
+}  // namespace bfce::math

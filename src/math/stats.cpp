@@ -1,0 +1,97 @@
+#include "math/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bfce::math {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  RunningStats rs;
+  for (double x : samples) rs.add(x);
+  s.count = samples.size();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p25 = quantile_sorted(samples, 0.25);
+  s.median = quantile_sorted(samples, 0.50);
+  s.p75 = quantile_sorted(samples, 0.75);
+  s.p95 = quantile_sorted(samples, 0.95);
+  return s;
+}
+
+std::vector<std::pair<double, double>> empirical_cdf(
+    std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<std::pair<double, double>> cdf;
+  cdf.reserve(samples.size());
+  const auto n = static_cast<double>(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    cdf.emplace_back(samples[i], static_cast<double>(i + 1) / n);
+  }
+  return cdf;
+}
+
+double median(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  const std::size_t mid = samples.size() / 2;
+  std::nth_element(samples.begin(), samples.begin() + static_cast<long>(mid),
+                   samples.end());
+  double hi = samples[mid];
+  if (samples.size() % 2 == 1) return hi;
+  const auto lo =
+      *std::max_element(samples.begin(), samples.begin() + static_cast<long>(mid));
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace bfce::math

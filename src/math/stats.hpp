@@ -1,0 +1,62 @@
+#pragma once
+// Streaming and batch statistics used across the experiment harness.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace bfce::math {
+
+/// Welford streaming accumulator: mean/variance/min/max without storing
+/// samples. Numerically stable for the long Monte-Carlo sweeps.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Merges another accumulator (parallel reduction step).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes the batch summary (copies and sorts internally).
+Summary summarize(std::vector<double> samples);
+
+/// Linear-interpolation quantile of a *sorted* sample, q in [0, 1].
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// Empirical CDF evaluated at the sample points: returns (x_i, i/n) pairs
+/// for the sorted sample — exactly what Fig 8 plots.
+std::vector<std::pair<double, double>> empirical_cdf(
+    std::vector<double> samples);
+
+/// Median of a sample (used by SRC's majority-vote aggregation).
+double median(std::vector<double> samples);
+
+}  // namespace bfce::math

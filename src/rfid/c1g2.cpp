@@ -1,0 +1,10 @@
+#include "rfid/c1g2.hpp"
+
+namespace bfce::rfid {
+
+C1g2Link paper_link() noexcept {
+  // The defaults of C1g2Link are the paper's parameters.
+  return C1g2Link{};
+}
+
+}  // namespace bfce::rfid

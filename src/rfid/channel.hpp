@@ -1,0 +1,75 @@
+#pragma once
+// The physical channel as the reader perceives it.
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace bfce::rfid {
+
+/// What the reader senses in one slot.
+///
+/// Bit-slot protocols (BFCE, ZOE, EZB, LOF, FNEB) only distinguish
+/// idle/busy; slotted-ALOHA estimators (UPE) additionally resolve
+/// single-reply slots from collisions.
+enum class SlotState : std::uint8_t {
+  kIdle = 0,
+  kSingle = 1,
+  kCollision = 2,
+};
+
+/// True if the reader senses energy in the slot.
+constexpr bool is_busy(SlotState s) noexcept { return s != SlotState::kIdle; }
+
+/// Channel error model.
+///
+/// The paper assumes a perfect channel; the error rates are an extension
+/// (DESIGN.md §6) used by robustness tests and the ablation bench.
+/// `false_busy_rate` is the probability that an idle slot is sensed busy
+/// (ambient interference); `false_idle_rate` is the probability that a
+/// busy slot is sensed idle (deep fade of every replier).
+struct ChannelModel {
+  double false_busy_rate = 0.0;
+  double false_idle_rate = 0.0;
+
+  constexpr bool perfect() const noexcept {
+    return false_busy_rate == 0.0 && false_idle_rate == 0.0;
+  }
+};
+
+/// Maps the number of simultaneous repliers in a slot to what the reader
+/// senses, applying the error model.
+class Channel {
+ public:
+  Channel() = default;
+  explicit Channel(ChannelModel model) noexcept : model_(model) {}
+
+  const ChannelModel& model() const noexcept { return model_; }
+
+  /// Observes a slot with `repliers` simultaneous 1-bit transmissions.
+  SlotState observe(std::uint32_t repliers,
+                    util::Xoshiro256ss& rng) const noexcept {
+    SlotState truth = repliers == 0   ? SlotState::kIdle
+                      : repliers == 1 ? SlotState::kSingle
+                                      : SlotState::kCollision;
+    if (model_.perfect()) return truth;
+    if (truth == SlotState::kIdle) {
+      if (model_.false_busy_rate > 0.0 &&
+          rng.bernoulli(model_.false_busy_rate)) {
+        // Interference is indistinguishable from a collision burst.
+        return SlotState::kCollision;
+      }
+      return SlotState::kIdle;
+    }
+    if (model_.false_idle_rate > 0.0 &&
+        rng.bernoulli(model_.false_idle_rate)) {
+      return SlotState::kIdle;
+    }
+    return truth;
+  }
+
+ private:
+  ChannelModel model_;
+};
+
+}  // namespace bfce::rfid

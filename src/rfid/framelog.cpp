@@ -1,0 +1,81 @@
+#include "rfid/framelog.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+namespace bfce::rfid {
+
+std::string to_string(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kProbe:
+      return "probe";
+    case FrameKind::kBloomRough:
+      return "bloom-rough";
+    case FrameKind::kBloomAccurate:
+      return "bloom-accurate";
+    case FrameKind::kSingleSlot:
+      return "single-slot";
+    case FrameKind::kAloha:
+      return "aloha";
+    case FrameKind::kLottery:
+      return "lottery";
+    case FrameKind::kOther:
+      break;
+  }
+  return "other";
+}
+
+std::size_t FrameLog::count(FrameKind kind) const noexcept {
+  std::size_t total = 0;
+  for (const FrameRecord& r : records_) {
+    if (r.kind == kind) ++total;
+  }
+  return total;
+}
+
+double FrameLog::total_duration_us() const noexcept {
+  double total = 0.0;
+  for (const FrameRecord& r : records_) total += r.duration_us;
+  return total;
+}
+
+void FrameLog::render_timeline(std::ostream& os, std::uint32_t width) const {
+  const double total = total_duration_us();
+  if (total <= 0.0 || records_.empty()) {
+    os << "(empty frame log)\n";
+    return;
+  }
+  // Aggregate per kind, preserving first-appearance order.
+  struct Row {
+    FrameKind kind;
+    std::size_t frames = 0;
+    double us = 0.0;
+  };
+  std::vector<Row> rows;
+  for (const FrameRecord& r : records_) {
+    auto it = std::find_if(rows.begin(), rows.end(), [&](const Row& row) {
+      return row.kind == r.kind;
+    });
+    if (it == rows.end()) {
+      rows.push_back(Row{r.kind, 0, 0.0});
+      it = rows.end() - 1;
+    }
+    ++it->frames;
+    it->us += r.duration_us;
+  }
+  for (const Row& row : rows) {
+    const double share = row.us / total;
+    const auto bar =
+        static_cast<std::uint32_t>(share * width + 0.5);
+    char line[256];
+    std::snprintf(line, sizeof line, "%-14s %6zu frames %9.1f ms  |",
+                  to_string(row.kind).c_str(), row.frames, row.us / 1e3);
+    os << line;
+    for (std::uint32_t i = 0; i < bar; ++i) os << '#';
+    std::snprintf(line, sizeof line, "| %4.1f%%\n", share * 100.0);
+    os << line;
+  }
+}
+
+}  // namespace bfce::rfid

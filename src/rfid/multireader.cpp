@@ -1,0 +1,108 @@
+#include "rfid/multireader.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hash/mix.hpp"
+
+namespace bfce::rfid {
+
+TagPosition tag_position(const Tag& tag) noexcept {
+  // Two decorrelated mixes of the tagID give the coordinates; positions
+  // are a pure function of the ID so every subsystem agrees on them.
+  const std::uint64_t hx = hash::mix_with_seed(tag.id, 0xA11CE);
+  const std::uint64_t hy = hash::mix_with_seed(tag.id, 0xB0B5);
+  return TagPosition{
+      static_cast<double>(hx >> 11) * 0x1.0p-53,
+      static_cast<double>(hy >> 11) * 0x1.0p-53,
+  };
+}
+
+namespace {
+
+bool covers(const ReaderPlacement& r, const TagPosition& p) noexcept {
+  const double dx = r.x - p.x;
+  const double dy = r.y - p.y;
+  return dx * dx + dy * dy <= r.radius * r.radius;
+}
+
+}  // namespace
+
+MultiReaderSystem::MultiReaderSystem(const TagPopulation& tags,
+                                     std::vector<ReaderPlacement> readers)
+    : readers_(std::move(readers)) {
+  std::vector<std::vector<Tag>> per_reader(readers_.size());
+  std::vector<Tag> covered_union;
+  for (const Tag& tag : tags.tags()) {
+    const TagPosition pos = tag_position(tag);
+    std::size_t hits = 0;
+    for (std::size_t r = 0; r < readers_.size(); ++r) {
+      if (covers(readers_[r], pos)) {
+        per_reader[r].push_back(tag);
+        ++hits;
+      }
+    }
+    if (hits == 0) {
+      ++uncovered_;
+    } else {
+      covered_union.push_back(tag);
+      if (hits >= 2) ++overlap_;
+    }
+  }
+  per_reader_.reserve(per_reader.size());
+  for (auto& v : per_reader) per_reader_.emplace_back(std::move(v));
+  union_ = TagPopulation(std::move(covered_union));
+}
+
+std::size_t MultiReaderSystem::naive_sum() const noexcept {
+  std::size_t total = 0;
+  for (const TagPopulation& p : per_reader_) total += p.size();
+  return total;
+}
+
+std::vector<std::uint32_t> MultiReaderSystem::interference_schedule() const {
+  const std::size_t r = readers_.size();
+  std::vector<std::uint32_t> colour(r, 0);
+  // Greedy colouring in index order: small, and optimal on interval-like
+  // grid layouts. Conflict = discs overlap (centres closer than the sum
+  // of radii).
+  for (std::size_t i = 0; i < r; ++i) {
+    std::vector<bool> used(r, false);
+    for (std::size_t j = 0; j < i; ++j) {
+      const double dx = readers_[i].x - readers_[j].x;
+      const double dy = readers_[i].y - readers_[j].y;
+      const double reach = readers_[i].radius + readers_[j].radius;
+      if (dx * dx + dy * dy < reach * reach) used[colour[j]] = true;
+    }
+    std::uint32_t c = 0;
+    while (used[c]) ++c;
+    colour[i] = c;
+  }
+  return colour;
+}
+
+std::uint32_t MultiReaderSystem::schedule_rounds() const {
+  const auto colours = interference_schedule();
+  std::uint32_t max_colour = 0;
+  for (const std::uint32_t c : colours) max_colour = std::max(max_colour, c);
+  return colours.empty() ? 0 : max_colour + 1;
+}
+
+std::vector<ReaderPlacement> MultiReaderSystem::grid(std::size_t count,
+                                                     double radius) {
+  std::vector<ReaderPlacement> placements;
+  placements.reserve(count);
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(count))));
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t row = i / side;
+    const std::size_t col = i % side;
+    placements.push_back(ReaderPlacement{
+        (static_cast<double>(col) + 0.5) / static_cast<double>(side),
+        (static_cast<double>(row) + 0.5) / static_cast<double>(side),
+        radius});
+  }
+  return placements;
+}
+
+}  // namespace bfce::rfid

@@ -1,0 +1,93 @@
+#pragma once
+// Multi-reader deployments.
+//
+// §III-A of the paper: readers are wired to a back-end server that
+// coordinates and synchronises them, so multiple readers "can be
+// logically considered as one reader" (following ZOE). This module
+// makes that concrete: tags live on a unit floor, each reader covers a
+// disc, and the back-end materialises the *union* population that the
+// logical reader estimates against.
+//
+// It also exposes the per-reader sub-populations so benches and
+// examples can demonstrate the classic multi-reader pitfall (cited in
+// the paper's related work, Shah-Mansouri & Wong): summing independent
+// per-reader estimates double-counts tags in overlap regions.
+
+#include <cstdint>
+#include <vector>
+
+#include "rfid/population.hpp"
+
+namespace bfce::rfid {
+
+/// A reader's position and range on the unit floor [0,1]².
+struct ReaderPlacement {
+  double x = 0.5;
+  double y = 0.5;
+  double radius = 0.3;
+};
+
+/// Deterministic tag position derived from the tagID (uniform over the
+/// floor; the same tag always sits at the same spot).
+struct TagPosition {
+  double x;
+  double y;
+};
+TagPosition tag_position(const Tag& tag) noexcept;
+
+/// A deployment of synchronised readers over one tag population.
+class MultiReaderSystem {
+ public:
+  MultiReaderSystem(const TagPopulation& tags,
+                    std::vector<ReaderPlacement> readers);
+
+  std::size_t reader_count() const noexcept { return readers_.size(); }
+  const std::vector<ReaderPlacement>& readers() const noexcept {
+    return readers_;
+  }
+
+  /// Tags covered by reader `r` alone (what that reader would inventory
+  /// if it ran un-coordinated).
+  const TagPopulation& reader_population(std::size_t r) const {
+    return per_reader_[r];
+  }
+
+  /// Tags covered by at least one reader — the back-end's logical-reader
+  /// view, i.e. what §III-A's synchronised system estimates.
+  const TagPopulation& union_population() const noexcept { return union_; }
+
+  /// Tags covered by two or more readers (the double-counting mass).
+  std::size_t overlap_count() const noexcept { return overlap_; }
+
+  /// Tags covered by no reader (blind spots).
+  std::size_t uncovered_count() const noexcept { return uncovered_; }
+
+  /// Sum of per-reader coverage sizes: what naive per-reader estimation
+  /// would add up to (union + double counting).
+  std::size_t naive_sum() const noexcept;
+
+  /// Lays `count` readers on a √count × √count grid with the given
+  /// radius — a convenient dense deployment.
+  static std::vector<ReaderPlacement> grid(std::size_t count, double radius);
+
+  /// Reader-collision schedule: two readers whose discs overlap cannot
+  /// interrogate simultaneously (reader-to-reader interference), so the
+  /// back-end activates them in rounds. Returns a greedy colouring of
+  /// the interference graph — readers[i] runs in round colours[i] — and
+  /// the floor's total estimation time is (max colour + 1) × the
+  /// per-reader protocol time.
+  std::vector<std::uint32_t> interference_schedule() const;
+
+  /// Number of rounds the schedule needs (max colour + 1; 0 if no
+  /// readers).
+  std::uint32_t schedule_rounds() const;
+
+ private:
+  std::vector<ReaderPlacement> readers_;
+  std::vector<TagPopulation> per_reader_;
+  TagPopulation union_;
+  std::size_t overlap_ = 0;
+  std::size_t uncovered_ = 0;
+};
+
+}  // namespace bfce::rfid

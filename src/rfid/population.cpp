@@ -1,0 +1,73 @@
+#include "rfid/population.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace bfce::rfid {
+
+namespace {
+
+constexpr std::uint64_t kIdMin = 1;
+constexpr std::uint64_t kIdMax = 1000000000000000ULL;  // 10^15
+
+std::uint64_t draw_id(TagIdDistribution dist, util::Xoshiro256ss& rng) {
+  const auto span = static_cast<double>(kIdMax - kIdMin);
+  switch (dist) {
+    case TagIdDistribution::kT1Uniform:
+      return rng.between(kIdMin, kIdMax);
+    case TagIdDistribution::kT2ApproxNormal: {
+      // Irwin–Hall with 3 addends: bell-shaped but visibly non-Gaussian
+      // in the tails — the paper's "approximate normal distribution".
+      const double u = (rng.uniform() + rng.uniform() + rng.uniform()) / 3.0;
+      return kIdMin + static_cast<std::uint64_t>(u * span);
+    }
+    case TagIdDistribution::kT3Normal: {
+      // Box–Muller; mean mid-range, σ = range/8, clipped into range.
+      const double u1 = rng.uniform();
+      const double u2 = rng.uniform();
+      const double z = std::sqrt(-2.0 * std::log(u1 + 1e-300)) *
+                       std::cos(6.283185307179586 * u2);
+      double v = 0.5 * span + z * (span / 8.0);
+      if (v < 0.0) v = 0.0;
+      if (v > span) v = span;
+      return kIdMin + static_cast<std::uint64_t>(v);
+    }
+  }
+  return kIdMin;
+}
+
+}  // namespace
+
+std::string to_string(TagIdDistribution dist) {
+  switch (dist) {
+    case TagIdDistribution::kT1Uniform:
+      return "T1";
+    case TagIdDistribution::kT2ApproxNormal:
+      return "T2";
+    case TagIdDistribution::kT3Normal:
+      return "T3";
+  }
+  return "?";
+}
+
+TagPopulation make_population(std::size_t n, TagIdDistribution dist,
+                              std::uint64_t seed) {
+  util::Xoshiro256ss rng(util::derive_seed(seed, 0xBADC0FFEE0DDF00DULL));
+  std::vector<Tag> tags;
+  tags.reserve(n);
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(n * 2);
+  while (tags.size() < n) {
+    const std::uint64_t id = draw_id(dist, rng);
+    if (!used.insert(id).second) continue;  // duplicate tagID — redraw
+    Tag tag;
+    tag.id = id;
+    tag.rn = static_cast<std::uint32_t>(rng());  // manufacture-time RN32
+    tags.push_back(tag);
+  }
+  return TagPopulation(std::move(tags));
+}
+
+}  // namespace bfce::rfid

@@ -1,0 +1,52 @@
+#pragma once
+// Tag population generation — the paper's T1/T2/T3 tagID sets (Fig 6).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rfid/tag.hpp"
+
+namespace bfce::rfid {
+
+/// The three tagID distributions of the paper's evaluation (§V-A, Fig 6).
+enum class TagIdDistribution {
+  kT1Uniform,       ///< uniform on [1, 10^15]
+  kT2ApproxNormal,  ///< approximate normal (Irwin–Hall sum of uniforms)
+  kT3Normal,        ///< normal, clipped to [1, 10^15]
+};
+
+/// Human-readable name ("T1", "T2", "T3").
+std::string to_string(TagIdDistribution dist);
+
+/// All three distributions, in paper order — convenient for sweeps.
+inline constexpr TagIdDistribution kAllDistributions[] = {
+    TagIdDistribution::kT1Uniform,
+    TagIdDistribution::kT2ApproxNormal,
+    TagIdDistribution::kT3Normal,
+};
+
+/// An immutable set of tags within one reader's range.
+class TagPopulation {
+ public:
+  TagPopulation() = default;
+  explicit TagPopulation(std::vector<Tag> tags) : tags_(std::move(tags)) {}
+
+  std::size_t size() const noexcept { return tags_.size(); }
+  const std::vector<Tag>& tags() const noexcept { return tags_; }
+  const Tag& operator[](std::size_t i) const noexcept { return tags_[i]; }
+
+ private:
+  std::vector<Tag> tags_;
+};
+
+/// Generates `n` tags with unique IDs drawn from `dist` and independent
+/// manufacture-time RN32 values. Deterministic in `seed`.
+///
+/// ID range is [1, 10^15] as in the paper; duplicate draws are rejected
+/// and redrawn, so all IDs are distinct.
+TagPopulation make_population(std::size_t n, TagIdDistribution dist,
+                              std::uint64_t seed);
+
+}  // namespace bfce::rfid

@@ -1,0 +1,66 @@
+#pragma once
+// The reader-side execution context handed to estimation protocols.
+
+#include <cstdint>
+
+#include "rfid/channel.hpp"
+#include "rfid/frame.hpp"
+#include "rfid/framelog.hpp"
+#include "rfid/population.hpp"
+#include "rfid/timing.hpp"
+#include "util/rng.hpp"
+
+namespace bfce::rfid {
+
+/// Everything a protocol needs to run against one tag population:
+/// the tags, the channel, the timing model, the frame-execution mode and
+/// a deterministic RNG stream (used both for protocol randomness — seed
+/// generation — and for the channel/persistence draws).
+///
+/// Multiple physical readers synchronised by a back-end server behave as
+/// one logical reader (§III-A, following ZOE); this context *is* that
+/// logical reader.
+class ReaderContext {
+ public:
+  ReaderContext(const TagPopulation& tags, std::uint64_t seed,
+                FrameMode mode = FrameMode::kExact,
+                ChannelModel channel_model = {},
+                TimingModel timing_model = {})
+      : tags_(&tags),
+        channel_(channel_model),
+        timing_(timing_model),
+        mode_(mode),
+        rng_(util::derive_seed(seed, 0x5EEDED5EEDED5EEDULL)) {}
+
+  const TagPopulation& tags() const noexcept { return *tags_; }
+  std::size_t true_cardinality() const noexcept { return tags_->size(); }
+  const Channel& channel() const noexcept { return channel_; }
+  const TimingModel& timing() const noexcept { return timing_; }
+  FrameMode mode() const noexcept { return mode_; }
+  util::Xoshiro256ss& rng() noexcept { return rng_; }
+
+  /// Fresh 64-bit random seed for a reader broadcast (hash seeds etc.).
+  std::uint64_t next_seed() noexcept { return rng_(); }
+
+  /// Attaches a frame log; protocols append one record per frame while
+  /// it is attached. The log must outlive the estimation calls.
+  void attach_log(FrameLog* log) noexcept { log_ = log; }
+  FrameLog* log() const noexcept { return log_; }
+
+  /// Protocol-side helper: records a frame if a log is attached.
+  void log_frame(FrameKind kind, std::uint32_t slots_observed, double p,
+                 std::uint32_t busy, double duration_us) {
+    if (log_ == nullptr) return;
+    log_->append(FrameRecord{kind, slots_observed, p, busy, duration_us});
+  }
+
+ private:
+  const TagPopulation* tags_;
+  Channel channel_;
+  TimingModel timing_;
+  FrameMode mode_;
+  util::Xoshiro256ss rng_;
+  FrameLog* log_ = nullptr;
+};
+
+}  // namespace bfce::rfid

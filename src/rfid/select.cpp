@@ -1,0 +1,45 @@
+#include "rfid/select.hpp"
+
+#include <cassert>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bfce::rfid {
+
+TagPopulation select_population(const TagPopulation& tags,
+                                const SelectMask& mask) {
+  std::vector<Tag> selected;
+  for (const Tag& tag : tags.tags()) {
+    if (mask.matches(tag.id)) selected.push_back(tag);
+  }
+  return TagPopulation(std::move(selected));
+}
+
+TagPopulation make_categorized_population(
+    const std::vector<std::size_t>& counts, std::uint32_t prefix_bits,
+    std::uint64_t seed, std::uint32_t id_bits) {
+  assert(prefix_bits > 0 && prefix_bits < id_bits);
+  assert(counts.size() <= (1ULL << prefix_bits));
+  util::Xoshiro256ss rng(util::derive_seed(seed, 0xCA7E60D1E5ULL));
+  const std::uint32_t low_bits = id_bits - prefix_bits;
+  std::vector<Tag> tags;
+  std::unordered_set<std::uint64_t> used;
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    const std::uint64_t prefix = static_cast<std::uint64_t>(c) << low_bits;
+    std::size_t made = 0;
+    while (made < counts[c]) {
+      const std::uint64_t id = prefix | (rng() & ((1ULL << low_bits) - 1));
+      if (!used.insert(id).second) continue;
+      Tag tag;
+      tag.id = id;
+      tag.rn = static_cast<std::uint32_t>(rng());
+      tags.push_back(tag);
+      ++made;
+    }
+  }
+  return TagPopulation(std::move(tags));
+}
+
+}  // namespace bfce::rfid

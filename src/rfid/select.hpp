@@ -1,0 +1,60 @@
+#pragma once
+// C1G2 Select filtering.
+//
+// The C1G2 standard's Select command (§6.3.2.11) lets the reader scope
+// an inventory round to tags whose EPC matches a (pointer, length, mask)
+// pattern. Combined with a cardinality estimator this turns "how many
+// tags?" into "how many tags *of this kind*?" — per-category censuses
+// without reading anyone's full EPC.
+//
+// We model EPCs whose leading bits encode a category (the usual
+// GS1-style layout) and provide the population filtering plus the
+// airtime cost of broadcasting the Select command itself.
+
+#include <cstdint>
+#include <vector>
+
+#include "rfid/population.hpp"
+#include "rfid/timing.hpp"
+
+namespace bfce::rfid {
+
+/// A Select pattern over the leading `prefix_bits` of the ID space.
+///
+/// `id_bits` is the width of the modelled EPC field (the library's
+/// populations draw IDs below 10^15 < 2^50).
+struct SelectMask {
+  std::uint64_t prefix = 0;      ///< expected value of the leading bits
+  std::uint32_t prefix_bits = 0; ///< how many leading bits to match
+  std::uint32_t id_bits = 50;
+
+  /// True iff the tag's leading bits equal the pattern.
+  bool matches(std::uint64_t id) const noexcept {
+    if (prefix_bits == 0) return true;
+    return (id >> (id_bits - prefix_bits)) == prefix;
+  }
+
+  /// Airtime of broadcasting this Select: command overhead plus the
+  /// pointer/length/mask fields (§6.3.2.11's layout, rounded to the
+  /// fields we model).
+  Airtime airtime_cost() const noexcept {
+    Airtime a;
+    a.add_reader_broadcast(20 /* cmd+target+action+pointer+length */ +
+                           prefix_bits);
+    return a;
+  }
+};
+
+/// The sub-population a Select leaves energised. (Tags that fail the
+/// match stay silent for the rest of the round, exactly as on air.)
+TagPopulation select_population(const TagPopulation& tags,
+                                const SelectMask& mask);
+
+/// Builds a population whose IDs carry explicit category prefixes:
+/// `counts[c]` tags get category `c` in the top `prefix_bits` bits and
+/// uniform random lower bits (unique IDs). Deterministic in `seed`.
+TagPopulation make_categorized_population(
+    const std::vector<std::size_t>& counts, std::uint32_t prefix_bits,
+    std::uint64_t seed, std::uint32_t id_bits = 50);
+
+}  // namespace bfce::rfid

@@ -1,0 +1,19 @@
+#pragma once
+// The simulated RFID tag.
+
+#include <cstdint>
+
+namespace bfce::rfid {
+
+/// A passive tag as BFCE sees it.
+///
+/// `id` is the EPC tagID (the paper draws IDs from [1, 10^15], which fits
+/// a 64-bit integer). `rn` is the 32-bit random number prestored on the
+/// tag at manufacture time (§IV-E.2); the lightweight hash and the RN-bits
+/// persistence scheme operate on `rn`, never on `id`.
+struct Tag {
+  std::uint64_t id = 0;
+  std::uint32_t rn = 0;
+};
+
+}  // namespace bfce::rfid

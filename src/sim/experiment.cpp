@@ -1,0 +1,64 @@
+#include "sim/experiment.hpp"
+
+#include "math/hypothesis.hpp"
+#include "rfid/reader.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace bfce::sim {
+
+std::vector<TrialRecord> run_experiment(const rfid::TagPopulation& population,
+                                        const EstimatorFactory& factory,
+                                        const ExperimentConfig& config) {
+  std::vector<TrialRecord> records(config.trials);
+  const auto true_n = static_cast<double>(population.size());
+
+  util::parallel_for(
+      0, config.trials,
+      [&](std::size_t t) {
+        rfid::ReaderContext ctx(population,
+                                util::derive_seed(config.seed, t),
+                                config.mode, config.channel, config.timing);
+        const auto estimator = factory();
+        const estimators::EstimateOutcome outcome =
+            estimator->estimate(ctx, config.req);
+        TrialRecord rec;
+        rec.n_hat = outcome.n_hat;
+        rec.accuracy = outcome.relative_error(true_n);
+        rec.time_s = outcome.airtime.total_seconds(config.timing);
+        rec.rounds = outcome.rounds;
+        rec.met_by_design = outcome.met_by_design;
+        records[t] = rec;
+      },
+      config.threads);
+  return records;
+}
+
+ExperimentSummary summarize_records(const std::vector<TrialRecord>& records,
+                                    double epsilon) {
+  ExperimentSummary s;
+  s.trials = records.size();
+  std::vector<double> accuracy;
+  std::vector<double> time_s;
+  accuracy.reserve(records.size());
+  time_s.reserve(records.size());
+  std::size_t violations = 0;
+  for (const TrialRecord& r : records) {
+    accuracy.push_back(r.accuracy);
+    time_s.push_back(r.time_s);
+    if (r.accuracy > epsilon) ++violations;
+  }
+  s.accuracy = math::summarize(std::move(accuracy));
+  s.time_s = math::summarize(std::move(time_s));
+  s.violation_rate = records.empty()
+                         ? 0.0
+                         : static_cast<double>(violations) /
+                               static_cast<double>(records.size());
+  const math::ProportionInterval ci =
+      math::wilson_interval(violations, records.size());
+  s.violation_ci_lo = ci.lo;
+  s.violation_ci_hi = ci.hi;
+  return s;
+}
+
+}  // namespace bfce::sim

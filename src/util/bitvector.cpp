@@ -1,0 +1,49 @@
+#include "util/bitvector.hpp"
+
+#include <bit>
+
+namespace bfce::util {
+
+std::size_t BitVector::count_ones() const noexcept {
+  return count_ones_prefix(size_);
+}
+
+std::size_t BitVector::count_ones_prefix(std::size_t prefix) const noexcept {
+  if (prefix > size_) prefix = size_;
+  std::size_t total = 0;
+  const std::size_t full_words = prefix >> 6;
+  for (std::size_t w = 0; w < full_words; ++w) {
+    total += static_cast<std::size_t>(std::popcount(words_[w]));
+  }
+  const std::size_t rem = prefix & 63;
+  if (rem != 0) {
+    const std::uint64_t mask = (1ULL << rem) - 1;
+    total += static_cast<std::size_t>(std::popcount(words_[full_words] & mask));
+  }
+  return total;
+}
+
+std::size_t BitVector::first_zero() const noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const std::uint64_t inverted = ~words_[w];
+    if (inverted != 0) {
+      const std::size_t bit =
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(inverted));
+      return bit < size_ ? bit : size_;
+    }
+  }
+  return size_;
+}
+
+std::size_t BitVector::first_one() const noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      const std::size_t bit =
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(words_[w]));
+      return bit < size_ ? bit : size_;
+    }
+  }
+  return size_;
+}
+
+}  // namespace bfce::util

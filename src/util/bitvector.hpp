@@ -1,0 +1,74 @@
+#pragma once
+// Packed bit vector used for Bloom-filter frames at the reader side.
+//
+// std::vector<bool> is avoided deliberately: we need popcount over words,
+// stable word access for tests, and no proxy-reference surprises.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bfce::util {
+
+/// Fixed-capacity-after-construction packed bit vector.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Creates `size` bits, all cleared.
+  explicit BitVector(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Reads bit `i`. Precondition: i < size().
+  bool get(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  /// Sets bit `i` to `value`. Precondition: i < size().
+  void set(std::size_t i, bool value = true) noexcept {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  /// Clears all bits; size is unchanged.
+  void clear() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits over the whole vector.
+  std::size_t count_ones() const noexcept;
+
+  /// Number of set bits among the first `prefix` bits.
+  /// Used by BFCE's rough phase, which truncates the frame at 1024 slots.
+  std::size_t count_ones_prefix(std::size_t prefix) const noexcept;
+
+  /// Fraction of set bits among the first `prefix` bits (ρ̄ in the paper).
+  double ones_ratio(std::size_t prefix) const noexcept {
+    return prefix == 0
+               ? 0.0
+               : static_cast<double>(count_ones_prefix(prefix)) /
+                     static_cast<double>(prefix);
+  }
+
+  /// Index of the first cleared bit, or size() if all bits are set.
+  std::size_t first_zero() const noexcept;
+
+  /// Index of the first set bit, or size() if all bits are cleared.
+  std::size_t first_one() const noexcept;
+
+  /// Raw word storage (little-endian bit order within each word).
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace bfce::util

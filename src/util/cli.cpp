@@ -1,0 +1,61 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace bfce::util {
+
+Cli::Cli(int argc, const char* const* argv,
+         std::vector<std::string> allowed) {
+  // Options shared by every binary.
+  allowed.emplace_back("csv");
+  allowed.emplace_back("seed");
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) {
+      std::fprintf(stderr, "unexpected positional argument '%s'\n", argv[i]);
+      std::exit(2);
+    }
+    arg.remove_prefix(2);
+    const std::size_t eq = arg.find('=');
+    const std::string key(arg.substr(0, eq));
+    const std::string value(eq == std::string_view::npos
+                                ? std::string_view("1")
+                                : arg.substr(eq + 1));
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      std::fprintf(stderr, "unknown option '--%s'; allowed:", key.c_str());
+      for (const auto& a : allowed) std::fprintf(stderr, " --%s", a.c_str());
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+    values_[key] = value;
+  }
+}
+
+bool Cli::has(const std::string& key) const { return values_.count(key) != 0; }
+
+std::string Cli::get(const std::string& key,
+                     const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stoll(it->second);
+}
+
+std::uint64_t Cli::get_u64(const std::string& key,
+                           std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stoull(it->second);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+}  // namespace bfce::util

@@ -1,0 +1,49 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace bfce::util {
+
+unsigned default_thread_count() {
+  if (const char* env = std::getenv("BFCE_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  unsigned threads) {
+  if (begin >= end) return;
+  if (threads == 0) threads = default_thread_count();
+  const std::size_t count = end - begin;
+  if (threads <= 1 || count == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  if (threads > count) threads = static_cast<unsigned>(count);
+
+  // Dynamic chunking via a shared cursor: trials have very uneven cost
+  // (ZOE re-runs vs BFCE's constant frames), so static partitioning would
+  // leave workers idle.
+  std::atomic<std::size_t> next{begin};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace bfce::util

@@ -1,0 +1,32 @@
+#pragma once
+// Minimal deterministic task-parallel infrastructure.
+//
+// Monte-Carlo sweeps dominate the benchmark harness; they are embarrassingly
+// parallel across trials. The contract here is that results are a pure
+// function of (master seed, trial index), so the *numbers* are identical for
+// any thread count — threads only change wall-clock time.
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+
+namespace bfce::util {
+
+/// Number of worker threads to use.
+///
+/// Honours the BFCE_THREADS environment variable (useful on shared CI
+/// machines); otherwise uses std::thread::hardware_concurrency(), never
+/// less than 1.
+unsigned default_thread_count();
+
+/// Runs `fn(i)` for every i in [begin, end) across `threads` workers.
+///
+/// Indices are dealt in contiguous chunks; `fn` must be safe to call
+/// concurrently for distinct indices and must not depend on execution
+/// order. Exceptions thrown by `fn` terminate the process (workers are not
+/// exception channels — fail loudly instead of corrupting a sweep).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  unsigned threads = 0);
+
+}  // namespace bfce::util

@@ -1,0 +1,31 @@
+#include "util/rng.hpp"
+
+namespace bfce::util {
+
+std::uint64_t Xoshiro256ss::below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless method: multiply-shift with a rejection
+  // step only in the (rare) biased region.
+  if (bound == 0) return 0;
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index) noexcept {
+  // Feed (master, index) through two rounds of splitmix so that adjacent
+  // indices land in unrelated regions of the seed space.
+  SplitMix64 sm(master ^ (0xA0761D6478BD642FULL * (index + 1)));
+  sm();  // discard one output to decorrelate from the raw key
+  return sm();
+}
+
+}  // namespace bfce::util

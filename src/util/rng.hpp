@@ -1,0 +1,103 @@
+#pragma once
+// Deterministic random-number infrastructure.
+//
+// Everything stochastic in this repository flows through these generators so
+// that every experiment is reproducible from a single master seed, and so
+// that Monte-Carlo trials can be split into independent streams that do not
+// depend on thread scheduling.
+
+#include <cstdint>
+#include <limits>
+
+namespace bfce::util {
+
+/// SplitMix64 — tiny, statistically solid 64-bit generator.
+///
+/// Used directly for seed derivation (its stream-splitting property is the
+/// point: consecutive outputs seed independent child generators) and as the
+/// recommended way to initialise Xoshiro256ss state.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64-bit value (Steele, Lea & Flood's splitmix64 finaliser).
+  constexpr std::uint64_t operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the workhorse generator.
+///
+/// Satisfies UniformRandomBitGenerator, so it plugs into <random>
+/// distributions (we use std::binomial_distribution in the sampled frame
+/// executor). State is seeded through SplitMix64 as the authors recommend.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256ss(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm();
+  }
+
+  std::uint64_t operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+/// Derives the seed for child stream `index` from `master`.
+///
+/// Child streams produced from distinct indices are statistically
+/// independent; this is how per-trial / per-tag / per-frame generators are
+/// created without coupling them to execution order.
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index) noexcept;
+
+}  // namespace bfce::util

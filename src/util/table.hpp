@@ -1,0 +1,41 @@
+#pragma once
+// ASCII table and CSV emission for the benchmark harnesses.
+//
+// Every bench binary reproduces a figure/table from the paper; the harness
+// prints both a human-readable aligned table (stdout) and, when asked,
+// machine-readable CSV so series can be re-plotted.
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bfce::util {
+
+/// Column-aligned text table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic values with `printf`-style precision.
+  static std::string num(double v, int precision = 4);
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders the aligned table with a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bfce::util

@@ -1,0 +1,71 @@
+// Tests for the A³ comparator.
+#include "estimators/a3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/experiment.hpp"
+
+namespace bfce::estimators {
+namespace {
+
+TEST(A3, AccurateAcrossScales) {
+  for (std::size_t n : {5000UL, 100000UL, 1000000UL}) {
+    const auto pop = rfid::make_population(
+        n, rfid::TagIdDistribution::kT1Uniform, n);
+    sim::ExperimentConfig cfg;
+    cfg.trials = 15;
+    cfg.req = {0.05, 0.05};
+    cfg.mode = rfid::FrameMode::kSampled;
+    cfg.seed = 5;
+    const auto records = sim::run_experiment(
+        pop, [] { return std::make_unique<A3Estimator>(); }, cfg);
+    const auto s = sim::summarize_records(records, 0.05);
+    EXPECT_LT(s.accuracy.mean, 0.05) << n;
+  }
+}
+
+TEST(A3, ArbitraryAccuracyKnobWorks) {
+  // Tighter ε must buy more rounds (the "arbitrarily accurate" claim).
+  const auto pop = rfid::make_population(
+      100000, rfid::TagIdDistribution::kT1Uniform, 1);
+  A3Estimator est;
+  rfid::ReaderContext a(pop, 2, rfid::FrameMode::kSampled);
+  rfid::ReaderContext b(pop, 2, rfid::FrameMode::kSampled);
+  const auto tight = est.estimate(a, {0.02, 0.05});
+  const auto loose = est.estimate(b, {0.20, 0.05});
+  EXPECT_GT(tight.rounds, loose.rounds);
+  EXPECT_GT(tight.time_us, loose.time_us);
+}
+
+TEST(A3, PivotSearchCostsLogarithmicSlots) {
+  // Stage 1 probes ~log2(n) levels × pivot_slots_per_level single slots;
+  // even at n = 1M that is well under 100 slots before refinement.
+  const auto pop = rfid::make_population(
+      1000000, rfid::TagIdDistribution::kT1Uniform, 3);
+  A3Estimator est;
+  rfid::ReaderContext ctx(pop, 4, rfid::FrameMode::kSampled);
+  const auto out = est.estimate(ctx, {0.3, 0.3});
+  // One refinement frame (1024 slots) + pivot probes: the pivot share is
+  // total − rounds·1024.
+  const std::uint64_t pivot_slots =
+      out.airtime.tag_bits - static_cast<std::uint64_t>(out.rounds) * 1024;
+  EXPECT_LT(pivot_slots, 120u);
+  EXPECT_GT(pivot_slots, 10u);
+}
+
+TEST(A3, EmptySystemDoesNotDivide) {
+  const auto pop = rfid::make_population(
+      0, rfid::TagIdDistribution::kT1Uniform, 5);
+  A3Estimator est;
+  rfid::ReaderContext ctx(pop, 6, rfid::FrameMode::kSampled);
+  const auto out = est.estimate(ctx, {0.1, 0.1});
+  EXPECT_GE(out.n_hat, 0.0);
+  EXPECT_LT(out.n_hat, 100.0);
+}
+
+TEST(A3, NameIsStable) { EXPECT_EQ(A3Estimator().name(), "A3"); }
+
+}  // namespace
+}  // namespace bfce::estimators

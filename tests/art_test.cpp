@@ -1,0 +1,108 @@
+// Deep tests for the ART run-length estimator.
+#include "estimators/art.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/stats.hpp"
+#include "rfid/reader.hpp"
+#include "util/rng.hpp"
+
+namespace bfce::estimators {
+namespace {
+
+using S = rfid::SlotState;
+
+TEST(ArtDeep, RunStatisticOnCraftedPatterns) {
+  // Single run covering the whole frame.
+  EXPECT_DOUBLE_EQ(
+      ArtEstimator::average_busy_run({S::kSingle, S::kSingle, S::kSingle}),
+      3.0);
+  // Alternating: every run has length 1.
+  EXPECT_DOUBLE_EQ(ArtEstimator::average_busy_run(
+                       {S::kSingle, S::kIdle, S::kCollision, S::kIdle}),
+                   1.0);
+  // Leading/trailing idle slots don't create phantom runs.
+  EXPECT_DOUBLE_EQ(ArtEstimator::average_busy_run(
+                       {S::kIdle, S::kSingle, S::kSingle, S::kIdle}),
+                   2.0);
+}
+
+TEST(ArtDeep, RunLengthInvertsBernoulliOccupancy) {
+  // For i.i.d. busy slots with probability b, E[run] = 1/(1−b); the
+  // estimator's b̂ = 1 − 1/r̄ must recover b.
+  util::Xoshiro256ss rng(1);
+  for (const double b : {0.2, 0.5, 0.8}) {
+    double runs_sum = 0.0;
+    constexpr int kFrames = 200;
+    for (int f = 0; f < kFrames; ++f) {
+      std::vector<S> states(2048);
+      for (auto& s : states) {
+        s = rng.bernoulli(b) ? S::kCollision : S::kIdle;
+      }
+      runs_sum += ArtEstimator::average_busy_run(states);
+    }
+    const double r_bar = runs_sum / kFrames;
+    EXPECT_NEAR(1.0 - 1.0 / r_bar, b, 0.02) << b;
+  }
+}
+
+TEST(ArtDeep, SequentialRuleStopsEarlierForLooseTargets) {
+  const auto pop = rfid::make_population(
+      40000, rfid::TagIdDistribution::kT1Uniform, 2);
+  ArtEstimator est;
+  rfid::ReaderContext a(pop, 3, rfid::FrameMode::kSampled);
+  rfid::ReaderContext b(pop, 3, rfid::FrameMode::kSampled);
+  const auto strict = est.estimate(a, {0.02, 0.05});
+  const auto loose = est.estimate(b, {0.25, 0.25});
+  EXPECT_GT(strict.rounds, 2 * loose.rounds);
+}
+
+TEST(ArtDeep, MinRoundsRespected) {
+  ArtParams params;
+  params.min_rounds = 12;
+  ArtEstimator est(params);
+  const auto pop = rfid::make_population(
+      40000, rfid::TagIdDistribution::kT1Uniform, 4);
+  rfid::ReaderContext ctx(pop, 5, rfid::FrameMode::kSampled);
+  const auto out = est.estimate(ctx, {0.3, 0.3});
+  EXPECT_GE(out.rounds, 12u);
+}
+
+TEST(ArtDeep, RoundCapFlagged) {
+  ArtParams params;
+  params.max_rounds = 4;
+  params.min_rounds = 4;
+  ArtEstimator est(params);
+  const auto pop = rfid::make_population(
+      40000, rfid::TagIdDistribution::kT1Uniform, 6);
+  rfid::ReaderContext ctx(pop, 7, rfid::FrameMode::kSampled);
+  const auto out = est.estimate(ctx, {0.01, 0.01});
+  EXPECT_FALSE(out.met_by_design);
+}
+
+TEST(ArtDeep, EmptyPopulationYieldsNearZero) {
+  const auto pop =
+      rfid::make_population(0, rfid::TagIdDistribution::kT1Uniform, 8);
+  ArtEstimator est;
+  rfid::ReaderContext ctx(pop, 9, rfid::FrameMode::kSampled);
+  const auto out = est.estimate(ctx, {0.1, 0.1});
+  EXPECT_LT(out.n_hat, 50.0);
+}
+
+TEST(ArtDeep, SequentialStoppingDeliversTheTarget) {
+  const auto pop = rfid::make_population(
+      60000, rfid::TagIdDistribution::kT1Uniform, 10);
+  ArtEstimator est;
+  math::RunningStats err;
+  for (int i = 0; i < 20; ++i) {
+    rfid::ReaderContext ctx(pop, 200 + static_cast<std::uint64_t>(i),
+                            rfid::FrameMode::kSampled);
+    err.add(est.estimate(ctx, {0.05, 0.05}).relative_error(60000.0));
+  }
+  EXPECT_LT(err.mean(), 0.05);
+}
+
+}  // namespace
+}  // namespace bfce::estimators

@@ -1,0 +1,174 @@
+// Tests for batch presence verification.
+#include "core/authenticate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "identification/qprotocol.hpp"
+#include "rfid/reader.hpp"
+
+namespace bfce::core {
+namespace {
+
+rfid::TagPopulation slice(const rfid::TagPopulation& pop, std::size_t from,
+                          std::size_t to) {
+  std::vector<rfid::Tag> tags(pop.tags().begin() + static_cast<long>(from),
+                              pop.tags().begin() + static_cast<long>(to));
+  return rfid::TagPopulation(std::move(tags));
+}
+
+TEST(Auth, TuningKeepsTheLoadNearTarget) {
+  AuthConfig cfg;
+  // Small batch: sampling clamps at 1, three confirmation rounds.
+  EXPECT_DOUBLE_EQ(cfg.sample_p(1000.0), 1.0);
+  EXPECT_EQ(cfg.rounds(1000.0), 3u);
+  // Large batch: p·k·n/w ≈ target, rounds cover everyone.
+  const double p = cfg.sample_p(30000.0);
+  EXPECT_NEAR(3.0 * p * 30000.0 / 8192.0, 1.1, 1e-9);
+  const auto rounds = cfg.rounds(30000.0);
+  // Coverage: (1−p)^rounds ≤ 1%.
+  EXPECT_LE(std::pow(1.0 - p, rounds), 0.0101);
+}
+
+TEST(Auth, AllPresentAllVerified) {
+  const auto pop = rfid::make_population(
+      2000, rfid::TagIdDistribution::kT1Uniform, 1);
+  util::Xoshiro256ss rng(2);
+  const auto out = verify_batch(pop, pop, AuthConfig{}, rfid::Channel{}, rng);
+  EXPECT_EQ(out.present_count + out.unverified_count, 2000u);
+  EXPECT_EQ(out.absent_count, 0u);
+  EXPECT_EQ(out.unexplained_busy_slots, 0u);
+  EXPECT_LT(out.false_presence_mean, 0.02);
+}
+
+TEST(Auth, PresentTagsAreNeverCalledAbsent) {
+  // Zero false negatives on a perfect channel: a present sampled tag
+  // energises its own slots.
+  const auto pop = rfid::make_population(
+      5000, rfid::TagIdDistribution::kT1Uniform, 3);
+  const auto field = slice(pop, 0, 3500);  // last 1500 left the building
+  util::Xoshiro256ss rng(4);
+  const auto out = verify_batch(pop, field, AuthConfig{}, rfid::Channel{}, rng);
+  for (std::size_t t = 0; t < 3500; ++t) {
+    EXPECT_NE(out.verdicts[t], AuthVerdict::kAbsent) << t;
+  }
+  EXPECT_EQ(out.present_count + out.absent_count + out.unverified_count,
+            5000u);
+}
+
+TEST(Auth, MissingTagsAreDetected) {
+  const auto pop = rfid::make_population(
+      5000, rfid::TagIdDistribution::kT1Uniform, 5);
+  const auto field = slice(pop, 0, 4000);
+  util::Xoshiro256ss rng(6);
+  const auto out = verify_batch(pop, field, AuthConfig{}, rfid::Channel{}, rng);
+  // ~98% of the 1000 missing tags detected (escape ≈ 2%, unverified 1%).
+  EXPECT_GE(out.absent_count, 930u);
+  EXPECT_LE(out.absent_count, 1000u);
+  for (std::size_t t = 0; t < 4000; ++t) {
+    EXPECT_NE(out.verdicts[t], AuthVerdict::kAbsent) << t;
+  }
+}
+
+TEST(Auth, DenseBatchesAreHandledBySampling) {
+  // 30000 enrolled, 5000 missing: without sampling the bitmap would
+  // saturate (λ ≈ 9) and nothing would be detected; the tuned p keeps
+  // per-round busy ≈ 0.57 and catches ~98% of the missing tags.
+  const auto pop = rfid::make_population(
+      30000, rfid::TagIdDistribution::kT1Uniform, 7);
+  const auto field = slice(pop, 0, 25000);
+  util::Xoshiro256ss rng(8);
+  const auto out = verify_batch(pop, field, AuthConfig{}, rfid::Channel{}, rng);
+  EXPECT_GE(out.absent_count, 4700u);
+  EXPECT_LE(out.absent_count, 5000u);
+  EXPECT_LE(out.unverified_count, 600u);  // coverage_miss = 1% of 30000
+}
+
+TEST(Auth, MoreRoundsImproveDetection) {
+  const auto pop = rfid::make_population(
+      30000, rfid::TagIdDistribution::kT1Uniform, 9);
+  const auto field = slice(pop, 0, 25000);
+  auto detected = [&](std::uint32_t cap) {
+    AuthConfig cfg;
+    cfg.max_rounds = cap;
+    util::Xoshiro256ss rng(10);
+    return verify_batch(pop, field, cfg, rfid::Channel{}, rng).absent_count;
+  };
+  EXPECT_GT(detected(256), detected(8));
+}
+
+TEST(Auth, FalsePresenceMeanShrinksWithRounds) {
+  const auto pop = rfid::make_population(
+      2000, rfid::TagIdDistribution::kT1Uniform, 11);
+  util::Xoshiro256ss rng(12);
+  AuthConfig one;
+  one.max_rounds = 1;
+  AuthConfig many;
+  many.max_rounds = 6;
+  // With p = 1 at this size, rounds(n) caps at min(3, max) — widen by
+  // lowering max_rounds for the "one" case.
+  const auto fp1 = verify_batch(pop, pop, one, rfid::Channel{}, rng)
+                       .false_presence_mean;
+  const auto fp3 = verify_batch(pop, pop, many, rfid::Channel{}, rng)
+                       .false_presence_mean;
+  EXPECT_LT(fp3, fp1);
+}
+
+TEST(Auth, IntrudersLeaveUnexplainedSlots) {
+  const auto enrolled = rfid::make_population(
+      3000, rfid::TagIdDistribution::kT1Uniform, 13);
+  const auto foreign = rfid::make_population(
+      500, rfid::TagIdDistribution::kT3Normal, 14);
+  std::vector<rfid::Tag> field_tags(enrolled.tags());
+  for (const rfid::Tag& t : foreign.tags()) field_tags.push_back(t);
+  const rfid::TagPopulation field{std::move(field_tags)};
+  util::Xoshiro256ss rng(15);
+  const auto clean =
+      verify_batch(enrolled, enrolled, AuthConfig{}, rfid::Channel{}, rng);
+  const auto dirty =
+      verify_batch(enrolled, field, AuthConfig{}, rfid::Channel{}, rng);
+  EXPECT_EQ(clean.unexplained_busy_slots, 0u);
+  EXPECT_GT(dirty.unexplained_busy_slots, 300u);
+}
+
+TEST(Auth, CostIsRoundsTimesFrame) {
+  const auto pop = rfid::make_population(
+      1000, rfid::TagIdDistribution::kT1Uniform, 16);
+  util::Xoshiro256ss rng(17);
+  const auto out = verify_batch(pop, pop, AuthConfig{}, rfid::Channel{}, rng);
+  EXPECT_EQ(out.rounds_used, 3u);  // p = 1 regime
+  EXPECT_EQ(out.airtime.tag_bits, 3u * 8192u);
+  EXPECT_EQ(out.airtime.reader_bits, 3u * 128u);
+  EXPECT_LT(out.airtime.total_seconds(rfid::TimingModel{}), 0.52);
+}
+
+TEST(Auth, FarCheaperThanIdentifyingTheBatch) {
+  // Verifying 20000 enrolled tags takes tens of 8192-slot rounds of
+  // 1-bit slots; reading their EPCs takes minutes.
+  const auto pop = rfid::make_population(
+      20000, rfid::TagIdDistribution::kT1Uniform, 18);
+  util::Xoshiro256ss rng(19);
+  const auto auth =
+      verify_batch(pop, pop, AuthConfig{}, rfid::Channel{}, rng);
+  rfid::ReaderContext ctx(pop, 20);
+  identification::QProtocol q;
+  const auto inventory = q.identify(ctx);
+  const double t_auth = auth.airtime.total_seconds(rfid::TimingModel{});
+  const double t_inv = inventory.total_seconds(ctx.timing());
+  EXPECT_GT(t_inv / t_auth, 10.0);
+}
+
+TEST(Auth, NoisyChannelCausesBoundedFalseAbsent) {
+  const auto pop = rfid::make_population(
+      2000, rfid::TagIdDistribution::kT1Uniform, 21);
+  util::Xoshiro256ss rng(22);
+  const rfid::Channel noisy(rfid::ChannelModel{0.0, 0.005});
+  const auto out = verify_batch(pop, pop, AuthConfig{}, noisy, rng);
+  // ≈ 1 − (1−0.005)^9 ≈ 4.4% of present tags wrongly flagged.
+  EXPECT_LT(out.absent_count, 220u);
+}
+
+}  // namespace
+}  // namespace bfce::core

@@ -1,0 +1,77 @@
+// Tests for the multi-round averaged BFCE (Fig 8's "more accurate after
+// multiple runs").
+#include <gtest/gtest.h>
+
+#include "core/bfce.hpp"
+#include "math/stats.hpp"
+#include "rfid/reader.hpp"
+
+namespace bfce::core {
+namespace {
+
+TEST(BfceAvg, AirtimeIsRoundsTimesSingle) {
+  const auto pop = rfid::make_population(
+      50000, rfid::TagIdDistribution::kT1Uniform, 1);
+  rfid::ReaderContext a(pop, 2, rfid::FrameMode::kSampled);
+  rfid::ReaderContext b(pop, 2, rfid::FrameMode::kSampled);
+  const auto one = BfceEstimator().estimate(a, {0.05, 0.05});
+  AveragedBfceEstimator avg(5);
+  const auto five = avg.estimate(b, {0.05, 0.05});
+  EXPECT_EQ(five.rounds, 5u);
+  EXPECT_NEAR(five.time_us, 5.0 * one.time_us, 0.1 * one.time_us);
+}
+
+TEST(BfceAvg, ErrorShrinksWithRounds) {
+  const auto pop = rfid::make_population(
+      200000, rfid::TagIdDistribution::kT2ApproxNormal, 3);
+  auto spread = [&](std::uint32_t rounds) {
+    AveragedBfceEstimator est(rounds);
+    math::RunningStats s;
+    for (int i = 0; i < 25; ++i) {
+      rfid::ReaderContext ctx(pop, 100 + static_cast<std::uint64_t>(i),
+                              rfid::FrameMode::kSampled);
+      s.add(est.estimate(ctx, {0.05, 0.05}).n_hat);
+    }
+    return s.stddev();
+  };
+  // 16 rounds ⇒ ~4× tighter than 1 round; require ≥ 2.5×.
+  EXPECT_GT(spread(1), 2.5 * spread(16));
+}
+
+TEST(BfceAvg, HundredRoundsAreExtremelyAccurate) {
+  // The paper's Fig 8 remark: "we can achieve an extremely accurate
+  // estimation in no more than 100 rounds."
+  const auto pop = rfid::make_population(
+      500000, rfid::TagIdDistribution::kT3Normal, 4);
+  AveragedBfceEstimator est(100);
+  rfid::ReaderContext ctx(pop, 5, rfid::FrameMode::kSampled);
+  const auto out = est.estimate(ctx, {0.05, 0.05});
+  EXPECT_LT(out.relative_error(500000.0), 0.005);
+}
+
+TEST(BfceAvg, EmpiricalIntervalCoversTheTruth) {
+  const auto pop = rfid::make_population(
+      100000, rfid::TagIdDistribution::kT1Uniform, 6);
+  AveragedBfceEstimator est(12);
+  int covered = 0;
+  constexpr int kRuns = 30;
+  for (int i = 0; i < kRuns; ++i) {
+    rfid::ReaderContext ctx(pop, 400 + static_cast<std::uint64_t>(i),
+                            rfid::FrameMode::kSampled);
+    const auto out = est.estimate(ctx, {0.05, 0.05});
+    ASSERT_LT(out.ci_low, out.ci_high);
+    if (out.ci_low <= 100000.0 && 100000.0 <= out.ci_high) ++covered;
+  }
+  // Empirical t-style interval at 12 rounds: ≥ 80% coverage expected
+  // (the CLT interval is slightly anti-conservative at small R).
+  EXPECT_GE(covered, 24);
+}
+
+TEST(BfceAvg, NameAndRoundsExposed) {
+  AveragedBfceEstimator est(7);
+  EXPECT_EQ(est.name(), "BFCE-avg");
+  EXPECT_EQ(est.rounds(), 7u);
+}
+
+}  // namespace
+}  // namespace bfce::core

@@ -1,0 +1,184 @@
+// Property-style sweeps over the (n, distribution, ε, δ) lattice: the
+// (ε, δ) guarantee must hold empirically everywhere the paper claims it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "core/bfce.hpp"
+#include "sim/experiment.hpp"
+
+namespace bfce::core {
+namespace {
+
+sim::EstimatorFactory bfce_factory() {
+  return [] { return std::make_unique<BfceEstimator>(); };
+}
+
+// ---- (ε, δ) guarantee across cardinalities and distributions ----------
+
+using GuaranteeParam = std::tuple<std::size_t, rfid::TagIdDistribution>;
+
+class BfceGuaranteeTest : public ::testing::TestWithParam<GuaranteeParam> {};
+
+TEST_P(BfceGuaranteeTest, ViolationRateWithinDelta) {
+  const auto [n, dist] = GetParam();
+  const auto pop = rfid::make_population(n, dist, 1234);
+  sim::ExperimentConfig cfg;
+  cfg.trials = 120;
+  cfg.req = {0.05, 0.05};
+  cfg.mode = rfid::FrameMode::kSampled;
+  cfg.seed = 77;
+  const auto records = sim::run_experiment(pop, bfce_factory(), cfg);
+  const auto summary = sim::summarize_records(records, cfg.req.epsilon);
+  // Empirical δ over 120 trials: allow 3σ binomial slack above δ=0.05.
+  const double slack = 3.0 * std::sqrt(0.05 * 0.95 / 120.0);
+  EXPECT_LE(summary.violation_rate, 0.05 + slack);
+  // And the typical error should be well inside ε (Fig 7 shows ≪ 0.05).
+  EXPECT_LT(summary.accuracy.mean, 0.035);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lattice, BfceGuaranteeTest,
+    ::testing::Combine(::testing::Values(5000, 50000, 500000),
+                       ::testing::Values(rfid::TagIdDistribution::kT1Uniform,
+                                         rfid::TagIdDistribution::kT2ApproxNormal,
+                                         rfid::TagIdDistribution::kT3Normal)),
+    [](const auto& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_" +
+             rfid::to_string(std::get<1>(param_info.param));
+    });
+
+// ---- Guarantee across the (ε, δ) grid of Fig 7b/7c --------------------
+
+class BfceRequirementTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(BfceRequirementTest, MeetsEveryRequirementPoint) {
+  const auto [eps, delta] = GetParam();
+  const auto pop = rfid::make_population(
+      200000, rfid::TagIdDistribution::kT2ApproxNormal, 555);
+  sim::ExperimentConfig cfg;
+  cfg.trials = 100;
+  cfg.req = {eps, delta};
+  cfg.mode = rfid::FrameMode::kSampled;
+  cfg.seed = 88;
+  const auto records = sim::run_experiment(pop, bfce_factory(), cfg);
+  const auto summary = sim::summarize_records(records, eps);
+  const double slack = 3.0 * std::sqrt(delta * (1.0 - delta) / 100.0);
+  EXPECT_LE(summary.violation_rate, delta + slack)
+      << "eps=" << eps << " delta=" << delta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EpsDeltaGrid, BfceRequirementTest,
+    ::testing::Values(std::pair{0.05, 0.05}, std::pair{0.10, 0.05},
+                      std::pair{0.20, 0.05}, std::pair{0.30, 0.05},
+                      std::pair{0.05, 0.10}, std::pair{0.05, 0.20},
+                      std::pair{0.05, 0.30}),
+    [](const auto& param_info) {
+      return "eps" + std::to_string(static_cast<int>(
+                         param_info.param.first * 100)) +
+             "_delta" + std::to_string(static_cast<int>(
+                            param_info.param.second * 100));
+    });
+
+// ---- Realisation ablation: every hash/persistence combination keeps
+//      the guarantee (Theorem 1 holds marginally for all of them) -------
+
+struct RealisationParam {
+  rfid::HashScheme hash;
+  hash::PersistenceMode persistence;
+  const char* label;
+};
+
+class BfceRealisationTest
+    : public ::testing::TestWithParam<RealisationParam> {};
+
+TEST_P(BfceRealisationTest, AccuracyHoldsUnderTagSideRealisations) {
+  const auto param = GetParam();
+  BfceParams bp;
+  bp.hash = param.hash;
+  bp.persistence = param.persistence;
+  const auto pop = rfid::make_population(
+      40000, rfid::TagIdDistribution::kT1Uniform, 999);
+  sim::ExperimentConfig cfg;
+  cfg.trials = 30;
+  cfg.req = {0.05, 0.05};
+  cfg.mode = rfid::FrameMode::kExact;  // tag-side schemes need real tags
+  cfg.seed = 99;
+  const auto records = sim::run_experiment(
+      pop, [&] { return std::make_unique<BfceEstimator>(bp); }, cfg);
+  const auto summary = sim::summarize_records(records, 0.05);
+  const double slack = 3.0 * std::sqrt(0.05 * 0.95 / 30.0);
+  EXPECT_LE(summary.violation_rate, 0.05 + slack) << param.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TagSide, BfceRealisationTest,
+    ::testing::Values(
+        RealisationParam{rfid::HashScheme::kIdeal,
+                         hash::PersistenceMode::kIdealBernoulli,
+                         "ideal_bernoulli"},
+        RealisationParam{rfid::HashScheme::kLightweight,
+                         hash::PersistenceMode::kIdealBernoulli,
+                         "lightweight_bernoulli"},
+        RealisationParam{rfid::HashScheme::kLightweight,
+                         hash::PersistenceMode::kRnBits,
+                         "lightweight_rnbits"}),
+    [](const auto& param_info) {
+      return std::string(param_info.param.label);
+    });
+
+// ---- Shared-draw persistence: correlation inflates variance -----------
+
+TEST(BfceProperty, SharedDrawKeepsAccuracyButWeakensTheGuarantee) {
+  // One persistence draw shared by a tag's k slots violates Theorem 3's
+  // per-slot independence: the ρ̄ variance inflates by up to k, so the
+  // strict (ε, δ) contract no longer holds. The estimate stays unbiased
+  // (Theorem 1's marginal law is intact) — the right expectations are a
+  // small mean error and a δ inflated by at most ~k.
+  BfceParams bp;
+  bp.persistence = hash::PersistenceMode::kSharedDraw;
+  const auto pop = rfid::make_population(
+      40000, rfid::TagIdDistribution::kT1Uniform, 321);
+  sim::ExperimentConfig cfg;
+  cfg.trials = 40;
+  cfg.req = {0.05, 0.05};
+  cfg.mode = rfid::FrameMode::kExact;
+  cfg.seed = 654;
+  const auto records = sim::run_experiment(
+      pop, [&] { return std::make_unique<BfceEstimator>(bp); }, cfg);
+  const auto summary = sim::summarize_records(records, 0.05);
+  EXPECT_LT(summary.accuracy.mean, 0.05);        // still unbiased
+  EXPECT_LE(summary.violation_rate, 0.35);       // but δ inflated ≲ k·δ
+}
+
+// ---- Time is constant over everything ---------------------------------
+
+TEST(BfceProperty, TimeIsFlatAcrossTheWholeLattice) {
+  BfceEstimator est;
+  double lo = 1e9;
+  double hi = 0.0;
+  for (std::size_t n : {2000UL, 20000UL, 200000UL, 2000000UL}) {
+    for (double eps : {0.05, 0.3}) {
+      for (double delta : {0.05, 0.3}) {
+        const auto pop = rfid::make_population(
+            n, rfid::TagIdDistribution::kT3Normal, n);
+        rfid::ReaderContext ctx(pop, n ^ 0xF00, rfid::FrameMode::kSampled);
+        const auto out = est.estimate(ctx, {eps, delta});
+        const double t = out.airtime.total_seconds(ctx.timing());
+        lo = std::min(lo, t);
+        hi = std::max(hi, t);
+      }
+    }
+  }
+  EXPECT_LT(hi, 0.30);
+  EXPECT_LT(hi / lo, 1.6);
+}
+
+}  // namespace
+}  // namespace bfce::core

@@ -1,0 +1,102 @@
+// Tests for the packed bit vector.
+#include "util/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bfce::util {
+namespace {
+
+TEST(BitVector, StartsCleared) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_FALSE(v.empty());
+  EXPECT_EQ(v.count_ones(), 0u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVector, DefaultConstructedIsEmpty) {
+  BitVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.first_zero(), 0u);
+  EXPECT_EQ(v.first_one(), 0u);
+}
+
+TEST(BitVector, SetAndGetAcrossWordBoundaries) {
+  BitVector v(200);
+  for (std::size_t i : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 199u}) {
+    v.set(i);
+    EXPECT_TRUE(v.get(i));
+  }
+  EXPECT_EQ(v.count_ones(), 8u);
+  v.set(64, false);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.count_ones(), 7u);
+}
+
+TEST(BitVector, CountOnesPrefix) {
+  BitVector v(256);
+  for (std::size_t i = 0; i < 256; i += 2) v.set(i);  // even bits
+  EXPECT_EQ(v.count_ones_prefix(0), 0u);
+  EXPECT_EQ(v.count_ones_prefix(1), 1u);
+  EXPECT_EQ(v.count_ones_prefix(2), 1u);
+  EXPECT_EQ(v.count_ones_prefix(64), 32u);
+  EXPECT_EQ(v.count_ones_prefix(65), 33u);
+  EXPECT_EQ(v.count_ones_prefix(127), 64u);
+  EXPECT_EQ(v.count_ones_prefix(256), 128u);
+  // Prefix beyond size clamps.
+  EXPECT_EQ(v.count_ones_prefix(9999), 128u);
+}
+
+TEST(BitVector, OnesRatio) {
+  BitVector v(1024);
+  for (std::size_t i = 0; i < 256; ++i) v.set(i);
+  EXPECT_DOUBLE_EQ(v.ones_ratio(1024), 0.25);
+  EXPECT_DOUBLE_EQ(v.ones_ratio(256), 1.0);
+  EXPECT_DOUBLE_EQ(v.ones_ratio(0), 0.0);
+}
+
+TEST(BitVector, FirstZero) {
+  BitVector v(100);
+  EXPECT_EQ(v.first_zero(), 0u);
+  for (std::size_t i = 0; i < 70; ++i) v.set(i);
+  EXPECT_EQ(v.first_zero(), 70u);
+  for (std::size_t i = 70; i < 100; ++i) v.set(i);
+  EXPECT_EQ(v.first_zero(), 100u);  // all ones ⇒ size()
+}
+
+TEST(BitVector, FirstOne) {
+  BitVector v(100);
+  EXPECT_EQ(v.first_one(), 100u);  // all zeros ⇒ size()
+  v.set(77);
+  EXPECT_EQ(v.first_one(), 77u);
+  v.set(3);
+  EXPECT_EQ(v.first_one(), 3u);
+}
+
+TEST(BitVector, FirstZeroIgnoresPaddingBits) {
+  // 65 bits, all set: the second word's unused bits must not be reported
+  // as a zero inside the vector.
+  BitVector v(65);
+  for (std::size_t i = 0; i < 65; ++i) v.set(i);
+  EXPECT_EQ(v.first_zero(), 65u);
+}
+
+TEST(BitVector, ClearResetsBitsKeepsSize) {
+  BitVector v(99);
+  for (std::size_t i = 0; i < 99; i += 3) v.set(i);
+  v.clear();
+  EXPECT_EQ(v.size(), 99u);
+  EXPECT_EQ(v.count_ones(), 0u);
+}
+
+TEST(BitVector, WordsExposeStorage) {
+  BitVector v(64);
+  v.set(0);
+  v.set(63);
+  ASSERT_EQ(v.words().size(), 1u);
+  EXPECT_EQ(v.words()[0], (1ULL << 63) | 1ULL);
+}
+
+}  // namespace
+}  // namespace bfce::util

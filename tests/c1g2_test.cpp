@@ -1,0 +1,68 @@
+// Tests for the C1G2 link-timing derivation.
+#include "rfid/c1g2.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bfce::rfid {
+namespace {
+
+TEST(C1g2, PaperLinkReproducesTheQuotedConstants) {
+  const TimingModel m = paper_link().to_timing_model();
+  EXPECT_NEAR(m.reader_bit_us, 37.76, 0.01);
+  EXPECT_NEAR(m.tag_bit_us, 18.88, 0.01);
+  EXPECT_DOUBLE_EQ(m.interval_us, 302.0);
+}
+
+TEST(C1g2, PaperLinkRatesMatchTheQuotedKbps) {
+  const C1g2Link link = paper_link();
+  // §V-A: 26.5 kb/s reader→tag, 53 kb/s tag→reader.
+  EXPECT_NEAR(1e3 / link.reader_bit_us(), 26.5, 0.1);
+  EXPECT_NEAR(1e3 / link.tag_bit_us(), 53.0, 0.1);
+}
+
+TEST(C1g2, BlfFollowsDivideRatioOverTrcal) {
+  C1g2Link link;
+  link.divide_ratio = 8.0;
+  link.trcal_us = 100.0;
+  EXPECT_NEAR(link.blf_khz(), 80.0, 1e-9);
+  link.divide_ratio = 64.0 / 3.0;
+  EXPECT_NEAR(link.blf_khz(), 213.333, 0.01);
+}
+
+TEST(C1g2, MillerEncodingSlowsTheTagLink) {
+  C1g2Link fm0 = paper_link();
+  C1g2Link miller4 = paper_link();
+  miller4.encoding = TagEncoding::kMiller4;
+  EXPECT_NEAR(miller4.tag_bit_us(), 4.0 * fm0.tag_bit_us(), 1e-9);
+}
+
+TEST(C1g2, ShorterTariSpeedsTheReaderLink) {
+  C1g2Link fast = paper_link();
+  fast.tari_us = 6.25;  // the standard's fastest Tari
+  EXPECT_NEAR(fast.reader_bit_us(), paper_link().reader_bit_us() / 4.0,
+              1e-9);
+}
+
+TEST(C1g2, Data1RatioStretchesSymbols) {
+  C1g2Link wide = paper_link();
+  wide.data1_ratio = 2.0;  // the standard's widest data-1
+  EXPECT_GT(wide.reader_bit_us(), paper_link().reader_bit_us());
+}
+
+TEST(C1g2, TimingModelFeedsTheAirtimeLedger) {
+  // End-to-end: price the BFCE two-phase ledger with a faster link and
+  // check the total shrinks accordingly.
+  Airtime bfce;
+  bfce.reader_bits = 256;
+  bfce.intervals = 3;
+  bfce.tag_bits = 9216;
+  C1g2Link fast = paper_link();
+  fast.tari_us = 12.5;
+  fast.encoding = TagEncoding::kFm0;
+  const double paper_s = bfce.total_seconds(paper_link().to_timing_model());
+  const double fast_s = bfce.total_seconds(fast.to_timing_model());
+  EXPECT_LT(fast_s, paper_s);
+}
+
+}  // namespace
+}  // namespace bfce::rfid

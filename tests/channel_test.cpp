@@ -1,0 +1,69 @@
+// Tests for the channel model (perfect + error injection).
+#include "rfid/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bfce::rfid {
+namespace {
+
+TEST(Channel, PerfectMapping) {
+  Channel ch;
+  util::Xoshiro256ss rng(1);
+  EXPECT_EQ(ch.observe(0, rng), SlotState::kIdle);
+  EXPECT_EQ(ch.observe(1, rng), SlotState::kSingle);
+  EXPECT_EQ(ch.observe(2, rng), SlotState::kCollision);
+  EXPECT_EQ(ch.observe(100, rng), SlotState::kCollision);
+}
+
+TEST(Channel, IsBusyHelper) {
+  EXPECT_FALSE(is_busy(SlotState::kIdle));
+  EXPECT_TRUE(is_busy(SlotState::kSingle));
+  EXPECT_TRUE(is_busy(SlotState::kCollision));
+}
+
+TEST(Channel, ModelPerfectFlag) {
+  EXPECT_TRUE(ChannelModel{}.perfect());
+  EXPECT_FALSE((ChannelModel{0.01, 0.0}).perfect());
+  EXPECT_FALSE((ChannelModel{0.0, 0.01}).perfect());
+}
+
+TEST(Channel, FalseBusyRateApproximatelyHonoured) {
+  Channel ch(ChannelModel{0.10, 0.0});
+  util::Xoshiro256ss rng(2);
+  int busy = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (is_busy(ch.observe(0, rng))) ++busy;
+  }
+  EXPECT_NEAR(static_cast<double>(busy) / kTrials, 0.10, 0.005);
+}
+
+TEST(Channel, FalseIdleRateApproximatelyHonoured) {
+  Channel ch(ChannelModel{0.0, 0.25});
+  util::Xoshiro256ss rng(3);
+  int idle = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (!is_busy(ch.observe(3, rng))) ++idle;
+  }
+  EXPECT_NEAR(static_cast<double>(idle) / kTrials, 0.25, 0.01);
+}
+
+TEST(Channel, FalseIdleDoesNotAffectTrulyIdleSlots) {
+  Channel ch(ChannelModel{0.0, 0.5});
+  util::Xoshiro256ss rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(ch.observe(0, rng), SlotState::kIdle);
+  }
+}
+
+TEST(Channel, FalseBusyDoesNotAffectTrulyBusySlots) {
+  Channel ch(ChannelModel{0.5, 0.0});
+  util::Xoshiro256ss rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(is_busy(ch.observe(2, rng)));
+  }
+}
+
+}  // namespace
+}  // namespace bfce::rfid

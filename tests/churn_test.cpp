@@ -1,0 +1,109 @@
+// Tests for the dynamic-population timeline.
+#include "sim/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "core/differential.hpp"
+#include "math/stats.hpp"
+
+namespace bfce::sim {
+namespace {
+
+TEST(Churn, StartsWithTheRequestedPopulation) {
+  PopulationTimeline tl(5000, 1);
+  EXPECT_EQ(tl.size(), 5000u);
+  std::unordered_set<std::uint64_t> ids;
+  for (const rfid::Tag& t : tl.current().tags()) {
+    EXPECT_GE(t.id, 1u);
+    EXPECT_LE(t.id, 1000000000000000ULL);
+    ids.insert(t.id);
+  }
+  EXPECT_EQ(ids.size(), 5000u);
+}
+
+TEST(Churn, DeterministicInSeed) {
+  PopulationTimeline a(1000, 7);
+  PopulationTimeline b(1000, 7);
+  const ChurnModel model{0.1, 50.0};
+  for (int i = 0; i < 5; ++i) {
+    const ChurnStep sa = a.step(model);
+    const ChurnStep sb = b.step(model);
+    EXPECT_EQ(sa.departed, sb.departed);
+    EXPECT_EQ(sa.arrived, sb.arrived);
+  }
+}
+
+TEST(Churn, NoChurnModelLeavesPopulationUntouched) {
+  PopulationTimeline tl(2000, 2);
+  const auto before = tl.current().tags();
+  const ChurnStep s = tl.step(ChurnModel{0.0, 0.0});
+  EXPECT_EQ(s.departed, 0u);
+  EXPECT_EQ(s.arrived, 0u);
+  ASSERT_EQ(tl.size(), 2000u);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(tl.current()[i].id, before[i].id);
+  }
+}
+
+TEST(Churn, DepartureRateMatches) {
+  PopulationTimeline tl(50000, 3);
+  const ChurnStep s = tl.step(ChurnModel{0.2, 0.0});
+  EXPECT_NEAR(static_cast<double>(s.departed), 10000.0, 400.0);  // ±~7σ
+  EXPECT_EQ(s.population, 50000u - s.departed);
+}
+
+TEST(Churn, ArrivalsArePoisson) {
+  PopulationTimeline tl(100, 4);
+  math::RunningStats arrivals;
+  for (int i = 0; i < 300; ++i) {
+    arrivals.add(static_cast<double>(tl.step(ChurnModel{0.0, 20.0}).arrived));
+  }
+  EXPECT_NEAR(arrivals.mean(), 20.0, 1.0);
+  // Poisson: variance ≈ mean.
+  EXPECT_NEAR(arrivals.variance(), 20.0, 5.0);
+}
+
+TEST(Churn, SurvivorsKeepTheirIdentity) {
+  PopulationTimeline tl(5000, 5);
+  std::unordered_set<std::uint64_t> before;
+  for (const rfid::Tag& t : tl.current().tags()) before.insert(t.id);
+  const ChurnStep s = tl.step(ChurnModel{0.3, 100.0});
+  std::size_t survivors = 0;
+  for (const rfid::Tag& t : tl.current().tags()) {
+    if (before.count(t.id)) ++survivors;
+  }
+  EXPECT_EQ(survivors, 5000u - s.departed);
+}
+
+TEST(Churn, SteadyStateHoversAroundArrivalOverDeparture) {
+  // With departure prob q and arrival mean a, the stationary size is
+  // a/q; start far away and converge.
+  PopulationTimeline tl(100, 6);
+  const ChurnModel model{0.05, 250.0};  // stationary ≈ 5000
+  for (int i = 0; i < 200; ++i) tl.step(model);
+  EXPECT_NEAR(static_cast<double>(tl.size()), 5000.0, 1000.0);
+}
+
+TEST(Churn, DrivesTheDifferentialEstimatorEndToEnd) {
+  // Snapshot, churn one period, snapshot again: the differential
+  // estimate must track the timeline's own ground truth.
+  PopulationTimeline tl(20000, 8);
+  core::DifferentialConfig cfg;
+  cfg.tune_for(20000.0);
+  const rfid::Channel ch;
+  util::Xoshiro256ss rng(9);
+  const auto ref = core::take_snapshot(tl.current(), cfg, ch, rng);
+  const ChurnStep s = tl.step(ChurnModel{0.10, 800.0});
+  const auto now = core::take_snapshot(tl.current(), cfg, ch, rng);
+  const auto churn = core::compare_snapshots(ref, now, cfg);
+  EXPECT_NEAR(churn.departed, static_cast<double>(s.departed),
+              static_cast<double>(s.departed) * 0.35);
+  EXPECT_NEAR(churn.arrived, static_cast<double>(s.arrived),
+              static_cast<double>(s.arrived) * 0.5 + 100.0);
+}
+
+}  // namespace
+}  // namespace bfce::sim

@@ -1,0 +1,111 @@
+// Protocol contract suite: invariants every estimator in the registry
+// must satisfy, swept over (protocol × frame mode) with TEST_P.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "estimators/registry.hpp"
+#include "rfid/reader.hpp"
+
+namespace bfce::estimators {
+namespace {
+
+using ContractParam = std::tuple<std::string, rfid::FrameMode>;
+
+class EstimatorContractTest
+    : public ::testing::TestWithParam<ContractParam> {
+ protected:
+  static const rfid::TagPopulation& population() {
+    static const rfid::TagPopulation pop = rfid::make_population(
+        20000, rfid::TagIdDistribution::kT2ApproxNormal, 2015);
+    return pop;
+  }
+};
+
+TEST_P(EstimatorContractTest, ProducesAFinitePositiveEstimate) {
+  const auto [name, mode] = GetParam();
+  const auto est = make_estimator(name);
+  rfid::ReaderContext ctx(population(), 1, mode);
+  const EstimateOutcome out = est->estimate(ctx, {0.1, 0.1});
+  EXPECT_TRUE(std::isfinite(out.n_hat));
+  EXPECT_GT(out.n_hat, 0.0);
+  EXPECT_LT(out.n_hat, 1e9);
+}
+
+TEST_P(EstimatorContractTest, ChargesTheAir) {
+  const auto [name, mode] = GetParam();
+  const auto est = make_estimator(name);
+  rfid::ReaderContext ctx(population(), 2, mode);
+  const EstimateOutcome out = est->estimate(ctx, {0.1, 0.1});
+  // Every protocol must broadcast something and listen to something.
+  EXPECT_GT(out.airtime.reader_bits, 0u);
+  EXPECT_GT(out.airtime.tag_bits, 0u);
+  EXPECT_GT(out.airtime.intervals, 0u);
+  EXPECT_GT(out.rounds, 0u);
+  EXPECT_DOUBLE_EQ(out.time_us, out.airtime.total_us(ctx.timing()));
+}
+
+TEST_P(EstimatorContractTest, DeterministicGivenContextSeed) {
+  const auto [name, mode] = GetParam();
+  const auto est = make_estimator(name);
+  rfid::ReaderContext a(population(), 3, mode);
+  rfid::ReaderContext b(population(), 3, mode);
+  const EstimateOutcome ra = est->estimate(a, {0.1, 0.1});
+  const EstimateOutcome rb = est->estimate(b, {0.1, 0.1});
+  EXPECT_DOUBLE_EQ(ra.n_hat, rb.n_hat);
+  EXPECT_EQ(ra.airtime.reader_bits, rb.airtime.reader_bits);
+  EXPECT_EQ(ra.airtime.tag_bits, rb.airtime.tag_bits);
+  EXPECT_EQ(ra.airtime.tag_tx_bits, rb.airtime.tag_tx_bits);
+  EXPECT_EQ(ra.rounds, rb.rounds);
+}
+
+TEST_P(EstimatorContractTest, SeedChangesTheDraws) {
+  const auto [name, mode] = GetParam();
+  const auto est = make_estimator(name);
+  // Coarse discrete statistics (LOF's mean first-zero index) can collide
+  // across a seed pair; three seeds must not all agree.
+  double n_hats[3];
+  std::uint64_t txs[3];
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    rfid::ReaderContext ctx(population(), 40 + s, mode);
+    const EstimateOutcome out = est->estimate(ctx, {0.1, 0.1});
+    n_hats[s] = out.n_hat;
+    txs[s] = out.airtime.tag_tx_bits;
+  }
+  const bool all_same = n_hats[0] == n_hats[1] && n_hats[1] == n_hats[2] &&
+                        txs[0] == txs[1] && txs[1] == txs[2];
+  EXPECT_FALSE(all_same) << name;
+}
+
+TEST_P(EstimatorContractTest, FreshInstancesAreIndependent) {
+  // A second estimate with a fresh instance and fresh context must
+  // reproduce the first: no hidden mutable state inside estimators.
+  const auto [name, mode] = GetParam();
+  rfid::ReaderContext a(population(), 6, mode);
+  const EstimateOutcome ra = make_estimator(name)->estimate(a, {0.1, 0.1});
+  rfid::ReaderContext b(population(), 6, mode);
+  const EstimateOutcome rb = make_estimator(name)->estimate(b, {0.1, 0.1});
+  EXPECT_DOUBLE_EQ(ra.n_hat, rb.n_hat);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, EstimatorContractTest,
+    ::testing::Combine(::testing::ValuesIn(estimator_names()),
+                       ::testing::Values(rfid::FrameMode::kExact,
+                                         rfid::FrameMode::kSampled)),
+    [](const auto& param_info) {
+      std::string name = std::get<0>(param_info.param) +
+                         (std::get<1>(param_info.param) ==
+                                  rfid::FrameMode::kExact
+                              ? "_exact"
+                              : "_sampled");
+      for (char& c : name) {
+        if (c == '-') c = '_';  // gtest names must be identifiers
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace bfce::estimators

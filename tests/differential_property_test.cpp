@@ -1,0 +1,76 @@
+// Property sweep for the differential estimator over the churn lattice.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/differential.hpp"
+#include "rfid/population.hpp"
+
+namespace bfce::core {
+namespace {
+
+// (base population, departed fraction, arrived fraction)
+using ChurnParam = std::tuple<std::size_t, double, double>;
+
+class DifferentialSweepTest
+    : public ::testing::TestWithParam<ChurnParam> {};
+
+TEST_P(DifferentialSweepTest, RecoversTheChurnComposition) {
+  const auto [base, dep_frac, arr_frac] = GetParam();
+  const auto dep = static_cast<std::size_t>(static_cast<double>(base) *
+                                            dep_frac);
+  const auto arr = static_cast<std::size_t>(static_cast<double>(base) *
+                                            arr_frac);
+  const auto all = rfid::make_population(
+      base + arr, rfid::TagIdDistribution::kT1Uniform,
+      base ^ (dep * 7) ^ (arr * 13));
+  std::vector<rfid::Tag> ref_tags(all.tags().begin(),
+                                  all.tags().begin() +
+                                      static_cast<long>(base));
+  std::vector<rfid::Tag> cur_tags(all.tags().begin() +
+                                      static_cast<long>(dep),
+                                  all.tags().end());
+  const rfid::TagPopulation ref_pop{std::move(ref_tags)};
+  const rfid::TagPopulation cur_pop{std::move(cur_tags)};
+
+  DifferentialConfig cfg;
+  cfg.tune_for(static_cast<double>(base + arr));
+  const rfid::Channel ch;
+  util::Xoshiro256ss rng(99);
+  const auto snap_ref = take_snapshot(ref_pop, cfg, ch, rng);
+  const auto snap_cur = take_snapshot(cur_pop, cfg, ch, rng);
+  const ChurnEstimate churn = compare_snapshots(snap_ref, snap_cur, cfg);
+
+  // Tolerances: relative 35% on each component plus an absolute floor
+  // covering sampling noise at small counts.
+  const double dep_tol = static_cast<double>(dep) * 0.35 + 250.0;
+  const double arr_tol = static_cast<double>(arr) * 0.35 + 250.0;
+  EXPECT_NEAR(churn.departed, static_cast<double>(dep), dep_tol);
+  EXPECT_NEAR(churn.arrived, static_cast<double>(arr), arr_tol);
+  EXPECT_NEAR(churn.stayed, static_cast<double>(base - dep),
+              static_cast<double>(base) * 0.12 + 250.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChurnLattice, DifferentialSweepTest,
+    ::testing::Values(ChurnParam{10000, 0.0, 0.0},
+                      ChurnParam{10000, 0.1, 0.0},
+                      ChurnParam{10000, 0.0, 0.1},
+                      ChurnParam{10000, 0.2, 0.2},
+                      ChurnParam{10000, 0.5, 0.05},
+                      ChurnParam{50000, 0.1, 0.1},
+                      ChurnParam{50000, 0.3, 0.0},
+                      ChurnParam{200000, 0.15, 0.05}),
+    [](const auto& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_dep" +
+             std::to_string(
+                 static_cast<int>(std::get<1>(param_info.param) * 100)) +
+             "_arr" +
+             std::to_string(
+                 static_cast<int>(std::get<2>(param_info.param) * 100));
+    });
+
+}  // namespace
+}  // namespace bfce::core

@@ -1,0 +1,82 @@
+// Tests for erfinv and the Theorem-3 confidence constant.
+#include "math/erf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bfce::math {
+namespace {
+
+TEST(ErfInv, RoundTripsThroughErf) {
+  for (double x = -0.999; x <= 0.999; x += 0.001) {
+    const double y = erfinv(x);
+    EXPECT_NEAR(std::erf(y), x, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(ErfInv, RoundTripsDeepIntoTheTail) {
+  for (double x : {0.999999, 0.99999999, -0.999999}) {
+    EXPECT_NEAR(std::erf(erfinv(x)), x, 1e-10);
+  }
+}
+
+TEST(ErfInv, KnownValues) {
+  EXPECT_DOUBLE_EQ(erfinv(0.0), 0.0);
+  // erfinv(0.5) = 0.47693627620446987...
+  EXPECT_NEAR(erfinv(0.5), 0.47693627620446987, 1e-12);
+  // erfinv(0.95) = 1.3859038243496777...
+  EXPECT_NEAR(erfinv(0.95), 1.3859038243496777, 1e-11);
+  EXPECT_NEAR(erfinv(-0.95), -1.3859038243496777, 1e-11);
+}
+
+TEST(ErfInv, IsOddFunction) {
+  for (double x : {0.1, 0.37, 0.8, 0.99}) {
+    EXPECT_DOUBLE_EQ(erfinv(-x), -erfinv(x));
+  }
+}
+
+TEST(ErfInv, EdgeAndDomainBehaviour) {
+  EXPECT_TRUE(std::isinf(erfinv(1.0)));
+  EXPECT_GT(erfinv(1.0), 0.0);
+  EXPECT_TRUE(std::isinf(erfinv(-1.0)));
+  EXPECT_LT(erfinv(-1.0), 0.0);
+  EXPECT_TRUE(std::isnan(erfinv(1.5)));
+  EXPECT_TRUE(std::isnan(erfinv(-2.0)));
+  EXPECT_TRUE(std::isnan(erfinv(std::nan(""))));
+}
+
+TEST(ConfidenceD, MatchesStandardNormalQuantiles) {
+  // d(δ) is the two-sided z-score: δ=0.05 → 1.95996, δ=0.01 → 2.57583,
+  // δ=0.3 → 1.03643.
+  EXPECT_NEAR(confidence_d(0.05), 1.9599639845400545, 1e-10);
+  EXPECT_NEAR(confidence_d(0.01), 2.5758293035489004, 1e-10);
+  EXPECT_NEAR(confidence_d(0.30), 1.0364333894937898, 1e-10);
+}
+
+TEST(ConfidenceD, SatisfiesItsDefiningProperty) {
+  // Pr{|Y| ≤ d} = 1 − δ for standard normal Y:
+  // Φ(d) − Φ(−d) must equal 1 − δ.
+  for (double delta : {0.05, 0.1, 0.2, 0.3}) {
+    const double d = confidence_d(delta);
+    EXPECT_NEAR(normal_cdf(d) - normal_cdf(-d), 1.0 - delta, 1e-12);
+  }
+}
+
+TEST(ConfidenceD, MonotoneDecreasingInDelta) {
+  double prev = confidence_d(0.01);
+  for (double delta = 0.05; delta < 0.95; delta += 0.05) {
+    const double d = confidence_d(delta);
+    EXPECT_LT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.959963984540054), 0.025, 1e-12);
+}
+
+}  // namespace
+}  // namespace bfce::math

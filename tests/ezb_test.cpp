@@ -1,0 +1,86 @@
+// Deep tests for the EZB repeated-frame estimator.
+#include "estimators/ezb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "math/stats.hpp"
+#include "rfid/reader.hpp"
+
+namespace bfce::estimators {
+namespace {
+
+TEST(EzbDeep, RequiredRoundsMonotoneInBothKnobs) {
+  const auto base = EzbEstimator::required_rounds(0.05, 0.05, 1.594, 512);
+  EXPECT_GT(base, EzbEstimator::required_rounds(0.10, 0.05, 1.594, 512));
+  EXPECT_GT(base, EzbEstimator::required_rounds(0.05, 0.20, 1.594, 512));
+  EXPECT_GE(EzbEstimator::required_rounds(0.05, 0.05, 0.2, 512), base);
+}
+
+TEST(EzbDeep, RoundsScaleInverselyWithFrameSize) {
+  // Doubling f halves the rounds (total slot count is what matters).
+  const auto r512 = EzbEstimator::required_rounds(0.05, 0.05, 1.594, 512);
+  const auto r1024 = EzbEstimator::required_rounds(0.05, 0.05, 1.594, 1024);
+  EXPECT_NEAR(static_cast<double>(r512),
+              2.0 * static_cast<double>(r1024), 1.5);
+}
+
+TEST(EzbDeep, ChargesExactlyTheComputedRounds) {
+  const auto pop = rfid::make_population(
+      30000, rfid::TagIdDistribution::kT1Uniform, 1);
+  EzbParams params;
+  EzbEstimator est(params);
+  rfid::ReaderContext ctx(pop, 2, rfid::FrameMode::kSampled);
+  const auto out = est.estimate(ctx, {0.05, 0.05});
+  // tag_bits = pilot (2 × 32 lottery slots) + rounds × frame_size.
+  EXPECT_EQ((out.airtime.tag_bits - 64) % params.frame_size, 0u);
+  EXPECT_EQ((out.airtime.tag_bits - 64) / params.frame_size, out.rounds);
+}
+
+TEST(EzbDeep, RoundCapIsFlagged) {
+  EzbParams params;
+  params.max_rounds = 2;  // nowhere near enough for (0.02, 0.02)
+  EzbEstimator est(params);
+  const auto pop = rfid::make_population(
+      30000, rfid::TagIdDistribution::kT1Uniform, 3);
+  rfid::ReaderContext ctx(pop, 4, rfid::FrameMode::kSampled);
+  const auto out = est.estimate(ctx, {0.02, 0.02});
+  EXPECT_FALSE(out.met_by_design);
+  EXPECT_EQ(out.rounds, 2u);
+}
+
+TEST(EzbDeep, PoolingRoundsShrinksTheSpread) {
+  // EZB's whole design: accuracy is bought with repetition. Compare the
+  // spread of estimates at (0.2, 0.2) (few rounds) vs (0.05, 0.05).
+  const auto pop = rfid::make_population(
+      30000, rfid::TagIdDistribution::kT1Uniform, 5);
+  EzbEstimator est;
+  auto spread = [&](double eps) {
+    math::RunningStats s;
+    for (int i = 0; i < 30; ++i) {
+      rfid::ReaderContext ctx(pop, 100 + static_cast<std::uint64_t>(i),
+                              rfid::FrameMode::kSampled);
+      s.add(est.estimate(ctx, {eps, eps}).n_hat);
+    }
+    return s.stddev();
+  };
+  EXPECT_GT(spread(0.25), 1.5 * spread(0.05));
+}
+
+TEST(EzbDeep, AccuracyAtBothScaleExtremes) {
+  EzbEstimator est;
+  for (std::size_t n : {1500UL, 800000UL}) {
+    const auto pop =
+        rfid::make_population(n, rfid::TagIdDistribution::kT1Uniform, n);
+    math::RunningStats err;
+    for (int i = 0; i < 10; ++i) {
+      rfid::ReaderContext ctx(pop, n + static_cast<std::uint64_t>(i),
+                              rfid::FrameMode::kSampled);
+      err.add(est.estimate(ctx, {0.05, 0.05})
+                  .relative_error(static_cast<double>(n)));
+    }
+    EXPECT_LT(err.mean(), 0.08) << n;
+  }
+}
+
+}  // namespace
+}  // namespace bfce::estimators

@@ -1,0 +1,110 @@
+// Deep tests for the FNEB first-busy-slot estimator.
+#include "estimators/fneb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/erf.hpp"
+#include "math/stats.hpp"
+#include "rfid/reader.hpp"
+
+namespace bfce::estimators {
+namespace {
+
+TEST(FnebDeep, FirstBusySlotFollowsTheOrderStatisticLaw) {
+  // E[U] ≈ f/(n+1) for the minimum of n uniform slot draws; check both
+  // executors against the law through the estimator's own rounds.
+  const std::size_t n = 5000;
+  const auto pop =
+      rfid::make_population(n, rfid::TagIdDistribution::kT1Uniform, 1);
+  FnebParams params;
+  params.frame_size = 1u << 20;
+  FnebEstimator est(params);
+  // One estimate's Ū is already the average over ~hundreds of rounds.
+  rfid::ReaderContext ctx(pop, 2, rfid::FrameMode::kSampled);
+  const auto out = est.estimate(ctx, {0.05, 0.05});
+  EXPECT_LT(out.relative_error(static_cast<double>(n)), 0.06);
+}
+
+TEST(FnebDeep, RoundCountIsTheVarianceBound) {
+  const auto pop = rfid::make_population(
+      20000, rfid::TagIdDistribution::kT1Uniform, 3);
+  FnebEstimator est;
+  for (const double eps : {0.05, 0.1, 0.2}) {
+    rfid::ReaderContext ctx(pop, 4, rfid::FrameMode::kSampled);
+    const auto out = est.estimate(ctx, {eps, 0.05});
+    const double d = math::confidence_d(0.05);
+    EXPECT_EQ(out.rounds,
+              static_cast<std::uint32_t>(std::ceil((d / eps) * (d / eps))))
+        << eps;
+  }
+}
+
+TEST(FnebDeep, EarlyTerminationSlotBudget) {
+  // Each round listens to ≈ f/(n+1) + 1 slots; the total must be close
+  // to rounds × that, far below rounds × f.
+  const std::size_t n = 50000;
+  const auto pop =
+      rfid::make_population(n, rfid::TagIdDistribution::kT1Uniform, 5);
+  FnebParams params;
+  FnebEstimator est(params);
+  rfid::ReaderContext ctx(pop, 6, rfid::FrameMode::kSampled);
+  const auto out = est.estimate(ctx, {0.05, 0.05});
+  const double expected_per_round =
+      static_cast<double>(params.frame_size) / (static_cast<double>(n) + 1) +
+      1.5;  // +1 busy slot, +0.5 discretisation
+  EXPECT_NEAR(static_cast<double>(out.airtime.tag_bits) /
+                  static_cast<double>(out.rounds),
+              expected_per_round, expected_per_round * 0.3);
+}
+
+TEST(FnebDeep, ExactAndSampledMinimaAgree) {
+  const auto pop = rfid::make_population(
+      10000, rfid::TagIdDistribution::kT1Uniform, 7);
+  FnebEstimator est;
+  math::RunningStats exact;
+  math::RunningStats sampled;
+  for (int i = 0; i < 6; ++i) {
+    rfid::ReaderContext a(pop, 100 + static_cast<std::uint64_t>(i),
+                          rfid::FrameMode::kExact);
+    rfid::ReaderContext b(pop, 100 + static_cast<std::uint64_t>(i),
+                          rfid::FrameMode::kSampled);
+    exact.add(est.estimate(a, {0.15, 0.1}).n_hat);
+    sampled.add(est.estimate(b, {0.15, 0.1}).n_hat);
+  }
+  EXPECT_NEAR(exact.mean(), sampled.mean(), 0.15 * exact.mean());
+}
+
+TEST(FnebDeep, UndersizedFrameDegradesGracefully) {
+  // n comparable to f: Ū ≈ 0 and the estimator saturates near f instead
+  // of exploding.
+  FnebParams params;
+  params.frame_size = 1024;
+  FnebEstimator est(params);
+  const auto pop = rfid::make_population(
+      100000, rfid::TagIdDistribution::kT1Uniform, 8);
+  rfid::ReaderContext ctx(pop, 9, rfid::FrameMode::kSampled);
+  const auto out = est.estimate(ctx, {0.1, 0.1});
+  EXPECT_TRUE(std::isfinite(out.n_hat));
+  EXPECT_GT(out.n_hat, 0.0);
+  EXPECT_LT(out.n_hat, 5e6);
+}
+
+TEST(FnebDeep, SeedBroadcastsDominateItsTime) {
+  // FNEB's pathology mirrors ZOE's: per-round (seed+size) broadcasts
+  // dwarf the handful of listened slots.
+  const auto pop = rfid::make_population(
+      50000, rfid::TagIdDistribution::kT1Uniform, 10);
+  rfid::ReaderContext ctx(pop, 11, rfid::FrameMode::kSampled);
+  FnebEstimator est;
+  const auto out = est.estimate(ctx, {0.05, 0.05});
+  // Per round: 64 broadcast bits (2417 µs) vs ~f/n + 1 ≈ 22 listened
+  // slots (415 µs) — broadcasts carry the bulk of the airtime.
+  const rfid::TimingModel tm;
+  EXPECT_GT(static_cast<double>(out.airtime.reader_bits) * tm.reader_bit_us,
+            3.0 * static_cast<double>(out.airtime.tag_bits) * tm.tag_bit_us);
+}
+
+}  // namespace
+}  // namespace bfce::estimators

@@ -1,0 +1,147 @@
+// Randomised reference-model tests: drive the low-level containers and
+// accumulators with random operation sequences and compare against
+// trivially correct models.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "math/stats.hpp"
+#include "util/bitvector.hpp"
+#include "util/rng.hpp"
+
+namespace bfce {
+namespace {
+
+TEST(FuzzBitVector, MatchesVectorBoolModel) {
+  util::Xoshiro256ss rng(1);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t size = 1 + rng.below(300);
+    util::BitVector bv(size);
+    std::vector<bool> model(size, false);
+    for (int op = 0; op < 500; ++op) {
+      const std::size_t i = rng.below(size);
+      switch (rng.below(3)) {
+        case 0:
+          bv.set(i, true);
+          model[i] = true;
+          break;
+        case 1:
+          bv.set(i, false);
+          model[i] = false;
+          break;
+        default:
+          ASSERT_EQ(bv.get(i), model[i]) << "round " << round;
+      }
+    }
+    // Full-state comparison including the aggregate queries.
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      ASSERT_EQ(bv.get(i), model[i]);
+      if (model[i]) ++ones;
+    }
+    ASSERT_EQ(bv.count_ones(), ones);
+    const auto model_first_zero = static_cast<std::size_t>(
+        std::find(model.begin(), model.end(), false) - model.begin());
+    const auto model_first_one = static_cast<std::size_t>(
+        std::find(model.begin(), model.end(), true) - model.begin());
+    ASSERT_EQ(bv.first_zero(), model_first_zero);
+    ASSERT_EQ(bv.first_one(), model_first_one);
+    // Random prefixes.
+    for (int p = 0; p < 10; ++p) {
+      const std::size_t prefix = rng.below(size + 1);
+      ASSERT_EQ(bv.count_ones_prefix(prefix),
+                static_cast<std::size_t>(std::count(
+                    model.begin(),
+                    model.begin() + static_cast<long>(prefix), true)));
+    }
+  }
+}
+
+TEST(FuzzRunningStats, MatchesNaiveTwoPassComputation) {
+  util::Xoshiro256ss rng(2);
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t count = 2 + rng.below(400);
+    math::RunningStats rs;
+    std::vector<double> xs;
+    for (std::size_t i = 0; i < count; ++i) {
+      // Mix magnitudes to stress numerical stability.
+      const double x = (rng.uniform() - 0.5) *
+                       std::pow(10.0, static_cast<double>(rng.below(6)));
+      xs.push_back(x);
+      rs.add(x);
+    }
+    const double mean =
+        std::accumulate(xs.begin(), xs.end(), 0.0) /
+        static_cast<double>(count);
+    double ss = 0.0;
+    for (const double x : xs) ss += (x - mean) * (x - mean);
+    const double var = ss / static_cast<double>(count - 1);
+    ASSERT_NEAR(rs.mean(), mean, 1e-9 * (1.0 + std::fabs(mean)));
+    ASSERT_NEAR(rs.variance(), var, 1e-9 * (1.0 + var));
+    ASSERT_EQ(rs.min(), *std::min_element(xs.begin(), xs.end()));
+    ASSERT_EQ(rs.max(), *std::max_element(xs.begin(), xs.end()));
+  }
+}
+
+TEST(FuzzRunningStats, RandomSplitsMergeConsistently) {
+  util::Xoshiro256ss rng(3);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t count = 10 + rng.below(200);
+    math::RunningStats whole;
+    math::RunningStats left;
+    math::RunningStats right;
+    for (std::size_t i = 0; i < count; ++i) {
+      const double x = rng.uniform() * 1000.0 - 500.0;
+      whole.add(x);
+      (rng.bernoulli(0.5) ? left : right).add(x);
+    }
+    left.merge(right);
+    ASSERT_EQ(left.count(), whole.count());
+    ASSERT_NEAR(left.mean(), whole.mean(), 1e-9);
+    ASSERT_NEAR(left.variance(), whole.variance(), 1e-7);
+  }
+}
+
+TEST(FuzzQuantiles, SortedQuantileIsMonotone) {
+  util::Xoshiro256ss rng(4);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<double> xs;
+    const std::size_t count = 1 + rng.below(100);
+    for (std::size_t i = 0; i < count; ++i) {
+      xs.push_back(rng.uniform() * 100.0);
+    }
+    std::sort(xs.begin(), xs.end());
+    double prev = xs.front();
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+      const double v = math::quantile_sorted(xs, q);
+      ASSERT_GE(v, prev - 1e-12);
+      ASSERT_GE(v, xs.front());
+      ASSERT_LE(v, xs.back());
+      prev = v;
+    }
+  }
+}
+
+TEST(FuzzMedian, AgreesWithSortBasedMedian) {
+  util::Xoshiro256ss rng(5);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<double> xs;
+    const std::size_t count = 1 + rng.below(60);
+    for (std::size_t i = 0; i < count; ++i) {
+      xs.push_back(std::floor(rng.uniform() * 20.0));  // ties on purpose
+    }
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    const double expected =
+        count % 2 == 1
+            ? sorted[count / 2]
+            : 0.5 * (sorted[count / 2 - 1] + sorted[count / 2]);
+    ASSERT_DOUBLE_EQ(math::median(xs), expected) << round;
+  }
+}
+
+}  // namespace
+}  // namespace bfce

@@ -1,0 +1,161 @@
+// Tests for the hash families and the tag-side persistence scheme.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "hash/mix.hpp"
+#include "hash/persistence.hpp"
+#include "hash/slot_hash.hpp"
+#include "math/hypothesis.hpp"
+#include "util/rng.hpp"
+
+namespace bfce::hash {
+namespace {
+
+TEST(Mix, Fmix64HasNoTrivialFixpointAtZero) {
+  EXPECT_EQ(fmix64(0), 0u);  // murmur finaliser maps 0 to 0 by design...
+  EXPECT_NE(fmix64(1), 1u);  // ...but nothing else nearby.
+  EXPECT_NE(fmix64(2), 2u);
+}
+
+TEST(Mix, MixWithSeedDecorelatesSeeds) {
+  // The same key under different seeds must disagree.
+  int equal = 0;
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    if (mix_with_seed(key, 1) == mix_with_seed(key, 2)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(IdealSlotHash, InRangeAndDeterministic) {
+  const IdealSlotHash h(12345);
+  for (std::uint64_t id = 1; id < 2000; ++id) {
+    const std::uint32_t s = h.slot(id, 8192);
+    EXPECT_LT(s, 8192u);
+    EXPECT_EQ(s, h.slot(id, 8192));
+  }
+}
+
+TEST(IdealSlotHash, NonPowerOfTwoRange) {
+  const IdealSlotHash h(5);
+  for (std::uint64_t id = 1; id < 2000; ++id) {
+    EXPECT_LT(h.slot(id, 1000), 1000u);
+  }
+}
+
+TEST(IdealSlotHash, UniformityChiSquare) {
+  const IdealSlotHash h(99);
+  constexpr std::uint32_t kBins = 128;
+  std::vector<std::size_t> counts(kBins, 0);
+  for (std::uint64_t id = 1; id <= 128000; ++id) ++counts[h.slot(id, kBins)];
+  const double p = math::chi_square_pvalue(
+      math::chi_square_uniform(counts), kBins - 1);
+  EXPECT_GT(p, 0.001);
+}
+
+TEST(LightweightSlotHash, MatchesThePapersBitgetDefinition) {
+  // H(id) = bitget(RN ⊕ RS, 13:1) — the lowest 13 bits of the XOR.
+  const std::uint32_t rn = 0xDEADBEEF;
+  const std::uint32_t rs = 0x12345678;
+  const LightweightSlotHash h(rs);
+  EXPECT_EQ(h.slot(rn, 8192), (rn ^ rs) & 0x1FFFu);
+}
+
+TEST(LightweightSlotHash, UniformOverRandomRn) {
+  const LightweightSlotHash h(0xCAFEBABE);
+  util::Xoshiro256ss rng(4);
+  constexpr std::uint32_t kW = 256;
+  std::vector<std::size_t> counts(kW, 0);
+  for (int i = 0; i < 256000; ++i) {
+    ++counts[h.slot(static_cast<std::uint32_t>(rng()), kW)];
+  }
+  const double p =
+      math::chi_square_pvalue(math::chi_square_uniform(counts), kW - 1);
+  EXPECT_GT(p, 0.001);
+}
+
+TEST(LightweightSlotHash, PairwiseXorIsConstantAcrossTags) {
+  // The correlation artefact called out in DESIGN.md: for any two seeds,
+  // H1(t) ⊕ H2(t) is the same for every tag t.
+  const LightweightSlotHash h1(0x1111);
+  const LightweightSlotHash h2(0xBEEF);
+  util::Xoshiro256ss rng(5);
+  const std::uint32_t rn0 = static_cast<std::uint32_t>(rng());
+  const std::uint32_t expected = h1.slot(rn0, 8192) ^ h2.slot(rn0, 8192);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint32_t rn = static_cast<std::uint32_t>(rng());
+    EXPECT_EQ(h1.slot(rn, 8192) ^ h2.slot(rn, 8192), expected);
+  }
+}
+
+TEST(GeometricSlotHash, FollowsGeometricLaw) {
+  const GeometricSlotHash g(7);
+  constexpr std::uint32_t kFrame = 32;
+  std::vector<std::size_t> counts(kFrame, 0);
+  constexpr std::size_t kTags = 400000;
+  for (std::uint64_t id = 1; id <= kTags; ++id) ++counts[g.slot(id, kFrame)];
+  // Slot j should hold ≈ 2^-(j+1) of the tags; check the first slots
+  // where counts are large enough for a tight relative bound.
+  for (std::uint32_t j = 0; j < 6; ++j) {
+    const double expected = std::ldexp(static_cast<double>(kTags),
+                                       -static_cast<int>(j) - 1);
+    EXPECT_NEAR(static_cast<double>(counts[j]), expected, 0.05 * expected)
+        << "slot " << j;
+  }
+}
+
+TEST(GeometricSlotHash, ClampsToLastSlot) {
+  const GeometricSlotHash g(7);
+  for (std::uint64_t id = 1; id < 10000; ++id) {
+    EXPECT_LT(g.slot(id, 4), 4u);
+  }
+}
+
+TEST(RnBitsPersistence, RateMatchesNumerator) {
+  util::Xoshiro256ss rng(6);
+  for (std::uint32_t p_n : {1u, 8u, 103u, 512u, 1023u}) {
+    std::size_t hits = 0;
+    constexpr std::size_t kTrials = 200000;
+    for (std::size_t i = 0; i < kTrials; ++i) {
+      if (rn_bits_respond(static_cast<std::uint32_t>(rng()),
+                          static_cast<std::uint32_t>(i % 8192), 42, p_n)) {
+        ++hits;
+      }
+    }
+    const double rate = static_cast<double>(hits) / kTrials;
+    const double expected = static_cast<double>(p_n) / 1024.0;
+    EXPECT_NEAR(rate, expected, 0.005 + 0.1 * expected)
+        << "p_n=" << p_n;
+  }
+}
+
+TEST(RnBitsPersistence, VariesAcrossSlotsForOneTag) {
+  // A fixed tag must not make the same decision in every slot (that
+  // would freeze the responding subpopulation — see DESIGN.md).
+  const std::uint32_t rn = 0xABCD1234;
+  int responses = 0;
+  for (std::uint32_t slot = 0; slot < 1024; ++slot) {
+    if (rn_bits_respond(rn, slot, 42, 512)) ++responses;
+  }
+  EXPECT_GT(responses, 300);
+  EXPECT_LT(responses, 724);
+}
+
+TEST(RnBitsPersistence, EdgeNumerators) {
+  util::Xoshiro256ss rng(8);
+  // p_n = 0 never responds.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rn_bits_respond(static_cast<std::uint32_t>(rng()),
+                                 static_cast<std::uint32_t>(i), 7, 0));
+  }
+  // p_n = 1024 always responds.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(rn_bits_respond(static_cast<std::uint32_t>(rng()),
+                                static_cast<std::uint32_t>(i), 7, 1024));
+  }
+}
+
+}  // namespace
+}  // namespace bfce::hash

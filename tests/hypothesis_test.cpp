@@ -1,0 +1,112 @@
+// Tests for the goodness-of-fit helpers and SRC's round-count rule.
+#include "math/hypothesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace bfce::math {
+namespace {
+
+TEST(ChiSquare, ZeroForPerfectlyUniformCounts) {
+  EXPECT_DOUBLE_EQ(chi_square_uniform({10, 10, 10, 10}), 0.0);
+}
+
+TEST(ChiSquare, KnownStatistic) {
+  // observed {12, 8}, expected 10 each: (4+4)/10 = 0.8.
+  EXPECT_NEAR(chi_square_uniform({12, 8}), 0.8, 1e-12);
+}
+
+TEST(ChiSquare, PValueHighForUniformData) {
+  util::Xoshiro256ss rng(1);
+  std::vector<std::size_t> counts(50, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.below(50)];
+  const double p = chi_square_pvalue(chi_square_uniform(counts), 49);
+  EXPECT_GT(p, 0.001);
+}
+
+TEST(ChiSquare, PValueLowForSkewedData) {
+  std::vector<std::size_t> counts(50, 100);
+  counts[0] = 600;  // gross excess in one bin
+  const double p = chi_square_pvalue(chi_square_uniform(counts), 49);
+  EXPECT_LT(p, 1e-6);
+}
+
+TEST(ChiSquare, PValueZeroDof) {
+  EXPECT_DOUBLE_EQ(chi_square_pvalue(5.0, 0), 1.0);
+}
+
+TEST(KolmogorovSmirnov, IdenticalSamplesHaveZeroStatistic) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ks_statistic(xs, xs), 0.0);
+}
+
+TEST(KolmogorovSmirnov, DisjointSamplesHaveStatisticOne) {
+  EXPECT_DOUBLE_EQ(ks_statistic({1.0, 2.0}, {10.0, 11.0}), 1.0);
+}
+
+TEST(KolmogorovSmirnov, SameDistributionHighPValue) {
+  util::Xoshiro256ss rng(2);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.uniform());
+    b.push_back(rng.uniform());
+  }
+  const double d = ks_statistic(a, b);
+  EXPECT_GT(ks_pvalue(d, a.size(), b.size()), 0.001);
+}
+
+TEST(KolmogorovSmirnov, ShiftedDistributionLowPValue) {
+  util::Xoshiro256ss rng(3);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.uniform());
+    b.push_back(rng.uniform() + 0.2);
+  }
+  const double d = ks_statistic(a, b);
+  EXPECT_LT(ks_pvalue(d, a.size(), b.size()), 1e-6);
+}
+
+TEST(BinomialUpperTail, KnownValues) {
+  // Pr{X ≥ 0} = 1 always.
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(10, 0, 0.3), 1.0);
+  // k > m is impossible.
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(5, 6, 0.5), 0.0);
+  // Fair coin, Pr{X ≥ 3 of 5} = 0.5 by symmetry.
+  EXPECT_NEAR(binomial_upper_tail(5, 3, 0.5), 0.5, 1e-12);
+  // The paper's majority expression at m=5, p=0.8:
+  // C(5,3)·0.8³·0.2² + C(5,4)·0.8⁴·0.2 + 0.8⁵ = 0.94208.
+  EXPECT_NEAR(binomial_upper_tail(5, 3, 0.8), 0.94208, 1e-10);
+  // And at m=3: 0.8³ + 3·0.8²·0.2 = 0.896.
+  EXPECT_NEAR(binomial_upper_tail(3, 2, 0.8), 0.896, 1e-10);
+}
+
+TEST(SrcRoundCount, MatchesThePapersRule) {
+  // Majority of m rounds at per-round success 0.8 must reach 1 − δ.
+  EXPECT_EQ(src_round_count(0.30), 1u);   // 0.8 ≥ 0.7
+  EXPECT_EQ(src_round_count(0.20), 1u);   // 0.8 ≥ 0.8
+  EXPECT_EQ(src_round_count(0.10), 5u);   // 0.896 < 0.9, 0.94208 ≥ 0.9
+  EXPECT_EQ(src_round_count(0.05), 7u);   // 0.94208 < 0.95, 0.96666 ≥ 0.95
+}
+
+TEST(SrcRoundCount, AlwaysOdd) {
+  for (double delta : {0.01, 0.03, 0.07, 0.15, 0.25}) {
+    EXPECT_EQ(src_round_count(delta) % 2, 1u) << "delta=" << delta;
+  }
+}
+
+TEST(SrcRoundCount, MonotoneInDelta) {
+  std::size_t prev = src_round_count(0.005);
+  for (double delta : {0.01, 0.05, 0.1, 0.2, 0.3}) {
+    const std::size_t m = src_round_count(delta);
+    EXPECT_LE(m, prev);
+    prev = m;
+  }
+}
+
+}  // namespace
+}  // namespace bfce::math

@@ -1,0 +1,111 @@
+// Tests for the exact-identification protocols (Q algorithm, tree walk).
+#include <gtest/gtest.h>
+
+#include "core/bfce.hpp"
+#include "identification/qprotocol.hpp"
+#include "identification/treewalk.hpp"
+#include "rfid/reader.hpp"
+
+namespace bfce::identification {
+namespace {
+
+rfid::TagPopulation pop_of(std::size_t n, std::uint64_t seed = 1) {
+  return rfid::make_population(n, rfid::TagIdDistribution::kT1Uniform, seed);
+}
+
+TEST(QProtocol, IdentifiesEveryTag) {
+  for (std::size_t n : {0UL, 1UL, 100UL, 5000UL}) {
+    const auto pop = pop_of(n, n + 1);
+    rfid::ReaderContext ctx(pop, 42);
+    QProtocol q;
+    const IdentificationOutcome out = q.identify(ctx);
+    EXPECT_EQ(out.identified, n) << n;
+    EXPECT_EQ(out.singleton_slots, n) << n;
+  }
+}
+
+TEST(QProtocol, SlotEfficiencyNearTheAlohaOptimum) {
+  // Optimal framed ALOHA identifies ~1/e of slots as singletons; the Q
+  // algorithm should stay within 2× of that (≤ ~6 slots per tag).
+  const auto pop = pop_of(20000, 2);
+  rfid::ReaderContext ctx(pop, 43);
+  QProtocol q;
+  const IdentificationOutcome out = q.identify(ctx);
+  const double slots_per_tag =
+      static_cast<double>(out.total_slots) / 20000.0;
+  EXPECT_LT(slots_per_tag, 6.0);
+  EXPECT_GT(slots_per_tag, 2.0);  // can't beat e ≈ 2.718 slots/tag
+}
+
+TEST(QProtocol, CountsSlotTypesConsistently) {
+  const auto pop = pop_of(3000, 3);
+  rfid::ReaderContext ctx(pop, 44);
+  QProtocol q;
+  const IdentificationOutcome out = q.identify(ctx);
+  EXPECT_EQ(out.empty_slots + out.singleton_slots + out.collision_slots,
+            out.total_slots);
+}
+
+TEST(QProtocol, TimeScalesLinearlyInN) {
+  QProtocol q;
+  auto seconds = [&](std::size_t n) {
+    const auto pop = pop_of(n, n);
+    rfid::ReaderContext ctx(pop, 45);
+    return q.identify(ctx).total_seconds(ctx.timing());
+  };
+  const double t2k = seconds(2000);
+  const double t20k = seconds(20000);
+  EXPECT_NEAR(t20k / t2k, 10.0, 3.0);
+}
+
+TEST(TreeWalk, IdentifiesEveryTag) {
+  for (std::size_t n : {0UL, 1UL, 100UL, 5000UL}) {
+    const auto pop = pop_of(n, n + 7);
+    rfid::ReaderContext ctx(pop, 46);
+    TreeWalk tree;
+    const IdentificationOutcome out = tree.identify(ctx);
+    EXPECT_EQ(out.identified, n) << n;
+  }
+}
+
+TEST(TreeWalk, QueryCountNearTheTrieBound) {
+  // Random IDs give ~2.9 queries/tag (2n internal + n leaves ≈ 3n nodes
+  // minus pruning); assert the classic [2, 4] window.
+  const auto pop = pop_of(10000, 4);
+  rfid::ReaderContext ctx(pop, 47);
+  TreeWalk tree;
+  const IdentificationOutcome out = tree.identify(ctx);
+  const double queries_per_tag =
+      static_cast<double>(out.total_slots) / 10000.0;
+  EXPECT_GT(queries_per_tag, 2.0);
+  EXPECT_LT(queries_per_tag, 4.0);
+}
+
+TEST(TreeWalk, DeterministicForAPopulation) {
+  const auto pop = pop_of(2000, 5);
+  TreeWalk tree;
+  rfid::ReaderContext a(pop, 48);
+  rfid::ReaderContext b(pop, 999);  // context seed is irrelevant: no RNG
+  EXPECT_EQ(tree.identify(a).total_slots, tree.identify(b).total_slots);
+}
+
+TEST(Identification, EstimationIsOrdersOfMagnitudeCheaper) {
+  // The library's raison d'être (§III-A, Fig 1): identifying 50k tags
+  // takes minutes of airtime; BFCE estimates them in ~0.2 s.
+  const auto pop = pop_of(50000, 6);
+  rfid::ReaderContext id_ctx(pop, 49);
+  QProtocol q;
+  const double t_identify = q.identify(id_ctx).total_seconds(id_ctx.timing());
+
+  rfid::ReaderContext est_ctx(pop, 50);
+  core::BfceEstimator bfce;
+  const auto est = bfce.estimate(est_ctx, {0.05, 0.05});
+  const double t_estimate = est.airtime.total_seconds(est_ctx.timing());
+
+  EXPECT_GT(t_identify, 60.0);          // minutes of airtime
+  EXPECT_LT(t_estimate, 0.3);           // constant-time estimation
+  EXPECT_GT(t_identify / t_estimate, 200.0);
+}
+
+}  // namespace
+}  // namespace bfce::identification

@@ -1,0 +1,154 @@
+// Cross-module integration tests: miniature versions of the paper's
+// headline comparisons (Fig 9 / Fig 10) plus exact-vs-sampled and
+// noisy-channel end-to-end checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/bfce.hpp"
+#include "estimators/registry.hpp"
+#include "estimators/src_protocol.hpp"
+#include "estimators/zoe.hpp"
+#include "sim/experiment.hpp"
+
+namespace bfce {
+namespace {
+
+using sim::ExperimentConfig;
+using sim::ExperimentSummary;
+using sim::run_experiment;
+using sim::summarize_records;
+
+ExperimentSummary run(const rfid::TagPopulation& pop,
+                      const sim::EstimatorFactory& factory,
+                      std::size_t trials, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.trials = trials;
+  cfg.req = {0.05, 0.05};
+  cfg.mode = rfid::FrameMode::kSampled;
+  cfg.seed = seed;
+  return summarize_records(run_experiment(pop, factory, cfg), 0.05);
+}
+
+TEST(Integration, HeadlineComparisonShapeHolds) {
+  // Miniature Fig 9 + Fig 10 on T2: all three meet ε on average, and the
+  // time ordering BFCE < SRC < ZOE holds with roughly the paper's gaps.
+  const auto pop = rfid::make_population(
+      100000, rfid::TagIdDistribution::kT2ApproxNormal, 2015);
+  const auto bfce = run(
+      pop, [] { return std::make_unique<core::BfceEstimator>(); }, 15, 1);
+  const auto zoe = run(
+      pop, [] { return std::make_unique<estimators::ZoeEstimator>(); }, 15,
+      2);
+  const auto src = run(
+      pop, [] { return std::make_unique<estimators::SrcEstimator>(); }, 15,
+      3);
+
+  EXPECT_LT(bfce.accuracy.mean, 0.05);
+  EXPECT_LT(zoe.accuracy.mean, 0.05);
+  EXPECT_LT(src.accuracy.mean, 0.05);
+
+  EXPECT_LT(bfce.time_s.max, 0.30);                    // constant time
+  EXPECT_GT(zoe.time_s.mean / bfce.time_s.mean, 10.0); // "30× in average"
+  EXPECT_GT(src.time_s.mean / bfce.time_s.mean, 1.2);  // "2× in average"
+  EXPECT_LT(src.time_s.mean, zoe.time_s.mean);
+}
+
+TEST(Integration, BfceTimeFlatWhereBaselinesMove) {
+  // Fig 10's defining feature: sweeping n moves ZOE/SRC (via their rough
+  // phases' luck) but leaves BFCE flat.
+  std::vector<double> bfce_times;
+  for (std::size_t n : {20000UL, 200000UL, 2000000UL}) {
+    const auto pop = rfid::make_population(
+        n, rfid::TagIdDistribution::kT2ApproxNormal, n);
+    const auto s = run(
+        pop, [] { return std::make_unique<core::BfceEstimator>(); }, 8, n);
+    bfce_times.push_back(s.time_s.mean);
+  }
+  const double spread =
+      *std::max_element(bfce_times.begin(), bfce_times.end()) /
+      *std::min_element(bfce_times.begin(), bfce_times.end());
+  EXPECT_LT(spread, 1.3);
+}
+
+TEST(Integration, ExactAndSampledAgreeEndToEnd) {
+  const auto pop = rfid::make_population(
+      60000, rfid::TagIdDistribution::kT3Normal, 7);
+  ExperimentConfig cfg;
+  cfg.trials = 20;
+  cfg.req = {0.05, 0.05};
+  cfg.seed = 5;
+  const auto factory = [] {
+    return std::make_unique<core::BfceEstimator>();
+  };
+  cfg.mode = rfid::FrameMode::kExact;
+  const auto exact = summarize_records(run_experiment(pop, factory, cfg),
+                                       0.05);
+  cfg.mode = rfid::FrameMode::kSampled;
+  const auto sampled = summarize_records(run_experiment(pop, factory, cfg),
+                                         0.05);
+  // Identical law ⇒ similar error scale (not identical draws).
+  EXPECT_LT(exact.accuracy.mean, 0.04);
+  EXPECT_LT(sampled.accuracy.mean, 0.04);
+  EXPECT_NEAR(exact.time_s.mean, sampled.time_s.mean, 0.02);
+}
+
+TEST(Integration, DistributionsDoNotMatter) {
+  // Fig 7a's message: T1/T2/T3 produce indistinguishable BFCE accuracy.
+  std::vector<double> means;
+  for (const auto dist : rfid::kAllDistributions) {
+    const auto pop = rfid::make_population(150000, dist, 99);
+    means.push_back(
+        run(pop, [] { return std::make_unique<core::BfceEstimator>(); }, 25,
+            42)
+            .accuracy.mean);
+  }
+  for (const double m : means) {
+    EXPECT_LT(m, 0.035);
+  }
+}
+
+TEST(Integration, NoisyChannelBiasIsDirectional) {
+  // False-busy noise inflates busy counts ⇒ overestimates; false-idle
+  // noise deflates them ⇒ underestimates. End-to-end sanity of the error
+  // injection path.
+  const auto pop = rfid::make_population(
+      100000, rfid::TagIdDistribution::kT1Uniform, 13);
+  auto mean_nhat = [&](rfid::ChannelModel ch) {
+    ExperimentConfig cfg;
+    cfg.trials = 10;
+    cfg.mode = rfid::FrameMode::kSampled;
+    cfg.channel = ch;
+    cfg.seed = 17;
+    const auto records = run_experiment(
+        pop, [] { return std::make_unique<core::BfceEstimator>(); }, cfg);
+    double sum = 0.0;
+    for (const auto& r : records) sum += r.n_hat;
+    return sum / static_cast<double>(records.size());
+  };
+  const double clean = mean_nhat({});
+  EXPECT_GT(mean_nhat({0.05, 0.0}), clean);
+  EXPECT_LT(mean_nhat({0.0, 0.05}), clean);
+}
+
+TEST(Integration, CommunicationLedgersAreConsistent) {
+  // time_us reported by the estimator equals the ledger priced under the
+  // context's (custom) timing model — across protocols.
+  rfid::TimingModel slow;
+  slow.reader_bit_us = 100.0;
+  slow.tag_bit_us = 50.0;
+  slow.interval_us = 1000.0;
+  const auto pop = rfid::make_population(
+      30000, rfid::TagIdDistribution::kT1Uniform, 19);
+  for (const char* name : {"BFCE", "ZOE", "SRC"}) {
+    const auto est = estimators::make_estimator(name);
+    rfid::ReaderContext ctx(pop, 21, rfid::FrameMode::kSampled, {}, slow);
+    const auto out = est->estimate(ctx, {0.1, 0.1});
+    EXPECT_DOUBLE_EQ(out.time_us, out.airtime.total_us(slow)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace bfce

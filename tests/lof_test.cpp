@@ -1,0 +1,97 @@
+// Tests for the LOF lottery-frame estimator.
+#include "estimators/lof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/stats.hpp"
+#include "rfid/reader.hpp"
+
+namespace bfce::estimators {
+namespace {
+
+TEST(Lof, CoarseButUnbiasedInTheLog) {
+  // LOF is a magnitude estimator: over many runs the mean estimate must
+  // land within ~25% of n (10-round averaging), even though single runs
+  // scatter widely.
+  const auto pop = rfid::make_population(
+      50000, rfid::TagIdDistribution::kT1Uniform, 1);
+  LofEstimator est;
+  math::RunningStats stats;
+  for (int i = 0; i < 40; ++i) {
+    rfid::ReaderContext ctx(pop, 10 + static_cast<std::uint64_t>(i),
+                            rfid::FrameMode::kSampled);
+    stats.add(est.estimate(ctx, {0.05, 0.05}).n_hat);
+  }
+  EXPECT_NEAR(stats.mean(), 50000.0, 50000.0 * 0.25);
+}
+
+TEST(Lof, TracksOrdersOfMagnitude) {
+  LofEstimator est;
+  double prev = 0.0;
+  for (std::size_t n : {1000UL, 16000UL, 256000UL}) {
+    const auto pop =
+        rfid::make_population(n, rfid::TagIdDistribution::kT1Uniform, n);
+    math::RunningStats stats;
+    for (int i = 0; i < 20; ++i) {
+      rfid::ReaderContext ctx(pop, n + static_cast<std::uint64_t>(i),
+                              rfid::FrameMode::kSampled);
+      stats.add(est.estimate(ctx, {0.05, 0.05}).n_hat);
+    }
+    EXPECT_GT(stats.mean(), prev * 4.0);  // 16× jumps must register clearly
+    prev = stats.mean();
+  }
+}
+
+TEST(Lof, AirtimeAccountsEveryRound) {
+  const auto pop =
+      rfid::make_population(1000, rfid::TagIdDistribution::kT1Uniform, 2);
+  const LofParams params{32, 10, 32};
+  LofEstimator est(params);
+  rfid::ReaderContext ctx(pop, 3);
+  const EstimateOutcome out = est.estimate(ctx, {0.05, 0.05});
+  EXPECT_EQ(out.rounds, 10u);
+  EXPECT_EQ(out.airtime.reader_bits, 10u * 32u);
+  EXPECT_EQ(out.airtime.tag_bits, 10u * 32u);
+  EXPECT_EQ(out.airtime.intervals, 20u);  // one per broadcast + per frame
+}
+
+TEST(Lof, RoundsParameterControlsVariance) {
+  const auto pop = rfid::make_population(
+      30000, rfid::TagIdDistribution::kT1Uniform, 4);
+  auto spread = [&](std::uint32_t rounds) {
+    LofEstimator est(LofParams{32, rounds, 32});
+    math::RunningStats s;
+    for (int i = 0; i < 60; ++i) {
+      rfid::ReaderContext ctx(pop, 1000 + static_cast<std::uint64_t>(i),
+                              rfid::FrameMode::kSampled);
+      s.add(std::log2(std::max(1.0, est.estimate(ctx, {0.1, 0.1}).n_hat)));
+    }
+    return s.stddev();
+  };
+  // 16× more rounds ⇒ ~4× smaller spread of log2(n̂); require ≥ 2×.
+  EXPECT_GT(spread(1), 2.0 * spread(16));
+}
+
+TEST(Lof, ExactAndSampledAgreeOnAverage) {
+  const auto pop = rfid::make_population(
+      20000, rfid::TagIdDistribution::kT2ApproxNormal, 5);
+  LofEstimator est;
+  math::RunningStats exact;
+  math::RunningStats sampled;
+  for (int i = 0; i < 30; ++i) {
+    rfid::ReaderContext ce(pop, 50 + static_cast<std::uint64_t>(i),
+                           rfid::FrameMode::kExact);
+    rfid::ReaderContext cs(pop, 50 + static_cast<std::uint64_t>(i),
+                           rfid::FrameMode::kSampled);
+    exact.add(std::log2(est.estimate(ce, {0.1, 0.1}).n_hat));
+    sampled.add(std::log2(est.estimate(cs, {0.1, 0.1}).n_hat));
+  }
+  EXPECT_NEAR(exact.mean(), sampled.mean(), 0.5);  // within half a level
+}
+
+TEST(Lof, NameIsStable) { EXPECT_EQ(LofEstimator().name(), "LOF"); }
+
+}  // namespace
+}  // namespace bfce::estimators

@@ -1,0 +1,100 @@
+// Deep tests for the multi-frame maximum-likelihood estimator.
+#include "estimators/mle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/stats.hpp"
+#include "rfid/reader.hpp"
+
+namespace bfce::estimators {
+namespace {
+
+using Evidence = MleEstimator::FrameEvidence;
+
+TEST(MleDeep, JointEvidenceFromDifferentLoadsAgrees) {
+  // Exact-expectation frames at three very different persistences must
+  // jointly pin the same n.
+  constexpr std::uint32_t kF = 512;
+  const double n_true = 40000.0;
+  std::vector<Evidence> ev;
+  for (double p : {0.001, 0.02, 0.08}) {
+    const double q = std::exp(-p * n_true / kF);
+    ev.push_back({p, static_cast<std::uint32_t>(std::lround(q * kF))});
+  }
+  EXPECT_NEAR(MleEstimator::maximize_likelihood(ev, kF, 1e8), n_true,
+              n_true * 0.03);
+}
+
+TEST(MleDeep, SaturatedFramesContributeFinitely) {
+  // empties = 0 (fully busy) must not produce NaN/inf; combined with one
+  // informative frame the maximiser lands near the informative answer.
+  constexpr std::uint32_t kF = 512;
+  std::vector<Evidence> ev;
+  ev.push_back({1.0, 0});  // hopeless saturated pilot frame
+  const double n_true = 30000.0;
+  const double p = 0.02;
+  ev.push_back({p, static_cast<std::uint32_t>(
+                       std::lround(std::exp(-p * n_true / kF) * kF))});
+  const double n_hat = MleEstimator::maximize_likelihood(ev, kF, 1e8);
+  EXPECT_TRUE(std::isfinite(n_hat));
+  // The saturated frame only says "n is large"; consistent with 30k.
+  EXPECT_NEAR(n_hat, n_true, n_true * 0.15);
+}
+
+TEST(MleDeep, AllIdleEvidencePushesTowardZero) {
+  constexpr std::uint32_t kF = 512;
+  const std::vector<Evidence> ev = {{0.5, kF}, {1.0, kF}};
+  EXPECT_LT(MleEstimator::maximize_likelihood(ev, kF, 1e8), 10.0);
+}
+
+TEST(MleDeep, MoreFramesTightenTheEstimate) {
+  const auto pop = rfid::make_population(
+      50000, rfid::TagIdDistribution::kT1Uniform, 1);
+  auto spread = [&](double eps) {
+    MleEstimator est;
+    math::RunningStats s;
+    for (int i = 0; i < 25; ++i) {
+      rfid::ReaderContext ctx(pop, 100 + static_cast<std::uint64_t>(i),
+                              rfid::FrameMode::kSampled);
+      s.add(est.estimate(ctx, {eps, 0.05}).n_hat);
+    }
+    return s.stddev();
+  };
+  EXPECT_GT(spread(0.2), 1.3 * spread(0.03));
+}
+
+TEST(MleDeep, FisherStopScalesRoundsWithEpsilon) {
+  const auto pop = rfid::make_population(
+      50000, rfid::TagIdDistribution::kT1Uniform, 2);
+  MleEstimator est;
+  rfid::ReaderContext a(pop, 3, rfid::FrameMode::kSampled);
+  rfid::ReaderContext b(pop, 3, rfid::FrameMode::kSampled);
+  const auto tight = est.estimate(a, {0.02, 0.05});
+  const auto loose = est.estimate(b, {0.10, 0.05});
+  // Rounds scale like 1/ε² up to the per-frame floor.
+  EXPECT_GE(tight.rounds, 4 * loose.rounds);
+}
+
+TEST(MleDeep, ScheduleAdaptsPersistenceDownward) {
+  // The pilot is coarse; after the first frames the MLE concentrates
+  // and the load settles near the target. End-to-end accuracy across
+  // scales is the observable consequence.
+  MleEstimator est;
+  for (std::size_t n : {3000UL, 2000000UL}) {
+    const auto pop =
+        rfid::make_population(n, rfid::TagIdDistribution::kT1Uniform, n);
+    math::RunningStats err;
+    for (int i = 0; i < 8; ++i) {
+      rfid::ReaderContext ctx(pop, n + static_cast<std::uint64_t>(i),
+                              rfid::FrameMode::kSampled);
+      err.add(est.estimate(ctx, {0.05, 0.05})
+                  .relative_error(static_cast<double>(n)));
+    }
+    EXPECT_LT(err.mean(), 0.06) << n;
+  }
+}
+
+}  // namespace
+}  // namespace bfce::estimators

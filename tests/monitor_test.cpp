@@ -1,0 +1,149 @@
+// Tests for the CUSUM cardinality monitor.
+#include "core/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bfce.hpp"
+#include "util/rng.hpp"
+
+namespace bfce::core {
+namespace {
+
+/// Synthetic (ε, δ)-like readings: truth + Gaussian noise at the
+/// contract's sd = ε·n/d.
+double noisy_reading(double truth, double eps, util::Xoshiro256ss& rng) {
+  const double u1 = rng.uniform();
+  const double u2 = rng.uniform();
+  const double z = std::sqrt(-2.0 * std::log(u1 + 1e-300)) *
+                   std::cos(6.283185307179586 * u2);
+  const double sd = eps * truth / 1.96;
+  return truth + z * sd;
+}
+
+TEST(Monitor, FirstReadingPrimesTheBaseline) {
+  CardinalityMonitor mon;
+  EXPECT_FALSE(mon.primed());
+  const MonitorReading r = mon.ingest(10000.0);
+  EXPECT_TRUE(mon.primed());
+  EXPECT_DOUBLE_EQ(r.level, 10000.0);
+  EXPECT_FALSE(r.loss_alarm);
+  EXPECT_FALSE(r.gain_alarm);
+}
+
+TEST(Monitor, StableLevelRaisesNoFalseAlarms) {
+  CardinalityMonitor mon;
+  util::Xoshiro256ss rng(1);
+  int alarms = 0;
+  for (int i = 0; i < 300; ++i) {
+    const MonitorReading r = mon.ingest(noisy_reading(50000.0, 0.05, rng));
+    if (r.loss_alarm || r.gain_alarm) ++alarms;
+  }
+  // h = 5, k = 0.5: ARL0 is in the hundreds; 300 in-control readings
+  // should essentially never alarm more than once.
+  EXPECT_LE(alarms, 1);
+}
+
+TEST(Monitor, DetectsASuddenLoss) {
+  CardinalityMonitor mon;
+  util::Xoshiro256ss rng(2);
+  for (int i = 0; i < 20; ++i) mon.ingest(noisy_reading(50000, 0.05, rng));
+  // 15% of stock disappears — a ~6-sd step per reading.
+  int detect_after = -1;
+  for (int i = 0; i < 10; ++i) {
+    const MonitorReading r =
+        mon.ingest(noisy_reading(42500, 0.05, rng));
+    if (r.loss_alarm) {
+      detect_after = i + 1;
+      break;
+    }
+  }
+  ASSERT_GT(detect_after, 0) << "loss never detected";
+  EXPECT_LE(detect_after, 3);
+}
+
+TEST(Monitor, DetectsGainSeparatelyFromLoss) {
+  CardinalityMonitor mon;
+  util::Xoshiro256ss rng(3);
+  for (int i = 0; i < 20; ++i) mon.ingest(noisy_reading(50000, 0.05, rng));
+  bool gain = false;
+  bool loss = false;
+  for (int i = 0; i < 10; ++i) {
+    const MonitorReading r = mon.ingest(noisy_reading(60000, 0.05, rng));
+    gain |= r.gain_alarm;
+    loss |= r.loss_alarm;
+  }
+  EXPECT_TRUE(gain);
+  EXPECT_FALSE(loss);
+}
+
+TEST(Monitor, CatchesSlowDriftThatThresholdsMiss) {
+  // 0.5% loss per reading: every single reading is well inside the 5%
+  // band (a naive per-reading threshold never fires), but the CUSUM
+  // accumulates the drift.
+  CardinalityMonitor mon;
+  util::Xoshiro256ss rng(4);
+  for (int i = 0; i < 20; ++i) mon.ingest(noisy_reading(50000, 0.05, rng));
+  double truth = 50000.0;
+  bool detected = false;
+  int step = 0;
+  for (; step < 60 && !detected; ++step) {
+    truth *= 0.995;
+    const MonitorReading r = mon.ingest(noisy_reading(truth, 0.05, rng));
+    detected = r.loss_alarm;
+  }
+  EXPECT_TRUE(detected);
+  // By detection time the cumulative loss is still moderate (< 25%).
+  EXPECT_GT(truth / 50000.0, 0.75);
+}
+
+TEST(Monitor, AlarmReanchorsTheLevel) {
+  CardinalityMonitor mon;
+  util::Xoshiro256ss rng(5);
+  for (int i = 0; i < 20; ++i) mon.ingest(noisy_reading(50000, 0.05, rng));
+  // Drive an alarm.
+  MonitorReading last;
+  for (int i = 0; i < 10; ++i) {
+    last = mon.ingest(noisy_reading(40000, 0.05, rng));
+    if (last.loss_alarm) break;
+  }
+  ASSERT_TRUE(last.loss_alarm);
+  EXPECT_NEAR(mon.level(), 40000.0, 40000.0 * 0.1);
+  // Post-alarm, the accumulators restarted: the next reading at the new
+  // level must not alarm.
+  const MonitorReading next = mon.ingest(noisy_reading(40000, 0.05, rng));
+  EXPECT_FALSE(next.loss_alarm);
+  EXPECT_FALSE(next.gain_alarm);
+}
+
+TEST(Monitor, ResetForgetsEverything) {
+  CardinalityMonitor mon;
+  mon.ingest(1000.0);
+  mon.ingest(1100.0);
+  mon.reset();
+  EXPECT_FALSE(mon.primed());
+  const MonitorReading r = mon.ingest(5.0);
+  EXPECT_DOUBLE_EQ(r.level, 5.0);
+}
+
+TEST(Monitor, DrivesARealEstimatorEndToEnd) {
+  // Wire the monitor to BFCE against shrinking populations; the loss
+  // alarm must fire after the drop.
+  MonitorParams params;
+  CardinalityMonitor mon(params);
+  BfceEstimator bfce;
+  auto run_day = [&](std::size_t n, std::uint64_t day) {
+    const auto pop = rfid::make_population(
+        n, rfid::TagIdDistribution::kT1Uniform, 77 + day);
+    rfid::ReaderContext ctx(pop, 1000 + day, rfid::FrameMode::kSampled);
+    return mon.update(bfce, ctx);
+  };
+  for (std::uint64_t day = 0; day < 8; ++day) run_day(80000, day);
+  bool alarmed = false;
+  for (std::uint64_t day = 8; day < 14 && !alarmed; ++day) {
+    alarmed = run_day(64000, day).loss_alarm;  // 20% gone
+  }
+  EXPECT_TRUE(alarmed);
+}
+
+}  // namespace
+}  // namespace bfce::core

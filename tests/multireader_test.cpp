@@ -1,0 +1,116 @@
+// Tests for the multi-reader deployment model.
+#include "rfid/multireader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bfce.hpp"
+#include "rfid/reader.hpp"
+
+namespace bfce::rfid {
+namespace {
+
+TagPopulation pop_of(std::size_t n, std::uint64_t seed = 1) {
+  return make_population(n, TagIdDistribution::kT1Uniform, seed);
+}
+
+TEST(TagPositionFn, IsDeterministicAndInUnitSquare) {
+  const auto pop = pop_of(5000);
+  for (const Tag& t : pop.tags()) {
+    const TagPosition a = tag_position(t);
+    const TagPosition b = tag_position(t);
+    EXPECT_DOUBLE_EQ(a.x, b.x);
+    EXPECT_DOUBLE_EQ(a.y, b.y);
+    EXPECT_GE(a.x, 0.0);
+    EXPECT_LT(a.x, 1.0);
+    EXPECT_GE(a.y, 0.0);
+    EXPECT_LT(a.y, 1.0);
+  }
+}
+
+TEST(TagPositionFn, PositionsAreUniformish) {
+  const auto pop = pop_of(40000, 2);
+  std::size_t in_quadrant = 0;
+  for (const Tag& t : pop.tags()) {
+    const TagPosition p = tag_position(t);
+    if (p.x < 0.5 && p.y < 0.5) ++in_quadrant;
+  }
+  EXPECT_NEAR(static_cast<double>(in_quadrant) / 40000.0, 0.25, 0.01);
+}
+
+TEST(MultiReader, SingleFullCoverageReaderSeesEverything) {
+  const auto pop = pop_of(2000, 3);
+  // Radius √2 covers the whole unit square from the centre.
+  MultiReaderSystem sys(pop, {ReaderPlacement{0.5, 0.5, 1.5}});
+  EXPECT_EQ(sys.union_population().size(), 2000u);
+  EXPECT_EQ(sys.uncovered_count(), 0u);
+  EXPECT_EQ(sys.overlap_count(), 0u);
+  EXPECT_EQ(sys.naive_sum(), 2000u);
+}
+
+TEST(MultiReader, ZeroRadiusReadersSeeNothing) {
+  const auto pop = pop_of(1000, 4);
+  MultiReaderSystem sys(pop, {ReaderPlacement{0.5, 0.5, 0.0}});
+  EXPECT_EQ(sys.union_population().size(), 0u);
+  EXPECT_EQ(sys.uncovered_count(), 1000u);
+}
+
+TEST(MultiReader, UnionPlusUncoveredEqualsPopulation) {
+  const auto pop = pop_of(10000, 5);
+  MultiReaderSystem sys(pop, MultiReaderSystem::grid(4, 0.3));
+  EXPECT_EQ(sys.union_population().size() + sys.uncovered_count(), 10000u);
+}
+
+TEST(MultiReader, NaiveSumDoubleCountsOverlap) {
+  const auto pop = pop_of(20000, 6);
+  // A dense grid with generous radius guarantees overlap regions.
+  MultiReaderSystem sys(pop, MultiReaderSystem::grid(9, 0.35));
+  EXPECT_GT(sys.overlap_count(), 0u);
+  EXPECT_GT(sys.naive_sum(), sys.union_population().size());
+  // naive_sum − union = Σ(extra coverings) ≥ overlap tag count.
+  EXPECT_GE(sys.naive_sum() - sys.union_population().size(),
+            sys.overlap_count());
+}
+
+TEST(MultiReader, CoverageMatchesDiscArea) {
+  // One reader of radius 0.25 centred in the square covers π·r² ≈ 19.6%
+  // of uniformly placed tags.
+  const auto pop = pop_of(50000, 7);
+  MultiReaderSystem sys(pop, {ReaderPlacement{0.5, 0.5, 0.25}});
+  const double frac = static_cast<double>(sys.reader_population(0).size()) /
+                      50000.0;
+  EXPECT_NEAR(frac, 3.14159 * 0.25 * 0.25, 0.01);
+}
+
+TEST(MultiReader, GridPlacementsStayInside) {
+  for (const std::size_t count : {1UL, 4UL, 9UL, 12UL}) {
+    const auto grid = MultiReaderSystem::grid(count, 0.2);
+    ASSERT_EQ(grid.size(), count);
+    for (const ReaderPlacement& r : grid) {
+      EXPECT_GT(r.x, 0.0);
+      EXPECT_LT(r.x, 1.0);
+      EXPECT_GT(r.y, 0.0);
+      EXPECT_LT(r.y, 1.0);
+    }
+  }
+}
+
+TEST(MultiReader, LogicalReaderEstimationMatchesTheUnion) {
+  // §III-A's model end-to-end: BFCE against the union population
+  // estimates the union, not the naive double-counting sum.
+  const auto pop = pop_of(60000, 8);
+  MultiReaderSystem sys(pop, MultiReaderSystem::grid(9, 0.35));
+  const double union_n = static_cast<double>(sys.union_population().size());
+
+  rfid::ReaderContext ctx(sys.union_population(), 99,
+                          rfid::FrameMode::kSampled);
+  core::BfceEstimator bfce;
+  const auto out = bfce.estimate(ctx, {0.05, 0.05});
+  EXPECT_LT(std::fabs(out.n_hat - union_n) / union_n, 0.05);
+  // The naive sum is far outside the estimate's error band.
+  EXPECT_GT(static_cast<double>(sys.naive_sum()), 1.2 * out.n_hat);
+}
+
+}  // namespace
+}  // namespace bfce::rfid

@@ -1,0 +1,147 @@
+// Tests for multi-set estimation over aligned Bloom snapshots.
+#include "core/multiset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rfid/population.hpp"
+
+namespace bfce::core {
+namespace {
+
+/// Two populations sharing `common` tags, with `only_a`/`only_b`
+/// exclusive tags each.
+struct TwoSets {
+  rfid::TagPopulation a;
+  rfid::TagPopulation b;
+};
+
+TwoSets make_sets(std::size_t common, std::size_t only_a,
+                  std::size_t only_b, std::uint64_t seed = 1) {
+  const auto all = rfid::make_population(
+      common + only_a + only_b, rfid::TagIdDistribution::kT1Uniform, seed);
+  std::vector<rfid::Tag> a;
+  std::vector<rfid::Tag> b;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i < common) {
+      a.push_back(all[i]);
+      b.push_back(all[i]);
+    } else if (i < common + only_a) {
+      a.push_back(all[i]);
+    } else {
+      b.push_back(all[i]);
+    }
+  }
+  return TwoSets{rfid::TagPopulation(std::move(a)),
+                 rfid::TagPopulation(std::move(b))};
+}
+
+struct Snapshots {
+  util::BitVector a;
+  util::BitVector b;
+  DifferentialConfig cfg;
+};
+
+Snapshots snap(const TwoSets& sets, double n_expected,
+               std::uint64_t seed = 2) {
+  Snapshots s;
+  s.cfg.tune_for(n_expected);
+  const rfid::Channel ch;
+  util::Xoshiro256ss rng(seed);
+  s.a = take_snapshot(sets.a, s.cfg, ch, rng);
+  s.b = take_snapshot(sets.b, s.cfg, ch, rng);
+  return s;
+}
+
+TEST(Multiset, MergeEqualsUnionSnapshot) {
+  // The algebraic heart: OR of aligned snapshots == snapshot of the
+  // union population, bit for bit.
+  const TwoSets sets = make_sets(3000, 2000, 1000);
+  const Snapshots s = snap(sets, 6000.0);
+  std::vector<rfid::Tag> union_tags(sets.a.tags());
+  for (std::size_t i = 3000; i < sets.b.size(); ++i) {
+    union_tags.push_back(sets.b[i]);
+  }
+  const rfid::TagPopulation union_pop{std::move(union_tags)};
+  const rfid::Channel ch;
+  util::Xoshiro256ss rng(3);
+  const auto union_snap = take_snapshot(union_pop, s.cfg, ch, rng);
+  const auto merged = merge_snapshots({&s.a, &s.b}, s.cfg);
+  ASSERT_EQ(merged.size(), union_snap.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged.get(i), union_snap.get(i)) << i;
+  }
+}
+
+TEST(Multiset, UnionEstimateIsAccurate) {
+  const TwoSets sets = make_sets(5000, 4000, 3000);  // union 12000
+  const Snapshots s = snap(sets, 12000.0);
+  EXPECT_NEAR(estimate_union(s.a, s.b, s.cfg), 12000.0, 12000.0 * 0.1);
+}
+
+TEST(Multiset, IntersectionByInclusionExclusion) {
+  const TwoSets sets = make_sets(6000, 3000, 2000);
+  const Snapshots s = snap(sets, 11000.0);
+  EXPECT_NEAR(estimate_intersection(s.a, s.b, s.cfg), 6000.0,
+              6000.0 * 0.25);
+}
+
+TEST(Multiset, DisjointSetsHaveNearZeroIntersection) {
+  const TwoSets sets = make_sets(0, 5000, 5000);
+  const Snapshots s = snap(sets, 10000.0);
+  EXPECT_LT(estimate_intersection(s.a, s.b, s.cfg), 600.0);
+  EXPECT_GE(estimate_intersection(s.a, s.b, s.cfg), 0.0);  // clamped
+}
+
+TEST(Multiset, IdenticalSetsHaveJaccardOne) {
+  const TwoSets sets = make_sets(8000, 0, 0);
+  const Snapshots s = snap(sets, 8000.0);
+  EXPECT_GT(estimate_jaccard(s.a, s.b, s.cfg), 0.95);
+  EXPECT_LE(estimate_jaccard(s.a, s.b, s.cfg), 1.0);
+}
+
+TEST(Multiset, JaccardOrdersOverlapLevels) {
+  const Snapshots high = snap(make_sets(8000, 1000, 1000, 5), 10000.0, 6);
+  const Snapshots low = snap(make_sets(1000, 8000, 8000, 7), 17000.0, 8);
+  EXPECT_GT(estimate_jaccard(high.a, high.b, high.cfg),
+            2.0 * estimate_jaccard(low.a, low.b, low.cfg));
+}
+
+TEST(Multiset, ManyWaySnapshotsMerge) {
+  // Five disjoint 2000-tag warehouses: union of all five ≈ 10000.
+  DifferentialConfig cfg;
+  cfg.tune_for(10000.0);
+  const rfid::Channel ch;
+  util::Xoshiro256ss rng(9);
+  std::vector<util::BitVector> snaps;
+  const auto all = rfid::make_population(
+      10000, rfid::TagIdDistribution::kT1Uniform, 10);
+  for (int s = 0; s < 5; ++s) {
+    std::vector<rfid::Tag> part(all.tags().begin() + s * 2000,
+                                all.tags().begin() + (s + 1) * 2000);
+    snaps.push_back(
+        take_snapshot(rfid::TagPopulation{std::move(part)}, cfg, ch, rng));
+  }
+  std::vector<const util::BitVector*> ptrs;
+  for (const auto& s : snaps) ptrs.push_back(&s);
+  const double n_union =
+      estimate_snapshot(merge_snapshots(ptrs, cfg), cfg);
+  EXPECT_NEAR(n_union, 10000.0, 10000.0 * 0.1);
+}
+
+TEST(Multiset, SaturatedMergeClampsFinite) {
+  DifferentialConfig cfg;  // p = 1 ⇒ saturated at this n
+  const auto pop = rfid::make_population(
+      100000, rfid::TagIdDistribution::kT1Uniform, 11);
+  const rfid::Channel ch;
+  util::Xoshiro256ss rng(12);
+  const auto s = take_snapshot(pop, cfg, ch, rng);
+  const double est = estimate_snapshot(s, cfg);
+  EXPECT_TRUE(std::isfinite(est));
+  EXPECT_GT(est, 0.0);
+}
+
+}  // namespace
+}  // namespace bfce::core

@@ -1,0 +1,68 @@
+// Tests for the parallel_for primitive and its determinism contract.
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+namespace bfce::util {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for(0, kN, [&](std::size_t i) { visits[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelFor, HandlesEmptyRange) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; }, 4);
+  parallel_for(7, 3, [&](std::size_t) { called = true; }, 4);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, NonZeroBegin) {
+  std::atomic<std::size_t> sum{0};
+  parallel_for(10, 20, [&](std::size_t i) { sum.fetch_add(i); }, 3);
+  EXPECT_EQ(sum.load(), 145u);  // 10+11+...+19
+}
+
+TEST(ParallelFor, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> visits(3);
+  parallel_for(0, 3, [&](std::size_t i) { visits[i].fetch_add(1); }, 64);
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, ResultsIndependentOfThreadCount) {
+  // The determinism contract: writing f(i) into slot i yields identical
+  // vectors regardless of parallelism.
+  constexpr std::size_t kN = 5000;
+  auto run = [&](unsigned threads) {
+    std::vector<double> out(kN);
+    parallel_for(0, kN,
+                 [&](std::size_t i) {
+                   out[i] = static_cast<double>(i * i % 97) / 7.0;
+                 },
+                 threads);
+    return out;
+  };
+  EXPECT_EQ(run(1), run(2));
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(DefaultThreadCount, IsAtLeastOne) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(DefaultThreadCount, HonoursEnvOverride) {
+  ::setenv("BFCE_THREADS", "3", 1);
+  EXPECT_EQ(default_thread_count(), 3u);
+  ::unsetenv("BFCE_THREADS");
+}
+
+}  // namespace
+}  // namespace bfce::util

@@ -1,0 +1,104 @@
+// Deep tests for the PET log-log level-search estimator.
+#include "estimators/pet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/stats.hpp"
+#include "rfid/reader.hpp"
+
+namespace bfce::estimators {
+namespace {
+
+TEST(PetDeep, QueryBudgetIsLogLog) {
+  // Per round: level-0 check + top check + binary search over
+  // max_level ⇒ ≤ 2 + ⌈log2(max_level)⌉ single-slot queries.
+  PetParams params;
+  params.rounds = 8;
+  params.max_level = 40;
+  PetEstimator est(params);
+  const auto pop = rfid::make_population(
+      30000, rfid::TagIdDistribution::kT1Uniform, 1);
+  rfid::ReaderContext ctx(pop, 2);
+  const auto out = est.estimate(ctx, {0.1, 0.1});
+  const std::uint64_t per_round_cap =
+      2 + static_cast<std::uint64_t>(std::ceil(std::log2(40.0)));
+  EXPECT_LE(out.airtime.tag_bits, params.rounds * per_round_cap);
+}
+
+TEST(PetDeep, LevelTracksLog2N) {
+  // Quadrupling n must raise the estimate by ≈ 4× (±2× FM noise band).
+  PetEstimator est;
+  auto mean_estimate = [&](std::size_t n) {
+    const auto pop =
+        rfid::make_population(n, rfid::TagIdDistribution::kT1Uniform, n);
+    math::RunningStats s;
+    for (int i = 0; i < 8; ++i) {
+      rfid::ReaderContext ctx(pop, n + static_cast<std::uint64_t>(i));
+      s.add(est.estimate(ctx, {0.1, 0.1}).n_hat);
+    }
+    return s.mean();
+  };
+  const double at_8k = mean_estimate(8000);
+  const double at_128k = mean_estimate(128000);
+  const double growth = at_128k / at_8k;  // true ratio: 16
+  EXPECT_GT(growth, 8.0);
+  EXPECT_LT(growth, 32.0);
+}
+
+TEST(PetDeep, MoreRoundsNarrowTheLogSpread) {
+  const auto pop = rfid::make_population(
+      50000, rfid::TagIdDistribution::kT1Uniform, 3);
+  auto log_spread = [&](std::uint32_t rounds) {
+    PetParams params;
+    params.rounds = rounds;
+    PetEstimator est(params);
+    math::RunningStats s;
+    for (int i = 0; i < 25; ++i) {
+      rfid::ReaderContext ctx(pop, 500 + static_cast<std::uint64_t>(i));
+      s.add(std::log2(est.estimate(ctx, {0.1, 0.1}).n_hat));
+    }
+    return s.stddev();
+  };
+  EXPECT_GT(log_spread(2), 1.5 * log_spread(32));
+}
+
+TEST(PetDeep, EmptySystemReportsZero) {
+  const auto pop =
+      rfid::make_population(0, rfid::TagIdDistribution::kT1Uniform, 4);
+  PetEstimator est;
+  rfid::ReaderContext ctx(pop, 5);
+  const auto out = est.estimate(ctx, {0.1, 0.1});
+  EXPECT_DOUBLE_EQ(out.n_hat, 0.0);
+  EXPECT_EQ(out.rounds, 0u);
+}
+
+TEST(PetDeep, MaxLevelCeilingIsReported) {
+  // With max_level too small for the population, every search tops out
+  // and the estimate saturates near 1.29·2^max_level.
+  PetParams params;
+  params.max_level = 5;  // ceiling 2^5 = 32 << n
+  PetEstimator est(params);
+  const auto pop = rfid::make_population(
+      100000, rfid::TagIdDistribution::kT1Uniform, 6);
+  rfid::ReaderContext ctx(pop, 7);
+  const auto out = est.estimate(ctx, {0.1, 0.1});
+  EXPECT_NEAR(out.n_hat, 1.2897 * 32.0, 1.0);
+}
+
+TEST(PetDeep, CheaperPerRoundThanLof) {
+  // PET's point vs LOF: the same level information for exponentially
+  // fewer slots (log2(40) ≈ 6 queries vs a 32-slot frame).
+  PetParams pp;
+  pp.rounds = 10;
+  PetEstimator pet(pp);
+  const auto pop = rfid::make_population(
+      30000, rfid::TagIdDistribution::kT1Uniform, 8);
+  rfid::ReaderContext ctx(pop, 9);
+  const auto out = pet.estimate(ctx, {0.1, 0.1});
+  EXPECT_LT(out.airtime.tag_bits, 10u * 32u);  // under LOF's slot budget
+}
+
+}  // namespace
+}  // namespace bfce::estimators

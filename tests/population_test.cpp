@@ -1,0 +1,112 @@
+// Tests for the T1/T2/T3 tagID generators (Fig 6 inputs).
+#include "rfid/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "math/stats.hpp"
+
+namespace bfce::rfid {
+namespace {
+
+constexpr double kIdMax = 1e15;
+
+TEST(Population, RequestedSizeAndUniqueIds) {
+  for (const TagIdDistribution dist : kAllDistributions) {
+    const TagPopulation pop = make_population(20000, dist, 1);
+    EXPECT_EQ(pop.size(), 20000u);
+    std::unordered_set<std::uint64_t> ids;
+    for (const Tag& t : pop.tags()) ids.insert(t.id);
+    EXPECT_EQ(ids.size(), pop.size()) << to_string(dist);
+  }
+}
+
+TEST(Population, IdsWithinPaperRange) {
+  for (const TagIdDistribution dist : kAllDistributions) {
+    const TagPopulation pop = make_population(5000, dist, 2);
+    for (const Tag& t : pop.tags()) {
+      EXPECT_GE(t.id, 1u);
+      EXPECT_LE(static_cast<double>(t.id), kIdMax);
+    }
+  }
+}
+
+TEST(Population, DeterministicInSeed) {
+  const TagPopulation a = make_population(1000, TagIdDistribution::kT1Uniform, 7);
+  const TagPopulation b = make_population(1000, TagIdDistribution::kT1Uniform, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].rn, b[i].rn);
+  }
+}
+
+TEST(Population, DiffersAcrossSeeds) {
+  const TagPopulation a = make_population(1000, TagIdDistribution::kT1Uniform, 7);
+  const TagPopulation b = make_population(1000, TagIdDistribution::kT1Uniform, 8);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id == b[i].id) ++same;
+  }
+  EXPECT_LT(same, 5u);
+}
+
+TEST(Population, EmptyPopulation) {
+  const TagPopulation pop =
+      make_population(0, TagIdDistribution::kT3Normal, 1);
+  EXPECT_EQ(pop.size(), 0u);
+}
+
+// Distribution-shape checks exploit the known standard deviations of the
+// three laws over [0, range]: uniform → range/√12 ≈ 0.289·range,
+// Irwin–Hall(3)/3 → range/6 ≈ 0.167·range, clipped normal → range/8 =
+// 0.125·range.
+double relative_stddev(TagIdDistribution dist) {
+  const TagPopulation pop = make_population(50000, dist, 3);
+  math::RunningStats rs;
+  for (const Tag& t : pop.tags()) rs.add(static_cast<double>(t.id));
+  return rs.stddev() / kIdMax;
+}
+
+TEST(Population, T1IsSpreadLikeUniform) {
+  EXPECT_NEAR(relative_stddev(TagIdDistribution::kT1Uniform), 0.2887, 0.01);
+}
+
+TEST(Population, T2IsBellShapedButWiderThanT3) {
+  const double t2 = relative_stddev(TagIdDistribution::kT2ApproxNormal);
+  const double t3 = relative_stddev(TagIdDistribution::kT3Normal);
+  EXPECT_NEAR(t2, 1.0 / 6.0, 0.01);
+  EXPECT_NEAR(t3, 0.125, 0.01);
+  EXPECT_GT(t2, t3);
+}
+
+TEST(Population, BellDistributionsCenterMidRange) {
+  for (const TagIdDistribution dist :
+       {TagIdDistribution::kT2ApproxNormal, TagIdDistribution::kT3Normal}) {
+    const TagPopulation pop = make_population(50000, dist, 4);
+    math::RunningStats rs;
+    for (const Tag& t : pop.tags()) rs.add(static_cast<double>(t.id));
+    EXPECT_NEAR(rs.mean() / kIdMax, 0.5, 0.01) << to_string(dist);
+  }
+}
+
+TEST(Population, RnValuesLookRandom) {
+  // The manufacture-time RN32 must cover the word; a stuck generator
+  // would collapse the lightweight hash.
+  const TagPopulation pop =
+      make_population(10000, TagIdDistribution::kT1Uniform, 5);
+  std::unordered_set<std::uint32_t> rns;
+  for (const Tag& t : pop.tags()) rns.insert(t.rn);
+  EXPECT_GT(rns.size(), 9960u);  // ~10 birthday collisions expected in 2^32
+}
+
+TEST(Population, ToStringNames) {
+  EXPECT_EQ(to_string(TagIdDistribution::kT1Uniform), "T1");
+  EXPECT_EQ(to_string(TagIdDistribution::kT2ApproxNormal), "T2");
+  EXPECT_EQ(to_string(TagIdDistribution::kT3Normal), "T3");
+}
+
+}  // namespace
+}  // namespace bfce::rfid

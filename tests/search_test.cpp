@@ -1,0 +1,134 @@
+// Tests for the two-stage tag-searching protocol.
+#include "core/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bfce::core {
+namespace {
+
+TEST(Search, OptimalFilterHashCount) {
+  SearchConfig cfg;
+  cfg.bits_per_item = 16;
+  EXPECT_EQ(search_filter_hashes(cfg), 11u);  // ⌊16·ln2⌋
+  cfg.bits_per_item = 8;
+  EXPECT_EQ(search_filter_hashes(cfg), 5u);
+  cfg.filter_hashes = 3;  // explicit override wins
+  EXPECT_EQ(search_filter_hashes(cfg), 3u);
+}
+
+TEST(Search, EveryWantedIdPassesItsOwnFilter) {
+  const auto wanted = rfid::make_population(
+      2000, rfid::TagIdDistribution::kT1Uniform, 1);
+  std::vector<std::uint64_t> ids;
+  for (const rfid::Tag& t : wanted.tags()) ids.push_back(t.id);
+  SearchConfig cfg;
+  for (const std::uint64_t id : ids) {
+    EXPECT_TRUE(passes_search_filter(id, ids, cfg)) << id;
+  }
+}
+
+TEST(Search, FalsePositiveRateNearTheBloomBound) {
+  const auto wanted = rfid::make_population(
+      1000, rfid::TagIdDistribution::kT1Uniform, 2);
+  const auto others = rfid::make_population(
+      50000, rfid::TagIdDistribution::kT3Normal, 3);
+  std::vector<std::uint64_t> ids;
+  for (const rfid::Tag& t : wanted.tags()) ids.push_back(t.id);
+  SearchConfig cfg;  // 16 bits/item, 11 hashes ⇒ fp ≈ 2^-11 ≈ 0.05%
+  std::size_t fp = 0;
+  for (const rfid::Tag& t : others.tags()) {
+    if (passes_search_filter(t.id, ids, cfg)) ++fp;
+  }
+  EXPECT_LT(static_cast<double>(fp) / 50000.0, 0.004);
+}
+
+TEST(Search, FindsExactlyThePresentWantedTags) {
+  // Wanted list of 1000; 700 are in the field among 20000 bystanders.
+  const auto wanted = rfid::make_population(
+      1000, rfid::TagIdDistribution::kT1Uniform, 4);
+  const auto bystanders = rfid::make_population(
+      20000, rfid::TagIdDistribution::kT3Normal, 5);
+  std::vector<rfid::Tag> field_tags(wanted.tags().begin(),
+                                    wanted.tags().begin() + 700);
+  for (const rfid::Tag& t : bystanders.tags()) field_tags.push_back(t);
+  const rfid::TagPopulation field{std::move(field_tags)};
+
+  util::Xoshiro256ss rng(6);
+  const SearchOutcome out =
+      search_tags(wanted, field, SearchConfig{}, rfid::Channel{}, rng);
+
+  EXPECT_EQ(out.found_count + out.missing_count + out.unverified_count,
+            1000u);
+  // All 700 present ones must not be called missing; the 300 absent
+  // ones detected up to the (small) verification false-presence rate.
+  for (std::size_t t = 0; t < 700; ++t) {
+    EXPECT_NE(out.verdicts[t], AuthVerdict::kAbsent) << t;
+  }
+  EXPECT_GE(out.missing_count, 280u);
+  EXPECT_LE(out.missing_count, 300u);
+  // The 20000 bystanders were filtered down to a handful of stragglers.
+  EXPECT_LT(out.filter_false_positives, 60u);
+}
+
+TEST(Search, CheaperThanPollingForBigLists) {
+  const auto wanted = rfid::make_population(
+      2000, rfid::TagIdDistribution::kT1Uniform, 7);
+  const auto field = rfid::make_population(
+      30000, rfid::TagIdDistribution::kT3Normal, 8);
+  util::Xoshiro256ss rng(9);
+  const SearchOutcome out =
+      search_tags(wanted, field, SearchConfig{}, rfid::Channel{}, rng);
+  const rfid::TimingModel tm;
+  const double t_search = out.airtime.total_seconds(tm);
+  const double t_poll = polling_cost(2000).total_seconds(tm);
+  EXPECT_LT(t_search, t_poll);
+}
+
+TEST(Search, NobodyWantedIsPresent) {
+  const auto wanted = rfid::make_population(
+      500, rfid::TagIdDistribution::kT1Uniform, 10);
+  const auto field = rfid::make_population(
+      10000, rfid::TagIdDistribution::kT3Normal, 11);
+  util::Xoshiro256ss rng(12);
+  const SearchOutcome out =
+      search_tags(wanted, field, SearchConfig{}, rfid::Channel{}, rng);
+  EXPECT_GE(out.missing_count, 480u);  // all absent, tiny fp residue
+  EXPECT_EQ(out.found_count + out.missing_count + out.unverified_count,
+            500u);
+}
+
+TEST(Search, EmptyFieldMeansEverythingMissing) {
+  const auto wanted = rfid::make_population(
+      300, rfid::TagIdDistribution::kT1Uniform, 13);
+  const rfid::TagPopulation field;
+  util::Xoshiro256ss rng(14);
+  const SearchOutcome out =
+      search_tags(wanted, field, SearchConfig{}, rfid::Channel{}, rng);
+  EXPECT_EQ(out.missing_count + out.unverified_count, 300u);
+  EXPECT_EQ(out.found_count, 0u);
+  EXPECT_EQ(out.filter_false_positives, 0u);
+}
+
+TEST(Search, DenserFiltersCutStragglers) {
+  const auto wanted = rfid::make_population(
+      1000, rfid::TagIdDistribution::kT1Uniform, 15);
+  const auto field = rfid::make_population(
+      40000, rfid::TagIdDistribution::kT3Normal, 16);
+  util::Xoshiro256ss rng(17);
+  SearchConfig thin;
+  thin.bits_per_item = 4;
+  SearchConfig dense;
+  dense.bits_per_item = 24;
+  const auto fp_thin =
+      search_tags(wanted, field, thin, rfid::Channel{}, rng)
+          .filter_false_positives;
+  const auto fp_dense =
+      search_tags(wanted, field, dense, rfid::Channel{}, rng)
+          .filter_false_positives;
+  EXPECT_GT(fp_thin, 5 * std::max<std::size_t>(1, fp_dense));
+}
+
+}  // namespace
+}  // namespace bfce::core

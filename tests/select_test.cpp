@@ -1,0 +1,97 @@
+// Tests for C1G2 Select filtering and categorized populations.
+#include "rfid/select.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/bfce.hpp"
+#include "rfid/reader.hpp"
+
+namespace bfce::rfid {
+namespace {
+
+TEST(SelectMask, MatchSemantics) {
+  SelectMask mask;
+  mask.prefix = 0b101;
+  mask.prefix_bits = 3;
+  mask.id_bits = 50;
+  EXPECT_TRUE(mask.matches(0b101ULL << 47));
+  EXPECT_TRUE(mask.matches((0b101ULL << 47) | 12345));
+  EXPECT_FALSE(mask.matches(0b100ULL << 47));
+  EXPECT_FALSE(mask.matches(0));
+}
+
+TEST(SelectMask, ZeroBitsMatchesEverything) {
+  SelectMask all;
+  EXPECT_TRUE(all.matches(0));
+  EXPECT_TRUE(all.matches(~0ULL >> 14));
+}
+
+TEST(SelectMask, AirtimeGrowsWithMaskLength) {
+  SelectMask narrow;
+  narrow.prefix_bits = 2;
+  SelectMask wide;
+  wide.prefix_bits = 32;
+  EXPECT_GT(wide.airtime_cost().reader_bits,
+            narrow.airtime_cost().reader_bits);
+  EXPECT_EQ(narrow.airtime_cost().intervals, 1u);
+}
+
+TEST(CategorizedPopulation, ExactCountsPerCategory) {
+  const std::vector<std::size_t> counts = {500, 1500, 0, 3000};
+  const auto pop = make_categorized_population(counts, 4, 7);
+  ASSERT_EQ(pop.size(), 5000u);
+  std::vector<std::size_t> seen(counts.size(), 0);
+  for (const Tag& t : pop.tags()) {
+    ++seen[t.id >> 46];  // 50 − 4 prefix bits
+  }
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    EXPECT_EQ(seen[c], counts[c]) << c;
+  }
+}
+
+TEST(CategorizedPopulation, UniqueIds) {
+  const auto pop = make_categorized_population({4000, 4000}, 4, 8);
+  std::unordered_set<std::uint64_t> ids;
+  for (const Tag& t : pop.tags()) ids.insert(t.id);
+  EXPECT_EQ(ids.size(), pop.size());
+}
+
+TEST(SelectPopulation, FiltersExactly) {
+  const auto pop = make_categorized_population({1000, 2000, 3000}, 4, 9);
+  for (std::uint64_t c = 0; c < 3; ++c) {
+    SelectMask mask;
+    mask.prefix = c;
+    mask.prefix_bits = 4;
+    const auto sub = select_population(pop, mask);
+    EXPECT_EQ(sub.size(), 1000u * (c + 1)) << c;
+    for (const Tag& t : sub.tags()) {
+      EXPECT_TRUE(mask.matches(t.id));
+    }
+  }
+}
+
+TEST(SelectPopulation, CategoryCensusEndToEnd) {
+  // Select each category, estimate it with BFCE, and check the per-
+  // category estimates add up sensibly.
+  const std::vector<std::size_t> counts = {20000, 50000, 80000};
+  const auto pop = make_categorized_population(counts, 4, 10);
+  core::BfceEstimator bfce;
+  double total = 0.0;
+  for (std::uint64_t c = 0; c < counts.size(); ++c) {
+    SelectMask mask;
+    mask.prefix = c;
+    mask.prefix_bits = 4;
+    const auto sub = select_population(pop, mask);
+    rfid::ReaderContext ctx(sub, 100 + c, rfid::FrameMode::kSampled);
+    const auto out = bfce.estimate(ctx, {0.05, 0.05});
+    EXPECT_LT(out.relative_error(static_cast<double>(counts[c])), 0.06)
+        << c;
+    total += out.n_hat;
+  }
+  EXPECT_NEAR(total, 150000.0, 150000.0 * 0.04);
+}
+
+}  // namespace
+}  // namespace bfce::rfid

@@ -1,0 +1,122 @@
+// Tests for the SRC comparator.
+#include "estimators/src_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/bfce.hpp"
+#include "math/hypothesis.hpp"
+#include "rfid/reader.hpp"
+#include "sim/experiment.hpp"
+
+namespace bfce::estimators {
+namespace {
+
+TEST(Src, FrameSizeScalesLikeInverseEpsilonSquared) {
+  const auto f_005 = SrcEstimator::frame_size(0.05, 0.2, 1.594, 2.75);
+  const auto f_010 = SrcEstimator::frame_size(0.10, 0.2, 1.594, 2.75);
+  const auto f_020 = SrcEstimator::frame_size(0.20, 0.2, 1.594, 2.75);
+  // Halving ε quadruples the frame (up to the e^{−ελ} curvature).
+  EXPECT_NEAR(static_cast<double>(f_005) / static_cast<double>(f_010), 4.0,
+              0.5);
+  EXPECT_NEAR(static_cast<double>(f_010) / static_cast<double>(f_020), 4.0,
+              0.7);
+}
+
+TEST(Src, FrameSizeGrowsWithCalibration) {
+  EXPECT_GT(SrcEstimator::frame_size(0.05, 0.2, 1.594, 3.0),
+            SrcEstimator::frame_size(0.05, 0.2, 1.594, 1.0));
+}
+
+TEST(Src, RoundCountFollowsThePapersMajorityRule) {
+  const auto pop = rfid::make_population(
+      50000, rfid::TagIdDistribution::kT2ApproxNormal, 1);
+  for (double delta : {0.05, 0.1, 0.2}) {
+    rfid::ReaderContext ctx(pop, 2, rfid::FrameMode::kSampled);
+    SrcEstimator est;
+    const EstimateOutcome out = est.estimate(ctx, {0.05, delta});
+    EXPECT_EQ(out.rounds, math::src_round_count(delta)) << delta;
+  }
+}
+
+TEST(Src, AccurateAtTheDefaultRequirement) {
+  const auto pop = rfid::make_population(
+      100000, rfid::TagIdDistribution::kT2ApproxNormal, 3);
+  sim::ExperimentConfig cfg;
+  cfg.trials = 40;
+  cfg.req = {0.05, 0.05};
+  cfg.mode = rfid::FrameMode::kSampled;
+  cfg.seed = 21;
+  const auto records = sim::run_experiment(
+      pop, [] { return std::make_unique<SrcEstimator>(); }, cfg);
+  const auto summary = sim::summarize_records(records, 0.05);
+  const double slack = 3.0 * std::sqrt(0.05 * 0.95 / 40.0);
+  EXPECT_LE(summary.violation_rate, 0.05 + slack);
+}
+
+TEST(Src, SitsBetweenBfceAndZoeInTime) {
+  // Fig 10's ordering: BFCE < SRC < ZOE at (0.05, 0.05).
+  const auto pop = rfid::make_population(
+      200000, rfid::TagIdDistribution::kT2ApproxNormal, 4);
+  rfid::ReaderContext c1(pop, 5, rfid::FrameMode::kSampled);
+  SrcEstimator src;
+  const double t_src =
+      src.estimate(c1, {0.05, 0.05}).airtime.total_seconds(c1.timing());
+  EXPECT_GT(t_src, 0.19);  // slower than BFCE's constant time
+  EXPECT_LT(t_src, 2.0);   // much faster than ZOE's seconds
+}
+
+TEST(Src, TimeRatioToBfceNearThePaperAverage) {
+  // "2 times faster than SRC in average": check the calibrated ratio at
+  // the headline configuration is roughly 2 (broad tolerance — it is an
+  // average across sweeps in the paper).
+  const auto pop = rfid::make_population(
+      500000, rfid::TagIdDistribution::kT2ApproxNormal, 6);
+  rfid::ReaderContext c_src(pop, 7, rfid::FrameMode::kSampled);
+  rfid::ReaderContext c_bfce(pop, 7, rfid::FrameMode::kSampled);
+  const double t_src = SrcEstimator()
+                           .estimate(c_src, {0.05, 0.05})
+                           .airtime.total_seconds(c_src.timing());
+  const double t_bfce = core::BfceEstimator()
+                            .estimate(c_bfce, {0.05, 0.05})
+                            .airtime.total_seconds(c_bfce.timing());
+  EXPECT_GT(t_src / t_bfce, 1.3);
+  EXPECT_LT(t_src / t_bfce, 4.0);
+}
+
+TEST(Src, LooserDeltaCutsRounds) {
+  const auto pop = rfid::make_population(
+      50000, rfid::TagIdDistribution::kT2ApproxNormal, 8);
+  rfid::ReaderContext a(pop, 9, rfid::FrameMode::kSampled);
+  rfid::ReaderContext b(pop, 9, rfid::FrameMode::kSampled);
+  SrcEstimator est;
+  const double t_strict =
+      est.estimate(a, {0.05, 0.05}).airtime.total_seconds(a.timing());
+  const double t_loose =
+      est.estimate(b, {0.05, 0.20}).airtime.total_seconds(b.timing());
+  EXPECT_GT(t_strict, 5.0 * t_loose);  // 7 rounds vs 1 round
+}
+
+TEST(Src, MedianShieldsAgainstOneBadRound) {
+  // Even with an adversarially tiny rough estimate (forcing p = 1 and a
+  // saturated frame now and then), the median keeps the estimate finite
+  // and positive.
+  SrcParams params;
+  params.rough = LofParams{32, 1, 32};  // single noisy lottery frame
+  SrcEstimator est(params);
+  const auto pop = rfid::make_population(
+      20000, rfid::TagIdDistribution::kT1Uniform, 10);
+  for (int i = 0; i < 10; ++i) {
+    rfid::ReaderContext ctx(pop, 100 + static_cast<std::uint64_t>(i),
+                            rfid::FrameMode::kSampled);
+    const EstimateOutcome out = est.estimate(ctx, {0.1, 0.1});
+    EXPECT_GT(out.n_hat, 0.0);
+    EXPECT_LT(out.n_hat, 1e9);
+  }
+}
+
+TEST(Src, NameIsStable) { EXPECT_EQ(SrcEstimator().name(), "SRC"); }
+
+}  // namespace
+}  // namespace bfce::estimators

@@ -1,0 +1,125 @@
+// Tests for the statistics accumulators and summaries.
+#include "math/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bfce::math {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation) {
+  RunningStats rs;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance of this classic data set: 32/7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(rs.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.add(3.5);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 3.5);
+  EXPECT_DOUBLE_EQ(rs.max(), 3.5);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    whole.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.add(1.0);
+  b.add(3.0);
+  a.merge(b);  // empty ← nonempty
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats c;
+  a.merge(c);  // nonempty ← empty
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(QuantileSorted, InterpolatesLinearly) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.1), 1.4);
+}
+
+TEST(QuantileSorted, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(quantile_sorted({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted({7.0}, 0.99), 7.0);
+  // Out-of-range q clamps.
+  EXPECT_DOUBLE_EQ(quantile_sorted({1.0, 2.0}, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted({1.0, 2.0}, 2.0), 2.0);
+}
+
+TEST(Summarize, ComputesAllFields) {
+  const Summary s = summarize({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(EmpiricalCdf, IsSortedAndEndsAtOne) {
+  const auto cdf = empirical_cdf({3.0, 1.0, 2.0, 2.0});
+  ASSERT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.front().second, 0.25);
+  EXPECT_DOUBLE_EQ(cdf.back().first, 3.0);
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].first, cdf[i].first);
+    EXPECT_LT(cdf[i - 1].second, cdf[i].second);
+  }
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({42.0}), 42.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Median, RobustToOutlier) {
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0, 1e9}), 3.0);
+}
+
+}  // namespace
+}  // namespace bfce::math

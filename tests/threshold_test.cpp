@@ -1,0 +1,106 @@
+// Tests for the SPRT threshold query.
+#include "core/threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rfid/reader.hpp"
+
+namespace bfce::core {
+namespace {
+
+ThresholdAnswer ask(std::size_t n, double threshold, std::uint64_t seed,
+                    double gamma = 1.5) {
+  const auto pop =
+      rfid::make_population(n, rfid::TagIdDistribution::kT1Uniform, seed);
+  rfid::ReaderContext ctx(pop, seed + 1, rfid::FrameMode::kSampled);
+  ThresholdQuery q;
+  q.threshold = threshold;
+  q.gamma = gamma;
+  return threshold_query(ctx, q);
+}
+
+TEST(Threshold, ClearlyAboveSaysAbove) {
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const auto ans = ask(50000, 10000, 100 + s);
+    EXPECT_TRUE(ans.above) << s;
+    EXPECT_TRUE(ans.decisive) << s;
+  }
+}
+
+TEST(Threshold, ClearlyBelowSaysBelow) {
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const auto ans = ask(2000, 10000, 200 + s);
+    EXPECT_FALSE(ans.above) << s;
+    EXPECT_TRUE(ans.decisive) << s;
+  }
+}
+
+TEST(Threshold, ErrorRatesHonourAlphaBeta) {
+  // n exactly at the band edges: the SPRT's guarantees apply. Run a
+  // batch at n = T·γ and count "below" verdicts (β errors).
+  int beta_errors = 0;
+  constexpr int kRuns = 60;
+  for (std::uint64_t s = 0; s < kRuns; ++s) {
+    const auto ans = ask(15000, 10000, 300 + s);  // n = T·1.5
+    if (ans.decisive && !ans.above) ++beta_errors;
+  }
+  EXPECT_LE(beta_errors, 9);  // β = 0.05 plus generous binomial slack
+}
+
+TEST(Threshold, EasyQuestionsAreCheap) {
+  // 5× above the threshold: a handful of (all-busy) slots decides;
+  // near the band the test works harder.
+  const auto easy = ask(50000, 10000, 400);
+  const auto hard = ask(13000, 10000, 401);
+  EXPECT_LT(easy.slots, 40u);
+  EXPECT_GT(hard.slots, easy.slots);
+}
+
+TEST(Threshold, CheaperThanAFullEstimateWhenFarFromT) {
+  const auto ans = ask(100000, 10000, 500);
+  // BFCE's constant cost is ~0.19 s; a decisive far-side threshold
+  // query should come in far under that.
+  EXPECT_LT(ans.time_us / 1e6, 0.19);
+  EXPECT_TRUE(ans.above);
+}
+
+TEST(Threshold, InsideTheBandHitsTheCapButLeansRight) {
+  ThresholdQuery q;
+  q.threshold = 10000;
+  q.gamma = 1.05;  // razor-thin band
+  q.max_slots = 300;
+  const auto pop = rfid::make_population(
+      10000, rfid::TagIdDistribution::kT1Uniform, 600);
+  rfid::ReaderContext ctx(pop, 601, rfid::FrameMode::kSampled);
+  const auto ans = threshold_query(ctx, q);
+  if (!ans.decisive) {
+    EXPECT_EQ(ans.slots, 300u);
+  }
+  // Either way the answer field is populated.
+  SUCCEED();
+}
+
+TEST(Threshold, TighterErrorsCostMoreSlots) {
+  ThresholdQuery strict;
+  strict.threshold = 10000;
+  strict.alpha = 0.001;
+  strict.beta = 0.001;
+  ThresholdQuery loose;
+  loose.threshold = 10000;
+  loose.alpha = 0.2;
+  loose.beta = 0.2;
+  const auto pop = rfid::make_population(
+      20000, rfid::TagIdDistribution::kT1Uniform, 700);
+  double strict_slots = 0.0;
+  double loose_slots = 0.0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    rfid::ReaderContext a(pop, 800 + s, rfid::FrameMode::kSampled);
+    rfid::ReaderContext b(pop, 800 + s, rfid::FrameMode::kSampled);
+    strict_slots += threshold_query(a, strict).slots;
+    loose_slots += threshold_query(b, loose).slots;
+  }
+  EXPECT_GT(strict_slots, 1.5 * loose_slots);
+}
+
+}  // namespace
+}  // namespace bfce::core

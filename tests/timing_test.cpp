@@ -1,0 +1,92 @@
+// Tests for the C1G2 timing model and the paper's §IV-E.1 overhead bound.
+#include "rfid/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bfce::rfid {
+namespace {
+
+TEST(TimingModel, DefaultsAreTheC1G2Constants) {
+  const TimingModel m;
+  EXPECT_DOUBLE_EQ(m.reader_bit_us, 37.76);
+  EXPECT_DOUBLE_EQ(m.tag_bit_us, 18.88);
+  EXPECT_DOUBLE_EQ(m.interval_us, 302.0);
+}
+
+TEST(Airtime, StartsEmpty) {
+  const Airtime a;
+  EXPECT_EQ(a.reader_bits, 0u);
+  EXPECT_EQ(a.tag_bits, 0u);
+  EXPECT_EQ(a.intervals, 0u);
+  EXPECT_DOUBLE_EQ(a.total_us(TimingModel{}), 0.0);
+}
+
+TEST(Airtime, AddersChargeCorrectly) {
+  Airtime a;
+  a.add_reader_broadcast(32);
+  EXPECT_EQ(a.reader_bits, 32u);
+  EXPECT_EQ(a.intervals, 1u);
+  a.add_tag_slots(1024);
+  EXPECT_EQ(a.tag_bits, 1024u);
+  EXPECT_EQ(a.intervals, 2u);
+}
+
+TEST(Airtime, AccumulateOperator) {
+  Airtime a;
+  a.add_reader_broadcast(10);
+  Airtime b;
+  b.add_tag_slots(5);
+  a += b;
+  EXPECT_EQ(a.reader_bits, 10u);
+  EXPECT_EQ(a.tag_bits, 5u);
+  EXPECT_EQ(a.intervals, 2u);
+}
+
+TEST(Airtime, TotalMatchesHandComputation) {
+  Airtime a;
+  a.reader_bits = 100;
+  a.tag_bits = 200;
+  a.intervals = 3;
+  const TimingModel m;
+  EXPECT_DOUBLE_EQ(a.total_us(m), 100 * 37.76 + 200 * 18.88 + 3 * 302.0);
+  EXPECT_DOUBLE_EQ(a.total_seconds(m), a.total_us(m) / 1e6);
+}
+
+TEST(Airtime, PaperClosedFormIsUnderNineteenHundredths) {
+  // §IV-E.1: t = (6·l_R + 2·l_p)·t_{r→t} + 3·t_int + 9216·t_{t→r}
+  // with l_R = l_p = 32 bits must come in below 0.19 s.
+  Airtime t;
+  t.reader_bits = 6 * 32 + 2 * 32;
+  t.intervals = 3;
+  t.tag_bits = 9216;  // 1024 + 8192 bit-slots
+  const double seconds = t.total_seconds(TimingModel{});
+  EXPECT_LT(seconds, 0.19);
+  // Exact closed form: 256·37.76 + 3·302 + 9216·18.88 = 184570.64 µs.
+  EXPECT_NEAR(seconds, 0.18457064, 1e-8);
+}
+
+TEST(Airtime, ReaderBitsDominateZoeStyleBroadcasts) {
+  // The paper's core observation: a 32-bit seed broadcast costs 64× a
+  // 1-bit tag reply, so m seed broadcasts swamp m single slots.
+  const TimingModel m;
+  Airtime seed;
+  seed.reader_bits = 32;
+  Airtime slot;
+  slot.tag_bits = 1;
+  EXPECT_GT(seed.total_us(m), 60.0 * slot.total_us(m));
+}
+
+TEST(TimingModel, CustomModelPropagates) {
+  TimingModel fast;
+  fast.reader_bit_us = 1.0;
+  fast.tag_bit_us = 0.5;
+  fast.interval_us = 10.0;
+  Airtime a;
+  a.reader_bits = 8;
+  a.tag_bits = 4;
+  a.intervals = 2;
+  EXPECT_DOUBLE_EQ(a.total_us(fast), 8.0 + 2.0 + 20.0);
+}
+
+}  // namespace
+}  // namespace bfce::rfid

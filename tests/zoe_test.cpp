@@ -1,0 +1,134 @@
+// Tests for the ZOE comparator.
+#include "estimators/zoe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/erf.hpp"
+#include "rfid/reader.hpp"
+#include "sim/experiment.hpp"
+
+namespace bfce::estimators {
+namespace {
+
+TEST(Zoe, RequiredFramesMatchesTheQuotedFormula) {
+  // m = ⌈d·σ_max/(e^{−λ}(1−e^{−ελ}))⌉² with λ=1.594, σ_max=0.5.
+  const double d = math::confidence_d(0.05);
+  const double denom = std::exp(-1.594) * (1.0 - std::exp(-0.05 * 1.594));
+  const double expected = std::ceil(d * 0.5 / denom);
+  EXPECT_EQ(ZoeEstimator::required_frames(0.05, 0.05, 1.594, 0.5),
+            static_cast<std::uint64_t>(expected * expected));
+  // Ballpark for the default requirement: ~4000 single-slot frames.
+  EXPECT_NEAR(
+      static_cast<double>(ZoeEstimator::required_frames(0.05, 0.05, 1.594, 0.5)),
+      3970.0, 60.0);
+}
+
+TEST(Zoe, RequiredFramesShrinkWithLooserRequirements) {
+  const auto strict = ZoeEstimator::required_frames(0.05, 0.05, 1.594, 0.5);
+  EXPECT_LT(ZoeEstimator::required_frames(0.10, 0.05, 1.594, 0.5), strict);
+  EXPECT_LT(ZoeEstimator::required_frames(0.05, 0.30, 1.594, 0.5), strict);
+}
+
+TEST(Zoe, EstimatesAccuratelyInSampledMode) {
+  const auto pop = rfid::make_population(
+      100000, rfid::TagIdDistribution::kT2ApproxNormal, 1);
+  sim::ExperimentConfig cfg;
+  cfg.trials = 25;
+  cfg.req = {0.05, 0.05};
+  cfg.mode = rfid::FrameMode::kSampled;
+  cfg.seed = 11;
+  const auto records = sim::run_experiment(
+      pop, [] { return std::make_unique<ZoeEstimator>(); }, cfg);
+  const auto summary = sim::summarize_records(records, 0.05);
+  EXPECT_LT(summary.accuracy.mean, 0.05);
+}
+
+TEST(Zoe, SeedBroadcastsDominateItsExecutionTime) {
+  // The paper's diagnosis: m×32 reader bits dwarf m×1 tag bits.
+  const auto pop = rfid::make_population(
+      50000, rfid::TagIdDistribution::kT2ApproxNormal, 2);
+  rfid::ReaderContext ctx(pop, 3, rfid::FrameMode::kSampled);
+  ZoeEstimator est;
+  const EstimateOutcome out = est.estimate(ctx, {0.05, 0.05});
+  const rfid::TimingModel tm;
+  const double reader_time =
+      static_cast<double>(out.airtime.reader_bits) * tm.reader_bit_us;
+  const double tag_time =
+      static_cast<double>(out.airtime.tag_bits) * tm.tag_bit_us;
+  EXPECT_GT(reader_time, 30.0 * tag_time);
+}
+
+TEST(Zoe, TakesSecondsAtTheDefaultRequirement) {
+  const auto pop = rfid::make_population(
+      50000, rfid::TagIdDistribution::kT2ApproxNormal, 4);
+  rfid::ReaderContext ctx(pop, 5, rfid::FrameMode::kSampled);
+  ZoeEstimator est;
+  const EstimateOutcome out = est.estimate(ctx, {0.05, 0.05});
+  const double t = out.airtime.total_seconds(ctx.timing());
+  EXPECT_GT(t, 4.0);   // "usually large, several seconds in all cases"
+  EXPECT_LT(t, 25.0);  // "even goes up to 18s in the worst case"
+}
+
+TEST(Zoe, RestartsWhenTheLoadIsUnusable) {
+  // Force the usable band to be unsatisfiable: every attempt fails, the
+  // protocol restarts max_restarts times and flags the outcome.
+  ZoeParams params;
+  params.usable_rho_min = 0.45;
+  params.usable_rho_max = 0.451;  // essentially impossible to hit
+  params.max_restarts = 2;
+  ZoeEstimator est(params);
+  const auto pop = rfid::make_population(
+      20000, rfid::TagIdDistribution::kT1Uniform, 6);
+  rfid::ReaderContext ctx(pop, 7, rfid::FrameMode::kSampled);
+  const EstimateOutcome out = est.estimate(ctx, {0.1, 0.1});
+  EXPECT_FALSE(out.met_by_design);
+  EXPECT_FALSE(out.note.empty());
+  // At least three attempts worth of planned frames were paid for
+  // (adaptive extension may add more per attempt).
+  const auto m = ZoeEstimator::required_frames(0.1, 0.1, 1.594, 0.5);
+  EXPECT_GE(out.rounds, 3 * m);
+  EXPECT_LE(out.rounds, 3 * 8 * m);
+}
+
+TEST(Zoe, OffLoadRoughEstimateInflatesSlotCount) {
+  // Force the measurement load off λ* by shrinking the rough phase to a
+  // single noisy lottery frame: whenever LOF underestimates n the
+  // achieved λ̂ exceeds λ* and the CLT bound demands more frames (§V-C's
+  // "sharp growth of the required time slots"). Over a batch of runs the
+  // worst case must clearly exceed the planned m.
+  ZoeParams noisy;
+  noisy.rough = LofParams{32, 1, 32};
+  ZoeEstimator est(noisy);
+  const auto pop = rfid::make_population(
+      50000, rfid::TagIdDistribution::kT1Uniform, 10);
+  const auto m = ZoeEstimator::required_frames(0.05, 0.05, 1.594, 0.5);
+  std::uint32_t worst = 0;
+  for (int i = 0; i < 12; ++i) {
+    rfid::ReaderContext ctx(pop, 400 + static_cast<std::uint64_t>(i),
+                            rfid::FrameMode::kSampled);
+    worst = std::max(worst, est.estimate(ctx, {0.05, 0.05}).rounds);
+  }
+  EXPECT_GT(worst, static_cast<std::uint32_t>(m) * 3 / 2);
+}
+
+TEST(Zoe, RestartInflatesExecutionTime) {
+  ZoeParams tight;
+  tight.usable_rho_min = 0.45;
+  tight.usable_rho_max = 0.451;
+  tight.max_restarts = 2;
+  const auto pop = rfid::make_population(
+      20000, rfid::TagIdDistribution::kT1Uniform, 8);
+  rfid::ReaderContext a(pop, 9, rfid::FrameMode::kSampled);
+  rfid::ReaderContext b(pop, 9, rfid::FrameMode::kSampled);
+  const double t_normal = ZoeEstimator().estimate(a, {0.1, 0.1}).time_us;
+  const double t_restarted =
+      ZoeEstimator(tight).estimate(b, {0.1, 0.1}).time_us;
+  EXPECT_GT(t_restarted, 2.5 * t_normal);
+}
+
+TEST(Zoe, NameIsStable) { EXPECT_EQ(ZoeEstimator().name(), "ZOE"); }
+
+}  // namespace
+}  // namespace bfce::estimators

@@ -1,0 +1,192 @@
+// Tests for the extended estimator zoo (UPE, EZB, FNEB, ART, MLE, PET)
+// and the name registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "estimators/art.hpp"
+#include "estimators/ezb.hpp"
+#include "estimators/fneb.hpp"
+#include "estimators/mle.hpp"
+#include "estimators/pet.hpp"
+#include "estimators/registry.hpp"
+#include "estimators/upe.hpp"
+#include "math/stats.hpp"
+#include "rfid/reader.hpp"
+
+namespace bfce::estimators {
+namespace {
+
+/// Mean relative error of `est` over a few sampled-mode runs.
+double mean_error(CardinalityEstimator& est, std::size_t n, int runs = 12,
+                  std::uint64_t seed = 1) {
+  const auto pop =
+      rfid::make_population(n, rfid::TagIdDistribution::kT1Uniform, seed);
+  math::RunningStats err;
+  for (int i = 0; i < runs; ++i) {
+    rfid::ReaderContext ctx(pop, seed * 1000 + static_cast<std::uint64_t>(i),
+                            rfid::FrameMode::kSampled);
+    err.add(est.estimate(ctx, {0.05, 0.05}).relative_error(
+        static_cast<double>(n)));
+  }
+  return err.mean();
+}
+
+TEST(Upe, InvertCollisionRatioRoundTrips) {
+  for (double lambda : {0.2, 1.0, 1.594, 3.0, 6.0}) {
+    const double c = 1.0 - (1.0 + lambda) * std::exp(-lambda);
+    EXPECT_NEAR(UpeEstimator::invert_collision_ratio(c), lambda,
+                1e-6 * (1.0 + lambda));
+  }
+}
+
+TEST(Upe, AccurateAcrossScales) {
+  UpeEstimator est;
+  EXPECT_LT(mean_error(est, 10000), 0.08);
+  EXPECT_LT(mean_error(est, 300000), 0.08);
+}
+
+TEST(Upe, PaysForWiderSlots) {
+  const auto pop = rfid::make_population(
+      50000, rfid::TagIdDistribution::kT1Uniform, 2);
+  rfid::ReaderContext ctx(pop, 3, rfid::FrameMode::kSampled);
+  UpeEstimator est;
+  const EstimateOutcome out = est.estimate(ctx, {0.05, 0.05});
+  // tag_bits counts slot_bits per slot, so it is a multiple of 10 beyond
+  // the lottery pilot's 64 one-bit slots.
+  EXPECT_EQ((out.airtime.tag_bits - 64) % est.params().slot_bits, 0u);
+}
+
+TEST(Ezb, RequiredRoundsShrinkWithFrameSize) {
+  EXPECT_LT(EzbEstimator::required_rounds(0.05, 0.05, 1.594, 4096),
+            EzbEstimator::required_rounds(0.05, 0.05, 1.594, 256));
+}
+
+TEST(Ezb, AccurateAcrossScales) {
+  EzbEstimator est;
+  EXPECT_LT(mean_error(est, 5000), 0.06);
+  EXPECT_LT(mean_error(est, 500000), 0.06);
+}
+
+TEST(Fneb, AccurateWhenFrameDwarfsPopulation) {
+  FnebEstimator est;
+  EXPECT_LT(mean_error(est, 20000), 0.08);
+  EXPECT_LT(mean_error(est, 200000), 0.08);
+}
+
+TEST(Fneb, EarlyTerminationKeepsSlotsCheap) {
+  const auto pop = rfid::make_population(
+      100000, rfid::TagIdDistribution::kT1Uniform, 4);
+  rfid::ReaderContext ctx(pop, 5, rfid::FrameMode::kSampled);
+  FnebEstimator est;
+  const EstimateOutcome out = est.estimate(ctx, {0.05, 0.05});
+  // 1537 rounds, each terminating after ~f/n ≈ 10 slots: far below the
+  // announced 2^20 frame.
+  EXPECT_LT(out.airtime.tag_bits, 200000u);
+}
+
+TEST(Art, AverageBusyRunUnitCases) {
+  using S = rfid::SlotState;
+  EXPECT_DOUBLE_EQ(ArtEstimator::average_busy_run({}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      ArtEstimator::average_busy_run({S::kIdle, S::kIdle}), 0.0);
+  // 110 1 0 111 → runs {2,1,3} → mean 2.
+  EXPECT_DOUBLE_EQ(
+      ArtEstimator::average_busy_run({S::kSingle, S::kCollision, S::kIdle,
+                                      S::kSingle, S::kIdle, S::kSingle,
+                                      S::kCollision, S::kSingle}),
+      2.0);
+}
+
+TEST(Art, AccurateViaSequentialStopping) {
+  ArtEstimator est;
+  EXPECT_LT(mean_error(est, 50000), 0.08);
+}
+
+TEST(Art, StopsEarlyForLooseRequirements) {
+  const auto pop = rfid::make_population(
+      50000, rfid::TagIdDistribution::kT1Uniform, 6);
+  rfid::ReaderContext a(pop, 7, rfid::FrameMode::kSampled);
+  rfid::ReaderContext b(pop, 7, rfid::FrameMode::kSampled);
+  ArtEstimator est;
+  const auto strict = est.estimate(a, {0.03, 0.05});
+  const auto loose = est.estimate(b, {0.3, 0.3});
+  EXPECT_LT(loose.rounds, strict.rounds);
+}
+
+TEST(Mle, LikelihoodMaximizerRecoversSyntheticTruth) {
+  // Build exact-expectation evidence for n = 80000 and check the
+  // maximiser lands on it.
+  constexpr std::uint32_t kF = 512;
+  const double n_true = 80000.0;
+  std::vector<MleEstimator::FrameEvidence> evidence;
+  for (double p : {0.002, 0.005, 0.01}) {
+    const double q = std::exp(-p * n_true / kF);
+    evidence.push_back(
+        {p, static_cast<std::uint32_t>(std::lround(q * kF))});
+  }
+  const double n_hat =
+      MleEstimator::maximize_likelihood(evidence, kF, 1e8);
+  EXPECT_NEAR(n_hat, n_true, n_true * 0.02);
+}
+
+TEST(Mle, AccurateAcrossScales) {
+  MleEstimator est;
+  EXPECT_LT(mean_error(est, 10000), 0.06);
+  EXPECT_LT(mean_error(est, 1000000), 0.06);
+}
+
+TEST(Pet, LogLogCostPerRound) {
+  const auto pop = rfid::make_population(
+      100000, rfid::TagIdDistribution::kT1Uniform, 8);
+  rfid::ReaderContext ctx(pop, 9);  // exact mode: level queries correlate
+  PetEstimator est;
+  const EstimateOutcome out = est.estimate(ctx, {0.05, 0.05});
+  // 16 rounds × (≤ 2 + log2(40) ≈ 8 queries) single-bit slots.
+  EXPECT_LT(out.airtime.tag_bits, 16u * 10u);
+}
+
+TEST(Pet, MagnitudeIsRight) {
+  // PET is a log-domain estimator: assert the *magnitude*, not ε-level
+  // accuracy.
+  PetEstimator est;
+  const auto pop = rfid::make_population(
+      64000, rfid::TagIdDistribution::kT1Uniform, 10);
+  math::RunningStats logerr;
+  for (int i = 0; i < 10; ++i) {
+    rfid::ReaderContext ctx(pop, 20 + static_cast<std::uint64_t>(i));
+    const double n_hat = est.estimate(ctx, {0.05, 0.05}).n_hat;
+    logerr.add(std::fabs(std::log2(n_hat / 64000.0)));
+  }
+  EXPECT_LT(logerr.mean(), 1.0);  // within a factor of 2 on average
+}
+
+TEST(Registry, BuildsEveryAdvertisedEstimator) {
+  for (const std::string& name : estimator_names()) {
+    const auto est = make_estimator(name);
+    ASSERT_NE(est, nullptr) << name;
+    EXPECT_EQ(est->name(), name);
+  }
+}
+
+TEST(Registry, UnknownNameReturnsNull) {
+  EXPECT_EQ(make_estimator("NOPE"), nullptr);
+  EXPECT_EQ(make_estimator(""), nullptr);
+  EXPECT_EQ(make_estimator("bfce"), nullptr);  // names are case-sensitive
+}
+
+TEST(Registry, EveryEstimatorProducesAPositiveEstimate) {
+  const auto pop = rfid::make_population(
+      30000, rfid::TagIdDistribution::kT2ApproxNormal, 11);
+  for (const std::string& name : estimator_names()) {
+    const auto est = make_estimator(name);
+    rfid::ReaderContext ctx(pop, 12, rfid::FrameMode::kSampled);
+    const EstimateOutcome out = est->estimate(ctx, {0.1, 0.1});
+    EXPECT_GT(out.n_hat, 0.0) << name;
+    EXPECT_GT(out.time_us, 0.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace bfce::estimators
