@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bfce.dir/ablation_bfce.cpp.o"
+  "CMakeFiles/ablation_bfce.dir/ablation_bfce.cpp.o.d"
+  "ablation_bfce"
+  "ablation_bfce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bfce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authentication_bench.dir/authentication_bench.cpp.o"
+  "CMakeFiles/authentication_bench.dir/authentication_bench.cpp.o.d"
+  "authentication_bench"
+  "authentication_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authentication_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_bench.dir/differential_bench.cpp.o"
+  "CMakeFiles/differential_bench.dir/differential_bench.cpp.o.d"
+  "differential_bench"
+  "differential_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_feasibility.dir/fig3_feasibility.cpp.o"
+  "CMakeFiles/fig3_feasibility.dir/fig3_feasibility.cpp.o.d"
+  "fig3_feasibility"
+  "fig3_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_gamma_bounds.dir/fig4_gamma_bounds.cpp.o"
+  "CMakeFiles/fig4_gamma_bounds.dir/fig4_gamma_bounds.cpp.o.d"
+  "fig4_gamma_bounds"
+  "fig4_gamma_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_gamma_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

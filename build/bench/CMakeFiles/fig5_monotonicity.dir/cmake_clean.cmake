@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_monotonicity.dir/fig5_monotonicity.cpp.o"
+  "CMakeFiles/fig5_monotonicity.dir/fig5_monotonicity.cpp.o.d"
+  "fig5_monotonicity"
+  "fig5_monotonicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_monotonicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

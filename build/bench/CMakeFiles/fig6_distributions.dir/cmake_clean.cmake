@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_distributions.dir/fig6_distributions.cpp.o"
+  "CMakeFiles/fig6_distributions.dir/fig6_distributions.cpp.o.d"
+  "fig6_distributions"
+  "fig6_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cdf.dir/fig8_cdf.cpp.o"
+  "CMakeFiles/fig8_cdf.dir/fig8_cdf.cpp.o.d"
+  "fig8_cdf"
+  "fig8_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

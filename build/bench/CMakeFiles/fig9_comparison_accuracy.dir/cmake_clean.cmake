@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_comparison_accuracy.dir/fig9_comparison_accuracy.cpp.o"
+  "CMakeFiles/fig9_comparison_accuracy.dir/fig9_comparison_accuracy.cpp.o.d"
+  "fig9_comparison_accuracy"
+  "fig9_comparison_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_comparison_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

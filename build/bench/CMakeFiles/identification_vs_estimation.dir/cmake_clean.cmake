@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identification_vs_estimation.dir/identification_vs_estimation.cpp.o"
+  "CMakeFiles/identification_vs_estimation.dir/identification_vs_estimation.cpp.o.d"
+  "identification_vs_estimation"
+  "identification_vs_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identification_vs_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

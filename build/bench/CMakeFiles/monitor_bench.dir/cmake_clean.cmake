@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_bench.dir/monitor_bench.cpp.o"
+  "CMakeFiles/monitor_bench.dir/monitor_bench.cpp.o.d"
+  "monitor_bench"
+  "monitor_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variance_validation.dir/variance_validation.cpp.o"
+  "CMakeFiles/variance_validation.dir/variance_validation.cpp.o.d"
+  "variance_validation"
+  "variance_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variance_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

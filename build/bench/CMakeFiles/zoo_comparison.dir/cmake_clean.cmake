@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_comparison.dir/zoo_comparison.cpp.o"
+  "CMakeFiles/zoo_comparison.dir/zoo_comparison.cpp.o.d"
+  "zoo_comparison"
+  "zoo_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

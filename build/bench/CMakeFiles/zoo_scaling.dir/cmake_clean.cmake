@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_scaling.dir/zoo_scaling.cpp.o"
+  "CMakeFiles/zoo_scaling.dir/zoo_scaling.cpp.o.d"
+  "zoo_scaling"
+  "zoo_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

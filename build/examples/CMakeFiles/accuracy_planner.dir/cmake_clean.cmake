@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_planner.dir/accuracy_planner.cpp.o"
+  "CMakeFiles/accuracy_planner.dir/accuracy_planner.cpp.o.d"
+  "accuracy_planner"
+  "accuracy_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

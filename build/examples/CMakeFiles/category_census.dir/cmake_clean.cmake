@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/category_census.dir/category_census.cpp.o"
+  "CMakeFiles/category_census.dir/category_census.cpp.o.d"
+  "category_census"
+  "category_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/category_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_monitor.dir/continuous_monitor.cpp.o"
+  "CMakeFiles/continuous_monitor.dir/continuous_monitor.cpp.o.d"
+  "continuous_monitor"
+  "continuous_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_zoo.dir/estimator_zoo.cpp.o"
+  "CMakeFiles/estimator_zoo.dir/estimator_zoo.cpp.o.d"
+  "estimator_zoo"
+  "estimator_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_my_tags.dir/find_my_tags.cpp.o"
+  "CMakeFiles/find_my_tags.dir/find_my_tags.cpp.o.d"
+  "find_my_tags"
+  "find_my_tags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_my_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

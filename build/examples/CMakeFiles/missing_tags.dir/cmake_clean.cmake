@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/missing_tags.dir/missing_tags.cpp.o"
+  "CMakeFiles/missing_tags.dir/missing_tags.cpp.o.d"
+  "missing_tags"
+  "missing_tags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/missing_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_reader_floor.dir/multi_reader_floor.cpp.o"
+  "CMakeFiles/multi_reader_floor.dir/multi_reader_floor.cpp.o.d"
+  "multi_reader_floor"
+  "multi_reader_floor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_reader_floor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

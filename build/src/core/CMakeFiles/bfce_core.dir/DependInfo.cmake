@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/bfce_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/bfce_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/authenticate.cpp" "src/core/CMakeFiles/bfce_core.dir/authenticate.cpp.o" "gcc" "src/core/CMakeFiles/bfce_core.dir/authenticate.cpp.o.d"
+  "/root/repo/src/core/bfce.cpp" "src/core/CMakeFiles/bfce_core.dir/bfce.cpp.o" "gcc" "src/core/CMakeFiles/bfce_core.dir/bfce.cpp.o.d"
+  "/root/repo/src/core/differential.cpp" "src/core/CMakeFiles/bfce_core.dir/differential.cpp.o" "gcc" "src/core/CMakeFiles/bfce_core.dir/differential.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/bfce_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/bfce_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/multiset.cpp" "src/core/CMakeFiles/bfce_core.dir/multiset.cpp.o" "gcc" "src/core/CMakeFiles/bfce_core.dir/multiset.cpp.o.d"
+  "/root/repo/src/core/search.cpp" "src/core/CMakeFiles/bfce_core.dir/search.cpp.o" "gcc" "src/core/CMakeFiles/bfce_core.dir/search.cpp.o.d"
+  "/root/repo/src/core/threshold.cpp" "src/core/CMakeFiles/bfce_core.dir/threshold.cpp.o" "gcc" "src/core/CMakeFiles/bfce_core.dir/threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rfid/CMakeFiles/rfid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/rfid_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rfid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfce_core.dir/analysis.cpp.o"
+  "CMakeFiles/bfce_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/bfce_core.dir/authenticate.cpp.o"
+  "CMakeFiles/bfce_core.dir/authenticate.cpp.o.d"
+  "CMakeFiles/bfce_core.dir/bfce.cpp.o"
+  "CMakeFiles/bfce_core.dir/bfce.cpp.o.d"
+  "CMakeFiles/bfce_core.dir/differential.cpp.o"
+  "CMakeFiles/bfce_core.dir/differential.cpp.o.d"
+  "CMakeFiles/bfce_core.dir/monitor.cpp.o"
+  "CMakeFiles/bfce_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/bfce_core.dir/multiset.cpp.o"
+  "CMakeFiles/bfce_core.dir/multiset.cpp.o.d"
+  "CMakeFiles/bfce_core.dir/search.cpp.o"
+  "CMakeFiles/bfce_core.dir/search.cpp.o.d"
+  "CMakeFiles/bfce_core.dir/threshold.cpp.o"
+  "CMakeFiles/bfce_core.dir/threshold.cpp.o.d"
+  "libbfce_core.a"
+  "libbfce_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfce_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbfce_core.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimators/a3.cpp" "src/estimators/CMakeFiles/rfid_estimators.dir/a3.cpp.o" "gcc" "src/estimators/CMakeFiles/rfid_estimators.dir/a3.cpp.o.d"
+  "/root/repo/src/estimators/art.cpp" "src/estimators/CMakeFiles/rfid_estimators.dir/art.cpp.o" "gcc" "src/estimators/CMakeFiles/rfid_estimators.dir/art.cpp.o.d"
+  "/root/repo/src/estimators/ezb.cpp" "src/estimators/CMakeFiles/rfid_estimators.dir/ezb.cpp.o" "gcc" "src/estimators/CMakeFiles/rfid_estimators.dir/ezb.cpp.o.d"
+  "/root/repo/src/estimators/fneb.cpp" "src/estimators/CMakeFiles/rfid_estimators.dir/fneb.cpp.o" "gcc" "src/estimators/CMakeFiles/rfid_estimators.dir/fneb.cpp.o.d"
+  "/root/repo/src/estimators/lof.cpp" "src/estimators/CMakeFiles/rfid_estimators.dir/lof.cpp.o" "gcc" "src/estimators/CMakeFiles/rfid_estimators.dir/lof.cpp.o.d"
+  "/root/repo/src/estimators/mle.cpp" "src/estimators/CMakeFiles/rfid_estimators.dir/mle.cpp.o" "gcc" "src/estimators/CMakeFiles/rfid_estimators.dir/mle.cpp.o.d"
+  "/root/repo/src/estimators/pet.cpp" "src/estimators/CMakeFiles/rfid_estimators.dir/pet.cpp.o" "gcc" "src/estimators/CMakeFiles/rfid_estimators.dir/pet.cpp.o.d"
+  "/root/repo/src/estimators/registry.cpp" "src/estimators/CMakeFiles/rfid_estimators.dir/registry.cpp.o" "gcc" "src/estimators/CMakeFiles/rfid_estimators.dir/registry.cpp.o.d"
+  "/root/repo/src/estimators/src_protocol.cpp" "src/estimators/CMakeFiles/rfid_estimators.dir/src_protocol.cpp.o" "gcc" "src/estimators/CMakeFiles/rfid_estimators.dir/src_protocol.cpp.o.d"
+  "/root/repo/src/estimators/upe.cpp" "src/estimators/CMakeFiles/rfid_estimators.dir/upe.cpp.o" "gcc" "src/estimators/CMakeFiles/rfid_estimators.dir/upe.cpp.o.d"
+  "/root/repo/src/estimators/zoe.cpp" "src/estimators/CMakeFiles/rfid_estimators.dir/zoe.cpp.o" "gcc" "src/estimators/CMakeFiles/rfid_estimators.dir/zoe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rfid/CMakeFiles/rfid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/rfid_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rfid_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bfce_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfid_estimators.dir/a3.cpp.o"
+  "CMakeFiles/rfid_estimators.dir/a3.cpp.o.d"
+  "CMakeFiles/rfid_estimators.dir/art.cpp.o"
+  "CMakeFiles/rfid_estimators.dir/art.cpp.o.d"
+  "CMakeFiles/rfid_estimators.dir/ezb.cpp.o"
+  "CMakeFiles/rfid_estimators.dir/ezb.cpp.o.d"
+  "CMakeFiles/rfid_estimators.dir/fneb.cpp.o"
+  "CMakeFiles/rfid_estimators.dir/fneb.cpp.o.d"
+  "CMakeFiles/rfid_estimators.dir/lof.cpp.o"
+  "CMakeFiles/rfid_estimators.dir/lof.cpp.o.d"
+  "CMakeFiles/rfid_estimators.dir/mle.cpp.o"
+  "CMakeFiles/rfid_estimators.dir/mle.cpp.o.d"
+  "CMakeFiles/rfid_estimators.dir/pet.cpp.o"
+  "CMakeFiles/rfid_estimators.dir/pet.cpp.o.d"
+  "CMakeFiles/rfid_estimators.dir/registry.cpp.o"
+  "CMakeFiles/rfid_estimators.dir/registry.cpp.o.d"
+  "CMakeFiles/rfid_estimators.dir/src_protocol.cpp.o"
+  "CMakeFiles/rfid_estimators.dir/src_protocol.cpp.o.d"
+  "CMakeFiles/rfid_estimators.dir/upe.cpp.o"
+  "CMakeFiles/rfid_estimators.dir/upe.cpp.o.d"
+  "CMakeFiles/rfid_estimators.dir/zoe.cpp.o"
+  "CMakeFiles/rfid_estimators.dir/zoe.cpp.o.d"
+  "librfid_estimators.a"
+  "librfid_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfid_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfid_identification.dir/qprotocol.cpp.o"
+  "CMakeFiles/rfid_identification.dir/qprotocol.cpp.o.d"
+  "CMakeFiles/rfid_identification.dir/treewalk.cpp.o"
+  "CMakeFiles/rfid_identification.dir/treewalk.cpp.o.d"
+  "librfid_identification.a"
+  "librfid_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfid_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

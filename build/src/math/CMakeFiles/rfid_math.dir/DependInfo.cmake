@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/erf.cpp" "src/math/CMakeFiles/rfid_math.dir/erf.cpp.o" "gcc" "src/math/CMakeFiles/rfid_math.dir/erf.cpp.o.d"
+  "/root/repo/src/math/hypothesis.cpp" "src/math/CMakeFiles/rfid_math.dir/hypothesis.cpp.o" "gcc" "src/math/CMakeFiles/rfid_math.dir/hypothesis.cpp.o.d"
+  "/root/repo/src/math/stats.cpp" "src/math/CMakeFiles/rfid_math.dir/stats.cpp.o" "gcc" "src/math/CMakeFiles/rfid_math.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rfid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

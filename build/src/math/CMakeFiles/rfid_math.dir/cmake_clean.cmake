@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfid_math.dir/erf.cpp.o"
+  "CMakeFiles/rfid_math.dir/erf.cpp.o.d"
+  "CMakeFiles/rfid_math.dir/hypothesis.cpp.o"
+  "CMakeFiles/rfid_math.dir/hypothesis.cpp.o.d"
+  "CMakeFiles/rfid_math.dir/stats.cpp.o"
+  "CMakeFiles/rfid_math.dir/stats.cpp.o.d"
+  "librfid_math.a"
+  "librfid_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfid_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rfid/c1g2.cpp" "src/rfid/CMakeFiles/rfid_sim.dir/c1g2.cpp.o" "gcc" "src/rfid/CMakeFiles/rfid_sim.dir/c1g2.cpp.o.d"
+  "/root/repo/src/rfid/frame.cpp" "src/rfid/CMakeFiles/rfid_sim.dir/frame.cpp.o" "gcc" "src/rfid/CMakeFiles/rfid_sim.dir/frame.cpp.o.d"
+  "/root/repo/src/rfid/framelog.cpp" "src/rfid/CMakeFiles/rfid_sim.dir/framelog.cpp.o" "gcc" "src/rfid/CMakeFiles/rfid_sim.dir/framelog.cpp.o.d"
+  "/root/repo/src/rfid/multireader.cpp" "src/rfid/CMakeFiles/rfid_sim.dir/multireader.cpp.o" "gcc" "src/rfid/CMakeFiles/rfid_sim.dir/multireader.cpp.o.d"
+  "/root/repo/src/rfid/population.cpp" "src/rfid/CMakeFiles/rfid_sim.dir/population.cpp.o" "gcc" "src/rfid/CMakeFiles/rfid_sim.dir/population.cpp.o.d"
+  "/root/repo/src/rfid/select.cpp" "src/rfid/CMakeFiles/rfid_sim.dir/select.cpp.o" "gcc" "src/rfid/CMakeFiles/rfid_sim.dir/select.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rfid_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/rfid_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfid_sim.dir/c1g2.cpp.o"
+  "CMakeFiles/rfid_sim.dir/c1g2.cpp.o.d"
+  "CMakeFiles/rfid_sim.dir/frame.cpp.o"
+  "CMakeFiles/rfid_sim.dir/frame.cpp.o.d"
+  "CMakeFiles/rfid_sim.dir/framelog.cpp.o"
+  "CMakeFiles/rfid_sim.dir/framelog.cpp.o.d"
+  "CMakeFiles/rfid_sim.dir/multireader.cpp.o"
+  "CMakeFiles/rfid_sim.dir/multireader.cpp.o.d"
+  "CMakeFiles/rfid_sim.dir/population.cpp.o"
+  "CMakeFiles/rfid_sim.dir/population.cpp.o.d"
+  "CMakeFiles/rfid_sim.dir/select.cpp.o"
+  "CMakeFiles/rfid_sim.dir/select.cpp.o.d"
+  "librfid_sim.a"
+  "librfid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfid_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

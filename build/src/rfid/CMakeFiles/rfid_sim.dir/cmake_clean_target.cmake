@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librfid_sim.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfid_simlab.dir/churn.cpp.o"
+  "CMakeFiles/rfid_simlab.dir/churn.cpp.o.d"
+  "CMakeFiles/rfid_simlab.dir/experiment.cpp.o"
+  "CMakeFiles/rfid_simlab.dir/experiment.cpp.o.d"
+  "librfid_simlab.a"
+  "librfid_simlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfid_simlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

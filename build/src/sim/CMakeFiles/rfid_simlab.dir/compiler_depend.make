@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rfid_simlab.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfid_util.dir/bitvector.cpp.o"
+  "CMakeFiles/rfid_util.dir/bitvector.cpp.o.d"
+  "CMakeFiles/rfid_util.dir/cli.cpp.o"
+  "CMakeFiles/rfid_util.dir/cli.cpp.o.d"
+  "CMakeFiles/rfid_util.dir/parallel.cpp.o"
+  "CMakeFiles/rfid_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/rfid_util.dir/rng.cpp.o"
+  "CMakeFiles/rfid_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rfid_util.dir/table.cpp.o"
+  "CMakeFiles/rfid_util.dir/table.cpp.o.d"
+  "librfid_util.a"
+  "librfid_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfid_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3_test.dir/a3_test.cpp.o"
+  "CMakeFiles/a3_test.dir/a3_test.cpp.o.d"
+  "a3_test"
+  "a3_test.pdb"
+  "a3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

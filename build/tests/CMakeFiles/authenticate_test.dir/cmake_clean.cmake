@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authenticate_test.dir/authenticate_test.cpp.o"
+  "CMakeFiles/authenticate_test.dir/authenticate_test.cpp.o.d"
+  "authenticate_test"
+  "authenticate_test.pdb"
+  "authenticate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authenticate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfce_avg_test.dir/bfce_avg_test.cpp.o"
+  "CMakeFiles/bfce_avg_test.dir/bfce_avg_test.cpp.o.d"
+  "bfce_avg_test"
+  "bfce_avg_test.pdb"
+  "bfce_avg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfce_avg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

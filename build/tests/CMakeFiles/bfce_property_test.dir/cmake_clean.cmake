@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfce_property_test.dir/bfce_property_test.cpp.o"
+  "CMakeFiles/bfce_property_test.dir/bfce_property_test.cpp.o.d"
+  "bfce_property_test"
+  "bfce_property_test.pdb"
+  "bfce_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfce_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfce_test.dir/bfce_test.cpp.o"
+  "CMakeFiles/bfce_test.dir/bfce_test.cpp.o.d"
+  "bfce_test"
+  "bfce_test.pdb"
+  "bfce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c1g2_test.dir/c1g2_test.cpp.o"
+  "CMakeFiles/c1g2_test.dir/c1g2_test.cpp.o.d"
+  "c1g2_test"
+  "c1g2_test.pdb"
+  "c1g2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c1g2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_property_test.dir/differential_property_test.cpp.o"
+  "CMakeFiles/differential_property_test.dir/differential_property_test.cpp.o.d"
+  "differential_property_test"
+  "differential_property_test.pdb"
+  "differential_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

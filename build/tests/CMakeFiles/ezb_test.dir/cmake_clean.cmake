@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ezb_test.dir/ezb_test.cpp.o"
+  "CMakeFiles/ezb_test.dir/ezb_test.cpp.o.d"
+  "ezb_test"
+  "ezb_test.pdb"
+  "ezb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ezb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fneb_test.dir/fneb_test.cpp.o"
+  "CMakeFiles/fneb_test.dir/fneb_test.cpp.o.d"
+  "fneb_test"
+  "fneb_test.pdb"
+  "fneb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fneb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

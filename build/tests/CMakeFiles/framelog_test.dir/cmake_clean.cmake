@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/framelog_test.dir/framelog_test.cpp.o"
+  "CMakeFiles/framelog_test.dir/framelog_test.cpp.o.d"
+  "framelog_test"
+  "framelog_test.pdb"
+  "framelog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/framelog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identification_test.dir/identification_test.cpp.o"
+  "CMakeFiles/identification_test.dir/identification_test.cpp.o.d"
+  "identification_test"
+  "identification_test.pdb"
+  "identification_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multireader_test.dir/multireader_test.cpp.o"
+  "CMakeFiles/multireader_test.dir/multireader_test.cpp.o.d"
+  "multireader_test"
+  "multireader_test.pdb"
+  "multireader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multireader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/select_test.cpp" "tests/CMakeFiles/select_test.dir/select_test.cpp.o" "gcc" "tests/CMakeFiles/select_test.dir/select_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rfid_simlab.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimators/CMakeFiles/rfid_estimators.dir/DependInfo.cmake"
+  "/root/repo/build/src/identification/CMakeFiles/rfid_identification.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bfce_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfid/CMakeFiles/rfid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/rfid_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rfid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_test.dir/select_test.cpp.o"
+  "CMakeFiles/select_test.dir/select_test.cpp.o.d"
+  "select_test"
+  "select_test.pdb"
+  "select_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_cli_test.dir/table_cli_test.cpp.o"
+  "CMakeFiles/table_cli_test.dir/table_cli_test.cpp.o.d"
+  "table_cli_test"
+  "table_cli_test.pdb"
+  "table_cli_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_cli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

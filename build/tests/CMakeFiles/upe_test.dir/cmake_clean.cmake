@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upe_test.dir/upe_test.cpp.o"
+  "CMakeFiles/upe_test.dir/upe_test.cpp.o.d"
+  "upe_test"
+  "upe_test.pdb"
+  "upe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

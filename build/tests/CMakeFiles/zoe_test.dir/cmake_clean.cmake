@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoe_test.dir/zoe_test.cpp.o"
+  "CMakeFiles/zoe_test.dir/zoe_test.cpp.o.d"
+  "zoe_test"
+  "zoe_test.pdb"
+  "zoe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
