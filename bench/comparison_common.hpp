@@ -4,11 +4,14 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/bfce.hpp"
 #include "estimators/registry.hpp"
+#include "rfid/frame_engine.hpp"
+#include "util/rng.hpp"
 
 namespace bfce::bench {
 
@@ -17,7 +20,16 @@ inline const std::vector<std::string>& comparison_protocols() {
   return kNames;
 }
 
-/// One comparison point: protocol × (n, ε, δ) on T2.
+/// Engine counters accumulated across every comparison_point of this
+/// process; benches print them at the end via core::render_engine_counters.
+inline rfid::EngineCounters& comparison_counters() {
+  static rfid::EngineCounters counters;
+  return counters;
+}
+
+/// One comparison point: protocol × (n, ε, δ) on T2. The per-point seed
+/// absorbs every sweep coordinate through util::SeedMixer, so nearby
+/// (n, ε, δ) points and distinct protocols get uncorrelated streams.
 inline sim::ExperimentSummary comparison_point(
     PopulationCache& pops, const std::string& protocol, std::size_t n,
     double eps, double delta, const util::Cli& cli, std::size_t trials) {
@@ -25,16 +37,20 @@ inline sim::ExperimentSummary comparison_point(
   cfg.trials = trials;
   cfg.req = {eps, delta};
   cfg.mode = mode_from(cli);
-  cfg.seed = cli.seed() ^ (n * 1099511628211ULL) ^
-             static_cast<std::uint64_t>(eps * 1e4) ^
-             (static_cast<std::uint64_t>(delta * 1e4) << 18) ^
-             std::hash<std::string>{}(protocol);
+  cfg.seed = util::SeedMixer(cli.seed())
+                 .absorb(static_cast<std::uint64_t>(n))
+                 .absorb(eps)
+                 .absorb(delta)
+                 .absorb(std::string_view(protocol))
+                 .value();
   const auto& pop = pops.get(n, rfid::TagIdDistribution::kT2ApproxNormal);
   const auto records = sim::run_experiment(
       pop,
       [&protocol] { return estimators::make_estimator(protocol); },
       cfg);
-  return sim::summarize_records(records, eps);
+  sim::ExperimentSummary summary = sim::summarize_records(records, eps);
+  comparison_counters() += summary.counters;
+  return summary;
 }
 
 /// The x-axes of Fig 9 / Fig 10.

@@ -7,7 +7,10 @@
 // of probe cost our ledger includes). Headline averages: BFCE ~30× faster
 // than ZOE, ~2× faster than SRC.
 
+#include <iostream>
+
 #include "comparison_common.hpp"
+#include "core/monitor.hpp"
 #include "math/stats.hpp"
 
 using namespace bfce;
@@ -107,5 +110,7 @@ int main(int argc, char** argv) {
   std::puts("shape check (paper): BFCE flat (~0.19-0.22 s incl. probes) at "
             "every point; ZOE seconds (worst cases from restarts); SRC "
             "between, shrinking as eps/delta loosen.");
+  std::cout << "\n== frame-engine counters (all sweeps) ==\n"
+            << core::render_engine_counters(bench::comparison_counters());
   return 0;
 }

@@ -8,7 +8,10 @@
 // show occasional violations (their accuracy depends on the luck of the
 // rough-estimation phase); BFCE meets it in every run.
 
+#include <iostream>
+
 #include "comparison_common.hpp"
+#include "core/monitor.hpp"
 
 using namespace bfce;
 
@@ -72,5 +75,7 @@ int main(int argc, char** argv) {
             "with mean accuracy well under eps; ZOE/SRC mostly comply but "
             "show occasional acc_max spikes driven by bad rough estimates "
             "(the paper's n=50000 SRC and delta=0.3 ZOE exceptions).");
+  std::cout << "\n== frame-engine counters (all sweeps) ==\n"
+            << core::render_engine_counters(bench::comparison_counters());
   return 0;
 }

@@ -1,19 +1,88 @@
 // Micro-benchmarks (google-benchmark): frame-executor throughput — the
 // simulator's hot path. Shows the exact/sampled cost gap that motivates
-// the two-mode design (DESIGN.md §5).
+// the two-mode design (DESIGN.md §5), and the legacy-vs-FrameEngine gap
+// that motivates the batched blocked path.
+//
+// Two entry points:
+//   * default — the usual google-benchmark driver (filters, repetitions,
+//     --benchmark_* flags all work);
+//   * `--baseline` — a self-timed legacy-vs-engine comparison of a
+//     16-frame Bloom batch at n ∈ {1e4, 1e5, 1e6}, written as
+//     machine-readable JSON to BENCH_frame.json (and echoed to stdout).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstddef>
+#include <cstdio>
 #include <map>
+#include <string_view>
+#include <vector>
 
+#include "hash/slot_hash.hpp"
 #include "rfid/frame.hpp"
+#include "rfid/frame_engine.hpp"
 #include "rfid/population.hpp"
+#include "util/bitvector.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using namespace bfce;
+
+constexpr std::size_t kBatchFrames = 16;
+
+// The PRE-engine Bloom executor, verbatim (per-(tag, j) hasher
+// construction, one Bernoulli draw per hash): the "legacy" side of the
+// batch comparison. The free run_bloom_frame is nowadays a wrapper over
+// the engine and already benefits from its hoisted premixing, so
+// benchmarking it would understate what the engine replaced.
+util::BitVector legacy_run_bloom_frame(const rfid::TagPopulation& tags,
+                                       const rfid::BloomFrameConfig& cfg,
+                                       const rfid::Channel& channel,
+                                       util::Xoshiro256ss& rng) {
+  std::vector<std::uint32_t> counts(cfg.w, 0);
+  for (const rfid::Tag& tag : tags.tags()) {
+    bool shared_respond = true;
+    if (cfg.persistence == hash::PersistenceMode::kSharedDraw) {
+      shared_respond = rng.bernoulli(cfg.p);
+      if (!shared_respond) continue;
+    }
+    for (std::uint32_t j = 0; j < cfg.k; ++j) {
+      std::uint32_t slot;
+      if (cfg.hash == rfid::HashScheme::kIdeal) {
+        slot = hash::IdealSlotHash(cfg.seeds[j]).slot(tag.id, cfg.w);
+      } else {
+        slot = hash::LightweightSlotHash(
+                   static_cast<std::uint32_t>(cfg.seeds[j]))
+                   .slot(tag.rn, cfg.w);
+      }
+      bool respond;
+      switch (cfg.persistence) {
+        case hash::PersistenceMode::kIdealBernoulli:
+          respond = rng.bernoulli(cfg.p);
+          break;
+        case hash::PersistenceMode::kSharedDraw:
+          respond = shared_respond;
+          break;
+        case hash::PersistenceMode::kRnBits:
+          respond = hash::rn_bits_respond(
+              tag.rn, slot, static_cast<std::uint32_t>(cfg.seeds[j]),
+              cfg.p_n);
+          break;
+        default:
+          respond = false;
+      }
+      if (respond) ++counts[slot];
+    }
+  }
+  util::BitVector busy(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (rfid::is_busy(channel.observe(counts[i], rng))) busy.set(i);
+  }
+  return busy;
+}
 
 const rfid::TagPopulation& pop_of(std::size_t n) {
   static std::map<std::size_t, rfid::TagPopulation> cache;
@@ -32,6 +101,19 @@ rfid::BloomFrameConfig bloom_cfg() {
   cfg.set_p_numerator(64);
   cfg.seeds = {1, 2, 3};
   return cfg;
+}
+
+/// The 16-frame Bloom batch of the acceptance benchmark: same (w, k, p)
+/// at 16 distinct seed triples, as a probe sequence would broadcast.
+std::vector<rfid::FrameRequest> bloom_batch() {
+  std::vector<rfid::FrameRequest> batch;
+  batch.reserve(kBatchFrames);
+  for (std::size_t i = 0; i < kBatchFrames; ++i) {
+    rfid::BloomFrameConfig cfg = bloom_cfg();
+    cfg.seeds = {3 * i + 1, 3 * i + 2, 3 * i + 3};
+    batch.push_back(rfid::FrameRequest::bloom(cfg));
+  }
+  return batch;
 }
 
 void BM_BloomFrameExact(benchmark::State& state) {
@@ -57,6 +139,40 @@ void BM_BloomFrameSampled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_BloomFrameSampled)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+// Legacy side of the acceptance comparison: 16 exact Bloom frames run
+// one by one through the pre-engine executor.
+void BM_BloomBatch16Legacy(benchmark::State& state) {
+  const auto& pop = pop_of(static_cast<std::size_t>(state.range(0)));
+  util::Xoshiro256ss rng(7);
+  const rfid::Channel ch;
+  const auto batch = bloom_batch();
+  for (auto _ : state) {
+    for (const rfid::FrameRequest& req : batch) {
+      benchmark::DoNotOptimize(legacy_run_bloom_frame(
+          pop, std::get<rfid::BloomFrameConfig>(req.config), ch, rng));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(kBatchFrames));
+}
+BENCHMARK(BM_BloomBatch16Legacy)->Arg(10000)->Arg(100000);
+
+// Engine side: the same 16 frames through execute_batch's blocked
+// population walk (persistence decided before hashing, packed Bernoulli,
+// scratch reuse).
+void BM_BloomBatch16Engine(benchmark::State& state) {
+  const auto& pop = pop_of(static_cast<std::size_t>(state.range(0)));
+  util::Xoshiro256ss rng(7);
+  rfid::FrameEngine engine(pop, rfid::Channel{}, rfid::FrameMode::kExact);
+  const auto batch = bloom_batch();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.execute_batch(batch, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(kBatchFrames));
+}
+BENCHMARK(BM_BloomBatch16Engine)->Arg(10000)->Arg(100000)->Arg(1000000);
 
 void BM_SingleSlotExact(benchmark::State& state) {
   const auto& pop = pop_of(static_cast<std::size_t>(state.range(0)));
@@ -104,6 +220,109 @@ void BM_AlohaFrameSampled(benchmark::State& state) {
 }
 BENCHMARK(BM_AlohaFrameSampled)->Arg(100000)->Arg(1000000);
 
+// ---------------------------------------------------------------------
+// --baseline: the self-timed acceptance comparison → BENCH_frame.json.
+
+/// Best-of-reps seconds for one run of `body`; repeats until at least
+/// `kMinReps` runs and `kMinTotalS` of accumulated time.
+template <typename F>
+double best_seconds(F&& body) {
+  constexpr int kMinReps = 3;
+  constexpr double kMinTotalS = 0.2;
+  using clock = std::chrono::steady_clock;
+  double best = 1e300;
+  double total = 0.0;
+  for (int rep = 0; rep < kMinReps || total < kMinTotalS; ++rep) {
+    const auto t0 = clock::now();
+    body();
+    const auto t1 = clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    best = std::min(best, s);
+    total += s;
+  }
+  return best;
+}
+
+int run_baseline() {
+  const std::vector<std::size_t> ns = {10000, 100000, 1000000};
+  const auto batch = bloom_batch();
+  const auto cfg = bloom_cfg();
+
+  std::string json;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\n  \"bench\": \"micro_frame\",\n"
+                "  \"batch_frames\": %zu,\n"
+                "  \"frame\": {\"w\": %u, \"k\": %u, \"p\": %.6f},\n"
+                "  \"points\": [",
+                kBatchFrames, cfg.w, cfg.k, cfg.p);
+  json += buf;
+
+  std::printf("16-frame exact Bloom batch, pre-engine executor vs "
+              "FrameEngine::execute_batch\n");
+  std::printf("%10s %18s %18s %9s\n", "n", "legacy_tags/s", "engine_tags/s",
+              "speedup");
+
+  bool first = true;
+  for (const std::size_t n : ns) {
+    const auto& pop = pop_of(n);
+    const rfid::Channel ch;
+
+    util::Xoshiro256ss legacy_rng(7);
+    const double legacy_s = best_seconds([&] {
+      for (const rfid::FrameRequest& req : batch) {
+        benchmark::DoNotOptimize(legacy_run_bloom_frame(
+            pop, std::get<rfid::BloomFrameConfig>(req.config), ch,
+            legacy_rng));
+      }
+    });
+
+    rfid::FrameEngine engine(pop, ch, rfid::FrameMode::kExact);
+    util::Xoshiro256ss engine_rng(7);
+    const double engine_s = best_seconds([&] {
+      benchmark::DoNotOptimize(engine.execute_batch(batch, engine_rng));
+    });
+
+    const double tags = static_cast<double>(n * kBatchFrames);
+    const double legacy_tps = tags / legacy_s;
+    const double engine_tps = tags / engine_s;
+    const double speedup = legacy_s / engine_s;
+
+    std::printf("%10zu %18.3e %18.3e %8.2fx\n", n, legacy_tps, engine_tps,
+                speedup);
+
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"n\": %zu, \"legacy_s\": %.6f, "
+                  "\"engine_s\": %.6f, \"legacy_tags_per_s\": %.1f, "
+                  "\"engine_tags_per_s\": %.1f, \"speedup\": %.3f}",
+                  first ? "" : ",", n, legacy_s, engine_s, legacy_tps,
+                  engine_tps, speedup);
+    json += buf;
+    first = false;
+  }
+  json += "\n  ]\n}\n";
+
+  const char* path = "BENCH_frame.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  } else {
+    std::fprintf(stderr, "could not open %s for writing\n", path);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--baseline") return run_baseline();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "math/erf.hpp"
 #include "math/stats.hpp"
@@ -11,17 +12,15 @@ namespace bfce::core {
 
 namespace {
 
-/// Runs one Bloom frame in the context's execution mode, accumulating
-/// individual tag transmissions into `tx` for the energy model.
+/// Runs one Bloom frame through the context's engine (which dispatches
+/// on the execution mode), accumulating individual tag transmissions
+/// into `tx` for the energy model.
 util::BitVector execute_frame(rfid::ReaderContext& ctx,
                               const rfid::BloomFrameConfig& cfg,
                               std::uint64_t* tx) {
-  if (ctx.mode() == rfid::FrameMode::kExact) {
-    return rfid::run_bloom_frame(ctx.tags(), cfg, ctx.channel(), ctx.rng(),
-                                 tx);
-  }
-  return rfid::sampled_bloom_frame(ctx.tags().size(), cfg, ctx.channel(),
-                                   ctx.rng(), tx);
+  rfid::FrameResult res = ctx.run_frame(rfid::FrameRequest::bloom(cfg));
+  if (tx != nullptr) *tx += res.tx;
+  return std::move(res.busy);
 }
 
 /// Fresh per-phase frame configuration with newly broadcast seeds.

@@ -2,10 +2,41 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "math/erf.hpp"
 
 namespace bfce::core {
+
+std::string render_engine_counters(const rfid::EngineCounters& counters) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-8s %14s %16s %16s %12s\n", "shape",
+                "frames", "slots", "tag_tx", "wall_ms");
+  out += line;
+  const auto row = [&](const char* label, const rfid::ShapeCounters& c) {
+    std::snprintf(line, sizeof(line),
+                  "%-8s %14llu %16llu %16llu %12.2f\n", label,
+                  static_cast<unsigned long long>(c.frames),
+                  static_cast<unsigned long long>(c.slots),
+                  static_cast<unsigned long long>(c.tag_tx),
+                  c.wall_us / 1000.0);
+    out += line;
+  };
+  for (std::size_t i = 0; i < rfid::kFrameShapeCount; ++i) {
+    const auto shape = static_cast<rfid::FrameShape>(i);
+    const rfid::ShapeCounters& c = counters.of(shape);
+    if (c.frames == 0) continue;  // don't print shapes that never ran
+    row(rfid::to_cstring(shape), c);
+  }
+  row("total", counters.total());
+  std::snprintf(line, sizeof(line),
+                "batches: %llu (%llu via the blocked population walk)\n",
+                static_cast<unsigned long long>(counters.batches),
+                static_cast<unsigned long long>(counters.blocked_batches));
+  out += line;
+  return out;
+}
 
 MonitorReading CardinalityMonitor::update(
     estimators::CardinalityEstimator& estimator, rfid::ReaderContext& ctx) {

@@ -12,11 +12,20 @@
 // (trickle shrinkage) that per-reading thresholds miss.
 
 #include <cstdint>
+#include <string>
 
 #include "estimators/estimator.hpp"
+#include "rfid/frame_engine.hpp"
 #include "rfid/reader.hpp"
 
 namespace bfce::core {
+
+/// Renders FrameEngine execution counters as an aligned, human-readable
+/// table: one row per frame shape (frames executed, slots simulated, tag
+/// transmissions, host wall-clock), a totals row, and the batch
+/// statistics. Benches print this after their sweeps so "what did the
+/// simulator actually do?" ships with every figure.
+std::string render_engine_counters(const rfid::EngineCounters& counters);
 
 struct MonitorParams {
   estimators::Requirement req{0.05, 0.05};

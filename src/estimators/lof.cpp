@@ -17,15 +17,10 @@ EstimateOutcome LofEstimator::estimate(rfid::ReaderContext& ctx,
   double index_sum = 0.0;
   for (std::uint32_t r = 0; r < params_.rounds; ++r) {
     const std::uint64_t seed = ctx.next_seed();
-    util::BitVector busy =
-        ctx.mode() == rfid::FrameMode::kExact
-            ? rfid::run_lottery_frame(ctx.tags(), params_.frame_size, seed,
-                                      ctx.channel(), ctx.rng(),
-                                      &out.airtime.tag_tx_bits)
-            : rfid::sampled_lottery_frame(ctx.tags().size(),
-                                          params_.frame_size, ctx.channel(),
-                                          ctx.rng(),
-                                          &out.airtime.tag_tx_bits);
+    rfid::FrameResult frame = ctx.run_frame(
+        rfid::FrameRequest::lottery(params_.frame_size, seed));
+    out.airtime.tag_tx_bits += frame.tx;
+    const util::BitVector& busy = frame.busy;
     out.airtime.add_reader_broadcast(params_.seed_bits);
     out.airtime.add_tag_slots(params_.frame_size);
     ctx.log_frame(rfid::FrameKind::kLottery, params_.frame_size, 1.0,

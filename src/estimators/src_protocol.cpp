@@ -47,13 +47,10 @@ EstimateOutcome SrcEstimator::estimate(rfid::ReaderContext& ctx,
   round_estimates.reserve(m);
   for (std::size_t r = 0; r < m; ++r) {
     const std::uint64_t seed = ctx.next_seed();
-    const std::vector<rfid::SlotState> states =
-        ctx.mode() == rfid::FrameMode::kExact
-            ? rfid::run_aloha_frame(ctx.tags(), f, p, seed, ctx.channel(),
-                                    ctx.rng(), &out.airtime.tag_tx_bits)
-            : rfid::sampled_aloha_frame(ctx.tags().size(), f, p,
-                                        ctx.channel(), ctx.rng(),
-                                        &out.airtime.tag_tx_bits);
+    const rfid::FrameResult frame =
+        ctx.run_frame(rfid::FrameRequest::aloha(f, p, seed));
+    out.airtime.tag_tx_bits += frame.tx;
+    const std::vector<rfid::SlotState>& states = frame.states;
     out.airtime.add_reader_broadcast(params_.seed_bits + params_.size_bits);
     out.airtime.add_tag_slots(f);
     ++out.rounds;

@@ -52,12 +52,10 @@ EstimateOutcome UpeEstimator::estimate(rfid::ReaderContext& ctx,
       std::min(1.0, lam * static_cast<double>(f) / n_pilot);
 
   const std::uint64_t seed = ctx.next_seed();
-  const auto states =
-      ctx.mode() == rfid::FrameMode::kExact
-          ? rfid::run_aloha_frame(ctx.tags(), f, p, seed, ctx.channel(),
-                                  ctx.rng(), &out.airtime.tag_tx_bits)
-          : rfid::sampled_aloha_frame(ctx.tags().size(), f, p, ctx.channel(),
-                                      ctx.rng(), &out.airtime.tag_tx_bits);
+  const rfid::FrameResult frame =
+      ctx.run_frame(rfid::FrameRequest::aloha(f, p, seed));
+  out.airtime.tag_tx_bits += frame.tx;
+  const std::vector<rfid::SlotState>& states = frame.states;
   out.airtime.add_reader_broadcast(params_.seed_bits + params_.size_bits);
   // UPE slots carry enough bits to tell singletons from collisions.
   out.airtime.add_tag_slots(static_cast<std::uint64_t>(f) *

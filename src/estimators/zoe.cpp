@@ -48,13 +48,10 @@ EstimateOutcome ZoeEstimator::estimate(rfid::ReaderContext& ctx,
     const std::uint64_t cap = 8 * m;  // give up past 8× the plan
     while (done < target) {
       const std::uint64_t seed = ctx.next_seed();
-      const rfid::SlotState s =
-          ctx.mode() == rfid::FrameMode::kExact
-              ? rfid::run_single_slot(ctx.tags(), q, seed, ctx.channel(),
-                                      ctx.rng(), &out.airtime.tag_tx_bits)
-              : rfid::sampled_single_slot(ctx.tags().size(), q,
-                                          ctx.channel(), ctx.rng(),
-                                          &out.airtime.tag_tx_bits);
+      const rfid::FrameResult frame =
+          ctx.run_frame(rfid::FrameRequest::single_slot(q, seed));
+      out.airtime.tag_tx_bits += frame.tx;
+      const rfid::SlotState s = frame.single;
       if (!rfid::is_busy(s)) ++idle;
       out.airtime.add_reader_broadcast(params_.seed_bits);
       out.airtime.add_tag_slots(1);

@@ -23,10 +23,16 @@ constexpr std::uint64_t smix64(std::uint64_t x) noexcept {
   return x ^ (x >> 31);
 }
 
+/// Seed half of mix_with_seed, precomputable once per (frame, hash):
+/// mix_with_seed(key, seed) == fmix64(key ^ premix_seed(seed)).
+constexpr std::uint64_t premix_seed(std::uint64_t seed) noexcept {
+  return smix64(seed ^ 0x9E3779B97F4A7C15ULL);
+}
+
 /// Combines a key with a seed into a mixed 64-bit value.
 constexpr std::uint64_t mix_with_seed(std::uint64_t key,
                                       std::uint64_t seed) noexcept {
-  return fmix64(key ^ smix64(seed ^ 0x9E3779B97F4A7C15ULL));
+  return fmix64(key ^ premix_seed(seed));
 }
 
 }  // namespace bfce::hash

@@ -21,21 +21,23 @@ namespace bfce::hash {
 /// Uniform seeded hash of a tagID into [0, w).
 ///
 /// `w` need not be a power of two; mapping uses the high-entropy
-/// multiply-shift reduction rather than modulo.
+/// multiply-shift reduction rather than modulo. The seed half of the mix
+/// is premixed at construction, so a hasher hoisted out of a tag loop
+/// costs one fmix64 + multiply-shift per tag.
 class IdealSlotHash {
  public:
   explicit constexpr IdealSlotHash(std::uint64_t seed) noexcept
-      : seed_(seed) {}
+      : premixed_(premix_seed(seed)) {}
 
   constexpr std::uint32_t slot(std::uint64_t tag_id,
                                std::uint32_t w) const noexcept {
-    const std::uint64_t h = mix_with_seed(tag_id, seed_);
+    const std::uint64_t h = fmix64(tag_id ^ premixed_);
     return static_cast<std::uint32_t>(
         (static_cast<__uint128_t>(h) * w) >> 64);
   }
 
  private:
-  std::uint64_t seed_;
+  std::uint64_t premixed_;
 };
 
 /// The paper's lightweight XOR + bitget hash.
@@ -67,11 +69,11 @@ class LightweightSlotHash {
 class GeometricSlotHash {
  public:
   explicit constexpr GeometricSlotHash(std::uint64_t seed) noexcept
-      : seed_(seed) {}
+      : premixed_(premix_seed(seed)) {}
 
   constexpr std::uint32_t slot(std::uint64_t tag_id,
                                std::uint32_t frame_size) const noexcept {
-    const std::uint64_t h = mix_with_seed(tag_id, seed_);
+    const std::uint64_t h = fmix64(tag_id ^ premixed_);
     std::uint32_t zeros = 0;
     // countl_zero is not constexpr-friendly across all our toolchains for
     // the masked case; a loop over at most 64 bits keeps this constexpr.
@@ -83,7 +85,7 @@ class GeometricSlotHash {
   }
 
  private:
-  std::uint64_t seed_;
+  std::uint64_t premixed_;
 };
 
 }  // namespace bfce::hash

@@ -1,44 +1,21 @@
 #include "rfid/frame.hpp"
 
-#include <cassert>
-#include <random>
+#include <utility>
 
-#include "hash/slot_hash.hpp"
+#include "rfid/frame_engine.hpp"
 
 namespace bfce::rfid {
 
-namespace {
-
-/// Converts per-slot responder counts to the busy bitmap via the channel.
-util::BitVector counts_to_busy(const std::vector<std::uint32_t>& counts,
-                               const Channel& channel,
-                               util::Xoshiro256ss& rng) {
-  util::BitVector busy(counts.size());
-  for (std::size_t i = 0; i < counts.size(); ++i) {
-    if (is_busy(channel.observe(counts[i], rng))) busy.set(i);
-  }
-  return busy;
-}
-
-std::uint64_t draw_binomial(std::uint64_t trials, double p,
-                            util::Xoshiro256ss& rng) {
-  if (trials == 0 || p <= 0.0) return 0;
-  if (p >= 1.0) return trials;
-  std::binomial_distribution<std::uint64_t> dist(trials, p);
-  return dist(rng);
-}
-
-}  // namespace
+// The free executors are compatibility wrappers over a transient
+// FrameEngine: one engine, one frame, same RNG consumption as the
+// original scalar loops (which now live in frame_engine.cpp). Protocols
+// that want scratch reuse, batching or counters submit FrameRequests to
+// a long-lived engine instead — see ReaderContext::run_frame.
 
 namespace {
 
-/// Adds the total responder count of a counts vector to *tx (if set).
-void accumulate_tx(const std::vector<std::uint32_t>& counts,
-                   std::uint64_t* tx) {
-  if (tx == nullptr) return;
-  std::uint64_t total = 0;
-  for (const std::uint32_t c : counts) total += c;
-  *tx += total;
+void add_tx(std::uint64_t tx, std::uint64_t* tx_count) {
+  if (tx_count != nullptr) *tx_count += tx;
 }
 
 }  // namespace
@@ -48,68 +25,20 @@ util::BitVector run_bloom_frame(const TagPopulation& tags,
                                 const Channel& channel,
                                 util::Xoshiro256ss& rng,
                                 std::uint64_t* tx_count) {
-  assert(cfg.k >= 1 && cfg.k <= kMaxHashes);
-  assert(cfg.hash != HashScheme::kLightweight ||
-         (cfg.w & (cfg.w - 1)) == 0);  // lightweight bitget needs 2^b slots
-  std::vector<std::uint32_t> counts(cfg.w, 0);
-
-  for (const Tag& tag : tags.tags()) {
-    // A tag that uses one shared persistence draw decides once per frame.
-    bool shared_respond = true;
-    if (cfg.persistence == hash::PersistenceMode::kSharedDraw) {
-      shared_respond = rng.bernoulli(cfg.p);
-      if (!shared_respond) continue;
-    }
-    for (std::uint32_t j = 0; j < cfg.k; ++j) {
-      std::uint32_t slot;
-      if (cfg.hash == HashScheme::kIdeal) {
-        slot = hash::IdealSlotHash(cfg.seeds[j]).slot(tag.id, cfg.w);
-      } else {
-        slot = hash::LightweightSlotHash(
-                   static_cast<std::uint32_t>(cfg.seeds[j]))
-                   .slot(tag.rn, cfg.w);
-      }
-      bool respond;
-      switch (cfg.persistence) {
-        case hash::PersistenceMode::kIdealBernoulli:
-          respond = rng.bernoulli(cfg.p);
-          break;
-        case hash::PersistenceMode::kSharedDraw:
-          respond = shared_respond;
-          break;
-        case hash::PersistenceMode::kRnBits:
-          respond = hash::rn_bits_respond(
-              tag.rn, slot, static_cast<std::uint32_t>(cfg.seeds[j]),
-              cfg.p_n);
-          break;
-        default:
-          respond = false;
-      }
-      if (respond) ++counts[slot];
-    }
-  }
-  accumulate_tx(counts, tx_count);
-  return counts_to_busy(counts, channel, rng);
+  FrameEngine engine(tags, channel, FrameMode::kExact);
+  FrameResult res = engine.execute(FrameRequest::bloom(cfg), rng);
+  add_tx(res.tx, tx_count);
+  return std::move(res.busy);
 }
 
 util::BitVector sampled_bloom_frame(std::size_t n, const BloomFrameConfig& cfg,
                                     const Channel& channel,
                                     util::Xoshiro256ss& rng,
                                     std::uint64_t* tx_count) {
-  assert(cfg.k >= 1 && cfg.k <= kMaxHashes);
-  // Every (tag, hash) pair responds with probability p, independently
-  // under the marginal law; the total response count is Binomial(k·n, p)
-  // and each response lands in a uniform slot. (Within-tag slot
-  // distinctness is a O(k²/w) correction, negligible for k=3, w=8192;
-  // tests compare the two executors.)
-  const std::uint64_t responses =
-      draw_binomial(static_cast<std::uint64_t>(n) * cfg.k, cfg.p, rng);
-  std::vector<std::uint32_t> counts(cfg.w, 0);
-  for (std::uint64_t r = 0; r < responses; ++r) {
-    ++counts[rng.below(cfg.w)];
-  }
-  if (tx_count != nullptr) *tx_count += responses;
-  return counts_to_busy(counts, channel, rng);
+  FrameEngine engine(n, channel);
+  FrameResult res = engine.execute(FrameRequest::bloom(cfg), rng);
+  add_tx(res.tx, tx_count);
+  return std::move(res.busy);
 }
 
 std::vector<SlotState> run_aloha_frame(const TagPopulation& tags,
@@ -118,104 +47,59 @@ std::vector<SlotState> run_aloha_frame(const TagPopulation& tags,
                                        const Channel& channel,
                                        util::Xoshiro256ss& rng,
                                        std::uint64_t* tx_count) {
-  std::vector<std::uint32_t> counts(f, 0);
-  const hash::IdealSlotHash slot_hash(seed);
-  for (const Tag& tag : tags.tags()) {
-    if (p < 1.0 && !rng.bernoulli(p)) continue;
-    ++counts[slot_hash.slot(tag.id, f)];
-  }
-  accumulate_tx(counts, tx_count);
-  std::vector<SlotState> states(f);
-  for (std::uint32_t i = 0; i < f; ++i) {
-    states[i] = channel.observe(counts[i], rng);
-  }
-  return states;
+  FrameEngine engine(tags, channel, FrameMode::kExact);
+  FrameResult res = engine.execute(FrameRequest::aloha(f, p, seed), rng);
+  add_tx(res.tx, tx_count);
+  return std::move(res.states);
 }
 
 std::vector<SlotState> sampled_aloha_frame(std::size_t n, std::uint32_t f,
                                            double p, const Channel& channel,
                                            util::Xoshiro256ss& rng,
                                            std::uint64_t* tx_count) {
-  const std::uint64_t responders = draw_binomial(n, p, rng);
-  if (tx_count != nullptr) *tx_count += responders;
-  std::vector<std::uint32_t> counts(f, 0);
-  for (std::uint64_t r = 0; r < responders; ++r) {
-    ++counts[rng.below(f)];
-  }
-  std::vector<SlotState> states(f);
-  for (std::uint32_t i = 0; i < f; ++i) {
-    states[i] = channel.observe(counts[i], rng);
-  }
-  return states;
+  FrameEngine engine(n, channel);
+  FrameResult res = engine.execute(FrameRequest::aloha(f, p, 0), rng);
+  add_tx(res.tx, tx_count);
+  return std::move(res.states);
 }
 
 SlotState run_single_slot(const TagPopulation& tags, double q,
                           std::uint64_t seed, const Channel& channel,
-                          util::Xoshiro256ss& rng,
-                          std::uint64_t* tx_count) {
-  // ZOE's participation rule: hash the tagID with the per-frame seed and
-  // compare against q — no tag-side RNG required.
-  const std::uint64_t threshold =
-      q >= 1.0 ? ~0ULL
-               : static_cast<std::uint64_t>(
-                     q * 18446744073709551616.0 /* 2^64 */);
-  std::uint32_t responders = 0;
-  for (const Tag& tag : tags.tags()) {
-    if (hash::mix_with_seed(tag.id, seed) < threshold) ++responders;
-  }
-  if (tx_count != nullptr) *tx_count += responders;
-  return channel.observe(responders, rng);
+                          util::Xoshiro256ss& rng, std::uint64_t* tx_count) {
+  FrameEngine engine(tags, channel, FrameMode::kExact);
+  const FrameResult res =
+      engine.execute(FrameRequest::single_slot(q, seed), rng);
+  add_tx(res.tx, tx_count);
+  return res.single;
 }
 
 SlotState sampled_single_slot(std::size_t n, double q, const Channel& channel,
                               util::Xoshiro256ss& rng,
                               std::uint64_t* tx_count) {
-  const std::uint64_t responders = draw_binomial(n, q, rng);
-  if (tx_count != nullptr) *tx_count += responders;
-  return channel.observe(static_cast<std::uint32_t>(
-                             responders > 0xFFFFFFFFULL ? 0xFFFFFFFFULL
-                                                        : responders),
-                         rng);
+  FrameEngine engine(n, channel);
+  const FrameResult res = engine.execute(FrameRequest::single_slot(q, 0), rng);
+  add_tx(res.tx, tx_count);
+  return res.single;
 }
 
 util::BitVector run_lottery_frame(const TagPopulation& tags, std::uint32_t f,
                                   std::uint64_t seed, const Channel& channel,
                                   util::Xoshiro256ss& rng,
                                   std::uint64_t* tx_count) {
-  std::vector<std::uint32_t> counts(f, 0);
-  const hash::GeometricSlotHash geo(seed);
-  for (const Tag& tag : tags.tags()) {
-    ++counts[geo.slot(tag.id, f)];
-  }
-  if (tx_count != nullptr) *tx_count += tags.size();
-  return counts_to_busy(counts, channel, rng);
+  FrameEngine engine(tags, channel, FrameMode::kExact);
+  FrameResult res = engine.execute(FrameRequest::lottery(f, seed), rng);
+  add_tx(res.tx, tx_count);
+  return std::move(res.busy);
 }
 
 util::BitVector sampled_lottery_frame(std::size_t n, std::uint32_t f,
                                       const Channel& channel,
                                       util::Xoshiro256ss& rng,
                                       std::uint64_t* tx_count) {
-  // Sequential multinomial: slot j holds Binomial(n_remaining,
-  // p_j / p_remaining) tags, with p_j = 2^-(j+1) and the tail mass
-  // clamped into the last slot.
-  std::vector<std::uint32_t> counts(f, 0);
-  std::uint64_t remaining = n;
-  double mass_remaining = 1.0;
-  for (std::uint32_t j = 0; j + 1 < f && remaining > 0; ++j) {
-    const double pj = std::ldexp(1.0, -static_cast<int>(j) - 1);
-    const double cond = pj / mass_remaining;
-    const std::uint64_t c =
-        draw_binomial(remaining, cond > 1.0 ? 1.0 : cond, rng);
-    counts[j] = static_cast<std::uint32_t>(c > 0xFFFFFFFFULL ? 0xFFFFFFFFULL
-                                                             : c);
-    remaining -= c;
-    mass_remaining -= pj;
-    if (mass_remaining <= 0.0) break;
-  }
-  counts[f - 1] += static_cast<std::uint32_t>(
-      remaining > 0xFFFFFFFFULL ? 0xFFFFFFFFULL : remaining);
-  if (tx_count != nullptr) *tx_count += n;
-  return counts_to_busy(counts, channel, rng);
+  FrameEngine engine(n, channel);
+  FrameResult res = engine.execute(FrameRequest::lottery(f, 0), rng);
+  add_tx(res.tx, tx_count);
+  return std::move(res.busy);
 }
 
 }  // namespace bfce::rfid

@@ -19,6 +19,11 @@
 // statistically equivalent under ideal hashing and makes protocols that
 // need thousands of frames over millions of tags tractable. Tests verify
 // the equivalence (KS test over observed statistics).
+//
+// The free functions below are compatibility wrappers: the scalar loops
+// live in rfid/frame_engine.hpp's FrameEngine, which additionally offers
+// scratch reuse, batched execution and per-shape counters. New code
+// should submit FrameRequests through a ReaderContext / FrameEngine.
 
 #include <array>
 #include <cstdint>

@@ -1,0 +1,513 @@
+#include "rfid/frame_engine.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <random>
+
+#include "hash/persistence.hpp"
+#include "hash/slot_hash.hpp"
+
+namespace bfce::rfid {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_us(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+std::uint64_t draw_binomial(std::uint64_t trials, double p,
+                            util::Xoshiro256ss& rng) {
+  if (trials == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return trials;
+  std::binomial_distribution<std::uint64_t> dist(trials, p);
+  return dist(rng);
+}
+
+std::uint64_t sum_counts(const std::uint32_t* counts, std::size_t w) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < w; ++i) total += counts[i];
+  return total;
+}
+
+/// Exact 16-bit threshold for Bernoulli(p) decisions packed four to a
+/// 64-bit draw, or kNoPack16 when p is not on the 1/65536 grid (the
+/// 1/1024 persistence grid of §IV-E.3 always is). A uniform 16-bit slice
+/// compared against p·65536 realises Bernoulli(p) exactly.
+constexpr std::uint32_t kNoPack16 = 0xFFFFFFFFU;
+
+std::uint32_t packed16_threshold(double p) {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return 65536;
+  const double scaled = p * 65536.0;
+  if (scaled != std::floor(scaled)) return kNoPack16;
+  return static_cast<std::uint32_t>(scaled);
+}
+
+/// The slot choices of one Bloom frame, premixed once per frame.
+struct HoistedBloomHashes {
+  bool lightweight = false;
+  std::array<hash::IdealSlotHash, kMaxHashes> ideal{
+      hash::IdealSlotHash(0), hash::IdealSlotHash(0), hash::IdealSlotHash(0),
+      hash::IdealSlotHash(0), hash::IdealSlotHash(0), hash::IdealSlotHash(0),
+      hash::IdealSlotHash(0), hash::IdealSlotHash(0)};
+  std::array<std::uint32_t, kMaxHashes> lw{};
+
+  explicit HoistedBloomHashes(const BloomFrameConfig& cfg) {
+    lightweight = cfg.hash == HashScheme::kLightweight;
+    for (std::uint32_t j = 0; j < cfg.k; ++j) {
+      if (lightweight) {
+        lw[j] = static_cast<std::uint32_t>(cfg.seeds[j]);
+      } else {
+        ideal[j] = hash::IdealSlotHash(cfg.seeds[j]);
+      }
+    }
+  }
+
+  std::uint32_t slot(const Tag& tag, std::uint32_t j,
+                     std::uint32_t w) const noexcept {
+    return lightweight ? hash::LightweightSlotHash(lw[j]).slot(tag.rn, w)
+                       : ideal[j].slot(tag.id, w);
+  }
+};
+
+}  // namespace
+
+const char* to_cstring(FrameShape shape) noexcept {
+  switch (shape) {
+    case FrameShape::kBloom:
+      return "bloom";
+    case FrameShape::kAloha:
+      return "aloha";
+    case FrameShape::kSingleSlot:
+      return "single";
+    case FrameShape::kLottery:
+      return "lottery";
+  }
+  return "?";
+}
+
+util::BitVector FrameEngine::counts_to_busy(const std::uint32_t* counts,
+                                            std::size_t w,
+                                            util::Xoshiro256ss& rng) const {
+  util::BitVector busy(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    if (is_busy(channel_.observe(counts[i], rng))) busy.set(i);
+  }
+  return busy;
+}
+
+FrameResult FrameEngine::execute(const FrameRequest& request,
+                                 util::Xoshiro256ss& rng) {
+  const auto start = Clock::now();
+  FrameResult out;
+  out.shape = request.shape();
+  std::uint64_t slots = 0;
+  switch (out.shape) {
+    case FrameShape::kBloom: {
+      const auto& cfg = std::get<BloomFrameConfig>(request.config);
+      slots = cfg.w;
+      if (mode_ == FrameMode::kExact) {
+        exact_bloom(cfg, rng, out);
+      } else {
+        sampled_bloom(cfg, rng, out);
+      }
+      break;
+    }
+    case FrameShape::kAloha: {
+      const auto& cfg = std::get<AlohaFrameConfig>(request.config);
+      slots = cfg.f;
+      if (mode_ == FrameMode::kExact) {
+        exact_aloha(cfg, rng, out);
+      } else {
+        sampled_aloha(cfg, rng, out);
+      }
+      break;
+    }
+    case FrameShape::kSingleSlot: {
+      const auto& cfg = std::get<SingleSlotConfig>(request.config);
+      slots = 1;
+      if (mode_ == FrameMode::kExact) {
+        exact_single(cfg, rng, out);
+      } else {
+        sampled_single(cfg, rng, out);
+      }
+      break;
+    }
+    case FrameShape::kLottery: {
+      const auto& cfg = std::get<LotteryFrameConfig>(request.config);
+      slots = cfg.f;
+      if (mode_ == FrameMode::kExact) {
+        exact_lottery(cfg, rng, out);
+      } else {
+        sampled_lottery(cfg, rng, out);
+      }
+      break;
+    }
+  }
+  ShapeCounters& c = counters_.of(out.shape);
+  c.frames += 1;
+  c.slots += slots;
+  c.tag_tx += out.tx;
+  c.wall_us += elapsed_us(start);
+  return out;
+}
+
+std::vector<FrameResult> FrameEngine::execute_batch(
+    const std::vector<FrameRequest>& requests, util::Xoshiro256ss& rng) {
+  ++counters_.batches;
+  bool all_bloom = !requests.empty();
+  for (const FrameRequest& r : requests) {
+    if (r.shape() != FrameShape::kBloom) {
+      all_bloom = false;
+      break;
+    }
+  }
+  if (all_bloom && requests.size() >= 2 && mode_ == FrameMode::kExact &&
+      tags_ != nullptr) {
+    return execute_bloom_batch_blocked(requests, rng);
+  }
+  std::vector<FrameResult> results;
+  results.reserve(requests.size());
+  for (const FrameRequest& r : requests) results.push_back(execute(r, rng));
+  return results;
+}
+
+// ---- scalar paths (bit-identical to the legacy free executors) --------
+
+void FrameEngine::exact_bloom(const BloomFrameConfig& cfg,
+                              util::Xoshiro256ss& rng, FrameResult& out) {
+  assert(tags_ != nullptr);
+  assert(cfg.k >= 1 && cfg.k <= kMaxHashes);
+  assert(cfg.hash != HashScheme::kLightweight ||
+         (cfg.w & (cfg.w - 1)) == 0);  // lightweight bitget needs 2^b slots
+  counts_.assign(cfg.w, 0);
+  const HoistedBloomHashes hashes(cfg);
+
+  for (const Tag& tag : tags_->tags()) {
+    // A tag that uses one shared persistence draw decides once per frame.
+    bool shared_respond = true;
+    if (cfg.persistence == hash::PersistenceMode::kSharedDraw) {
+      shared_respond = rng.bernoulli(cfg.p);
+      if (!shared_respond) continue;
+    }
+    for (std::uint32_t j = 0; j < cfg.k; ++j) {
+      const std::uint32_t slot = hashes.slot(tag, j, cfg.w);
+      bool respond;
+      switch (cfg.persistence) {
+        case hash::PersistenceMode::kIdealBernoulli:
+          respond = rng.bernoulli(cfg.p);
+          break;
+        case hash::PersistenceMode::kSharedDraw:
+          respond = shared_respond;
+          break;
+        case hash::PersistenceMode::kRnBits:
+          respond = hash::rn_bits_respond(
+              tag.rn, slot, static_cast<std::uint32_t>(cfg.seeds[j]), cfg.p_n);
+          break;
+        default:
+          respond = false;
+      }
+      if (respond) ++counts_[slot];
+    }
+  }
+  out.tx = sum_counts(counts_.data(), cfg.w);
+  out.busy = counts_to_busy(counts_.data(), cfg.w, rng);
+}
+
+void FrameEngine::sampled_bloom(const BloomFrameConfig& cfg,
+                                util::Xoshiro256ss& rng, FrameResult& out) {
+  assert(cfg.k >= 1 && cfg.k <= kMaxHashes);
+  // Every (tag, hash) pair responds with probability p, independently
+  // under the marginal law; the total response count is Binomial(k·n, p)
+  // and each response lands in a uniform slot. (Within-tag slot
+  // distinctness is a O(k²/w) correction, negligible for k=3, w=8192;
+  // tests compare the two executors.)
+  const std::uint64_t responses =
+      draw_binomial(static_cast<std::uint64_t>(n_) * cfg.k, cfg.p, rng);
+  counts_.assign(cfg.w, 0);
+  for (std::uint64_t r = 0; r < responses; ++r) {
+    ++counts_[rng.below(cfg.w)];
+  }
+  out.tx = responses;
+  out.busy = counts_to_busy(counts_.data(), cfg.w, rng);
+}
+
+void FrameEngine::exact_aloha(const AlohaFrameConfig& cfg,
+                              util::Xoshiro256ss& rng, FrameResult& out) {
+  assert(tags_ != nullptr);
+  counts_.assign(cfg.f, 0);
+  const hash::IdealSlotHash slot_hash(cfg.seed);
+  for (const Tag& tag : tags_->tags()) {
+    if (cfg.p < 1.0 && !rng.bernoulli(cfg.p)) continue;
+    ++counts_[slot_hash.slot(tag.id, cfg.f)];
+  }
+  out.tx = sum_counts(counts_.data(), cfg.f);
+  out.states.resize(cfg.f);
+  for (std::uint32_t i = 0; i < cfg.f; ++i) {
+    out.states[i] = channel_.observe(counts_[i], rng);
+  }
+}
+
+void FrameEngine::sampled_aloha(const AlohaFrameConfig& cfg,
+                                util::Xoshiro256ss& rng, FrameResult& out) {
+  const std::uint64_t responders = draw_binomial(n_, cfg.p, rng);
+  out.tx = responders;
+  counts_.assign(cfg.f, 0);
+  for (std::uint64_t r = 0; r < responders; ++r) {
+    ++counts_[rng.below(cfg.f)];
+  }
+  out.states.resize(cfg.f);
+  for (std::uint32_t i = 0; i < cfg.f; ++i) {
+    out.states[i] = channel_.observe(counts_[i], rng);
+  }
+}
+
+void FrameEngine::exact_single(const SingleSlotConfig& cfg,
+                               util::Xoshiro256ss& rng, FrameResult& out) {
+  assert(tags_ != nullptr);
+  // ZOE's participation rule: hash the tagID with the per-frame seed and
+  // compare against q — no tag-side RNG required.
+  const std::uint64_t threshold =
+      cfg.q >= 1.0 ? ~0ULL
+                   : static_cast<std::uint64_t>(
+                         cfg.q * 18446744073709551616.0 /* 2^64 */);
+  const std::uint64_t premixed = hash::premix_seed(cfg.seed);
+  std::uint32_t responders = 0;
+  for (const Tag& tag : tags_->tags()) {
+    if (hash::fmix64(tag.id ^ premixed) < threshold) ++responders;
+  }
+  out.tx = responders;
+  out.single = channel_.observe(responders, rng);
+}
+
+void FrameEngine::sampled_single(const SingleSlotConfig& cfg,
+                                 util::Xoshiro256ss& rng, FrameResult& out) {
+  const std::uint64_t responders = draw_binomial(n_, cfg.q, rng);
+  out.tx = responders;
+  out.single = channel_.observe(
+      static_cast<std::uint32_t>(
+          responders > 0xFFFFFFFFULL ? 0xFFFFFFFFULL : responders),
+      rng);
+}
+
+void FrameEngine::exact_lottery(const LotteryFrameConfig& cfg,
+                                util::Xoshiro256ss& rng, FrameResult& out) {
+  assert(tags_ != nullptr);
+  counts_.assign(cfg.f, 0);
+  const hash::GeometricSlotHash geo(cfg.seed);
+  for (const Tag& tag : tags_->tags()) {
+    ++counts_[geo.slot(tag.id, cfg.f)];
+  }
+  out.tx = tags_->size();
+  out.busy = counts_to_busy(counts_.data(), cfg.f, rng);
+}
+
+void FrameEngine::sampled_lottery(const LotteryFrameConfig& cfg,
+                                  util::Xoshiro256ss& rng, FrameResult& out) {
+  // Sequential multinomial: slot j holds Binomial(n_remaining,
+  // p_j / p_remaining) tags, with p_j = 2^-(j+1) and the tail mass
+  // clamped into the last slot.
+  counts_.assign(cfg.f, 0);
+  std::uint64_t remaining = n_;
+  double mass_remaining = 1.0;
+  for (std::uint32_t j = 0; j + 1 < cfg.f && remaining > 0; ++j) {
+    const double pj = std::ldexp(1.0, -static_cast<int>(j) - 1);
+    const double cond = pj / mass_remaining;
+    const std::uint64_t c =
+        draw_binomial(remaining, cond > 1.0 ? 1.0 : cond, rng);
+    counts_[j] =
+        static_cast<std::uint32_t>(c > 0xFFFFFFFFULL ? 0xFFFFFFFFULL : c);
+    remaining -= c;
+    mass_remaining -= pj;
+    if (mass_remaining <= 0.0) break;
+  }
+  counts_[cfg.f - 1] += static_cast<std::uint32_t>(
+      remaining > 0xFFFFFFFFULL ? 0xFFFFFFFFULL : remaining);
+  out.tx = n_;
+  out.busy = counts_to_busy(counts_.data(), cfg.f, rng);
+}
+
+// ---- blocked batch path ----------------------------------------------
+
+std::vector<FrameResult> FrameEngine::execute_bloom_batch_blocked(
+    const std::vector<FrameRequest>& requests, util::Xoshiro256ss& rng) {
+  const auto start = Clock::now();
+  ++counters_.blocked_batches;
+  const std::size_t m = requests.size();
+
+  // Hoist everything the walk reads out of the configs into one flat
+  // struct. The walk writes slot counts through a uint32_t*, so reads of
+  // uint32_t config fields through pointers would have to be reloaded
+  // after every increment (they may alias); the copies below are pulled
+  // into locals inside the loop, which cannot.
+  struct Hoisted {
+    HoistedBloomHashes hashes;
+    std::size_t offset;         // into batch_counts_
+    double p = 1.0;
+    std::uint32_t k = 0;
+    std::uint32_t w = 0;
+    std::uint32_t p_n = 0;
+    std::uint32_t threshold16 = 0;  // packed threshold or kNoPack16
+    std::array<std::uint32_t, kMaxHashes> seeds32{};
+    hash::PersistenceMode persistence = hash::PersistenceMode::kRnBits;
+  };
+  std::vector<Hoisted> hoisted;
+  hoisted.reserve(m);
+  std::size_t total_slots = 0;
+  for (const FrameRequest& r : requests) {
+    const auto& cfg = std::get<BloomFrameConfig>(r.config);
+    assert(cfg.k >= 1 && cfg.k <= kMaxHashes);
+    assert(cfg.hash != HashScheme::kLightweight ||
+           (cfg.w & (cfg.w - 1)) == 0);
+    Hoisted h{HoistedBloomHashes(cfg), total_slots, cfg.p,     cfg.k,
+              cfg.w,                   cfg.p_n,     {},        {},
+              cfg.persistence};
+    h.threshold16 = packed16_threshold(cfg.p);
+    for (std::uint32_t j = 0; j < cfg.k; ++j) {
+      h.seeds32[j] = static_cast<std::uint32_t>(cfg.seeds[j]);
+    }
+    hoisted.push_back(h);
+    total_slots += cfg.w;
+  }
+  batch_counts_.assign(total_slots, 0);
+  std::uint32_t* const counts = batch_counts_.data();
+
+  // Packed persistence decisions come from a SplitMix64 stream derived
+  // from ONE draw of the caller's generator: splitmix has no loop-carried
+  // work beyond a counter increment, so consecutive decisions pipeline
+  // where xoshiro's state chain would serialise them. 16-bit slices of
+  // its output compared against p·65536 realise Bernoulli(p) exactly.
+  // A batch whose frames are all kRnBits never touches it (and so stays
+  // bit-identical to sequential execution).
+  bool any_packed = false;
+  bool any_stochastic = false;
+  for (const Hoisted& h : hoisted) {
+    if (h.persistence == hash::PersistenceMode::kIdealBernoulli ||
+        h.persistence == hash::PersistenceMode::kSharedDraw) {
+      any_stochastic = true;
+      if (h.threshold16 != kNoPack16) any_packed = true;
+    }
+  }
+  util::SplitMix64 persist((any_stochastic && any_packed) ? rng() : 0);
+
+  // One streaming pass over the population for the whole batch, tiled so
+  // each frame's slot counts stay cache-resident while a tile is walked.
+  // Persistence is decided before hashing, so silent (tag, slot) pairs
+  // never pay for a slot computation — with the paper's p_s ≈ 1/16 that
+  // removes ~94% of the hash work the per-frame executors do.
+  const auto& all_tags = tags_->tags();
+  const std::size_t n_tags = all_tags.size();
+  constexpr std::size_t kTile = 2048;
+  for (std::size_t t0 = 0; t0 < n_tags; t0 += kTile) {
+    const std::size_t t1 = n_tags < t0 + kTile ? n_tags : t0 + kTile;
+    for (const Hoisted& h : hoisted) {
+      const std::uint32_t k = h.k;
+      const std::uint32_t w = h.w;
+      std::uint32_t* const frame_counts = counts + h.offset;
+      switch (h.persistence) {
+        case hash::PersistenceMode::kIdealBernoulli: {
+          const std::uint32_t thr = h.threshold16;
+          if (thr != kNoPack16 && k == 3) {
+            // The paper's k: fully unrolled, no mask loop.
+            for (std::size_t t = t0; t < t1; ++t) {
+              const std::uint64_t bits = persist();
+              const bool h0 = (bits & 0xFFFFU) < thr;
+              const bool h1 = ((bits >> 16) & 0xFFFFU) < thr;
+              const bool h2 = ((bits >> 32) & 0xFFFFU) < thr;
+              if (h0 | h1 | h2) {
+                const Tag& tag = all_tags[t];
+                if (h0) ++frame_counts[h.hashes.slot(tag, 0, w)];
+                if (h1) ++frame_counts[h.hashes.slot(tag, 1, w)];
+                if (h2) ++frame_counts[h.hashes.slot(tag, 2, w)];
+              }
+            }
+          } else if (thr != kNoPack16 && k <= 4) {
+            for (std::size_t t = t0; t < t1; ++t) {
+              // All k decisions from one draw, as a branchless hit mask;
+              // most tags decide all-silent and skip the hash loop.
+              std::uint64_t bits = persist();
+              std::uint32_t mask = 0;
+              for (std::uint32_t j = 0; j < k; ++j) {
+                mask |= static_cast<std::uint32_t>((bits & 0xFFFFU) < thr)
+                        << j;
+                bits >>= 16;
+              }
+              if (mask != 0) {
+                const Tag& tag = all_tags[t];
+                for (std::uint32_t j = 0; j < k; ++j) {
+                  if ((mask >> j) & 1U) {
+                    ++frame_counts[h.hashes.slot(tag, j, w)];
+                  }
+                }
+              }
+            }
+          } else {
+            for (std::size_t t = t0; t < t1; ++t) {
+              const Tag& tag = all_tags[t];
+              for (std::uint32_t j = 0; j < k; ++j) {
+                if (rng.bernoulli(h.p)) {
+                  ++frame_counts[h.hashes.slot(tag, j, w)];
+                }
+              }
+            }
+          }
+          break;
+        }
+        case hash::PersistenceMode::kSharedDraw: {
+          const std::uint32_t thr = h.threshold16;
+          for (std::size_t t = t0; t < t1; ++t) {
+            const bool respond = thr != kNoPack16
+                                     ? (persist() & 0xFFFFU) < thr
+                                     : rng.bernoulli(h.p);
+            if (respond) {
+              const Tag& tag = all_tags[t];
+              for (std::uint32_t j = 0; j < k; ++j) {
+                ++frame_counts[h.hashes.slot(tag, j, w)];
+              }
+            }
+          }
+          break;
+        }
+        case hash::PersistenceMode::kRnBits: {
+          const std::uint32_t p_n = h.p_n;
+          for (std::size_t t = t0; t < t1; ++t) {
+            const Tag& tag = all_tags[t];
+            for (std::uint32_t j = 0; j < k; ++j) {
+              const std::uint32_t slot = h.hashes.slot(tag, j, w);
+              if (hash::rn_bits_respond(tag.rn, slot, h.seeds32[j], p_n)) {
+                ++frame_counts[slot];
+              }
+            }
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  // Channel observation per frame, in request order — the same
+  // frame-major RNG order sequential execution uses.
+  std::vector<FrameResult> results;
+  results.reserve(m);
+  for (const Hoisted& h : hoisted) {
+    FrameResult res;
+    res.shape = FrameShape::kBloom;
+    res.tx = sum_counts(counts + h.offset, h.w);
+    res.busy = counts_to_busy(counts + h.offset, h.w, rng);
+    ShapeCounters& c = counters_.of(FrameShape::kBloom);
+    c.frames += 1;
+    c.slots += h.w;
+    c.tag_tx += res.tx;
+    results.push_back(std::move(res));
+  }
+  counters_.of(FrameShape::kBloom).wall_us += elapsed_us(start);
+  return results;
+}
+
+}  // namespace bfce::rfid

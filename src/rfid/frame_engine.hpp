@@ -1,0 +1,235 @@
+#pragma once
+// FrameEngine — the unified dispatch point for frame execution.
+//
+// Every protocol in this repository reduces to the four frame shapes of
+// frame.hpp (Bloom, ALOHA, single-slot, lottery), each with an exact
+// (agent-level) and a sampled (aggregate-law) executor. The engine puts
+// all 4 × 2 behind one `FrameRequest` → `FrameResult` seam and adds what
+// the free functions cannot offer:
+//
+//  * reused scratch buffers — no per-frame slot-count allocation;
+//  * hashers premixed once per frame, outside the tag loop;
+//  * `execute_batch`: a blocked exact-mode path that walks the
+//    population ONCE per batch, computing all k slots of every queued
+//    Bloom frame per tag — the many-frames-over-one-population workload
+//    of the Fig 9/10 sweeps pays the population walk once per batch
+//    instead of once per frame;
+//  * per-shape execution counters (frames, slots simulated, tag
+//    transmissions, host wall-clock), the instrumentation the benches
+//    print via core/monitor.
+//
+// Determinism contract:
+//  * `execute` consumes the caller's RNG in exactly the order the legacy
+//    `run_*` / `sampled_*` executors did — results are bit-identical, so
+//    `sim::run_experiment` stays a pure function of (master seed, trial
+//    index) across the refactor.
+//  * `execute_batch` is equally deterministic (a pure function of the
+//    engine state, the request list and the RNG state), but the blocked
+//    path draws its persistence decisions from a stream derived from one
+//    draw of the caller's generator, so it is bit-identical to sequential
+//    execution only when the tag-side responses draw no RNG
+//    (PersistenceMode::kRnBits). For the stochastic persistence modes it
+//    realises the same law (tests verify by two-sample KS).
+//
+// The legacy free functions in frame.hpp survive as thin wrappers over a
+// transient engine, so untouched estimators keep working unchanged.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "rfid/channel.hpp"
+#include "rfid/frame.hpp"
+#include "rfid/population.hpp"
+#include "util/bitvector.hpp"
+#include "util/rng.hpp"
+
+namespace bfce::rfid {
+
+/// The four frame shapes. Values index EngineCounters::by_shape.
+enum class FrameShape : std::uint8_t {
+  kBloom = 0,
+  kAloha = 1,
+  kSingleSlot = 2,
+  kLottery = 3,
+};
+
+inline constexpr std::size_t kFrameShapeCount = 4;
+
+/// Short lowercase label ("bloom", "aloha", ...).
+const char* to_cstring(FrameShape shape) noexcept;
+
+/// Parameters of one slotted-ALOHA frame (1 hashed slot, persistence p).
+struct AlohaFrameConfig {
+  std::uint32_t f = 128;   ///< frame size in slots
+  double p = 1.0;          ///< persistence probability
+  std::uint64_t seed = 0;  ///< broadcast slot-hash seed
+};
+
+/// Parameters of one ZOE-style single-slot frame.
+struct SingleSlotConfig {
+  double q = 1.0;          ///< participation probability
+  std::uint64_t seed = 0;  ///< broadcast participation-hash seed
+};
+
+/// Parameters of one geometric lottery frame.
+struct LotteryFrameConfig {
+  std::uint32_t f = 32;    ///< frame size in slots
+  std::uint64_t seed = 0;  ///< broadcast geometric-hash seed
+};
+
+/// One frame to execute. The active alternative selects the shape; the
+/// exact/sampled decision belongs to the engine's FrameMode.
+struct FrameRequest {
+  std::variant<BloomFrameConfig, AlohaFrameConfig, SingleSlotConfig,
+               LotteryFrameConfig>
+      config;
+
+  FrameShape shape() const noexcept {
+    return static_cast<FrameShape>(config.index());
+  }
+
+  static FrameRequest bloom(const BloomFrameConfig& cfg) {
+    return FrameRequest{cfg};
+  }
+  static FrameRequest aloha(std::uint32_t f, double p, std::uint64_t seed) {
+    return FrameRequest{AlohaFrameConfig{f, p, seed}};
+  }
+  static FrameRequest single_slot(double q, std::uint64_t seed) {
+    return FrameRequest{SingleSlotConfig{q, seed}};
+  }
+  static FrameRequest lottery(std::uint32_t f, std::uint64_t seed) {
+    return FrameRequest{LotteryFrameConfig{f, seed}};
+  }
+};
+
+/// What one frame produced. Only the member matching the request's shape
+/// is populated (`busy` for Bloom/lottery, `states` for ALOHA, `single`
+/// for single-slot); `tx` always holds the number of individual tag
+/// transmissions — the input to the tag-side energy model.
+struct FrameResult {
+  FrameShape shape = FrameShape::kBloom;
+  util::BitVector busy;
+  std::vector<SlotState> states;
+  SlotState single = SlotState::kIdle;
+  std::uint64_t tx = 0;
+};
+
+/// Execution counters for one frame shape.
+struct ShapeCounters {
+  std::uint64_t frames = 0;   ///< frames executed
+  std::uint64_t slots = 0;    ///< slots simulated (w, f or 1 per frame)
+  std::uint64_t tag_tx = 0;   ///< individual tag transmissions generated
+  double wall_us = 0.0;       ///< host wall-clock spent executing
+
+  ShapeCounters& operator+=(const ShapeCounters& o) noexcept {
+    frames += o.frames;
+    slots += o.slots;
+    tag_tx += o.tag_tx;
+    wall_us += o.wall_us;
+    return *this;
+  }
+};
+
+/// Per-shape counters plus batch statistics. Summable across engines
+/// (sim::summarize_records aggregates them over trials).
+struct EngineCounters {
+  std::array<ShapeCounters, kFrameShapeCount> by_shape{};
+  std::uint64_t batches = 0;          ///< execute_batch calls
+  std::uint64_t blocked_batches = 0;  ///< batches taken by the blocked path
+
+  ShapeCounters& of(FrameShape s) noexcept {
+    return by_shape[static_cast<std::size_t>(s)];
+  }
+  const ShapeCounters& of(FrameShape s) const noexcept {
+    return by_shape[static_cast<std::size_t>(s)];
+  }
+
+  /// Sum over all shapes.
+  ShapeCounters total() const noexcept {
+    ShapeCounters t;
+    for (const ShapeCounters& s : by_shape) t += s;
+    return t;
+  }
+
+  EngineCounters& operator+=(const EngineCounters& o) noexcept {
+    for (std::size_t i = 0; i < kFrameShapeCount; ++i) {
+      by_shape[i] += o.by_shape[i];
+    }
+    batches += o.batches;
+    blocked_batches += o.blocked_batches;
+    return *this;
+  }
+};
+
+/// Batched frame executor over one tag population (or, in sampled mode,
+/// over an abstract cardinality). Not thread-safe; one engine per reader
+/// context / per worker, exactly like the RNG streams it consumes.
+class FrameEngine {
+ public:
+  /// Engine over a concrete population; serves both modes.
+  FrameEngine(const TagPopulation& tags, Channel channel, FrameMode mode)
+      : tags_(&tags), n_(tags.size()), channel_(channel), mode_(mode) {}
+
+  /// Sampled-only engine over an abstract cardinality `n` (no per-tag
+  /// state exists, so kExact requests are invalid).
+  FrameEngine(std::size_t n, Channel channel)
+      : tags_(nullptr), n_(n), channel_(channel), mode_(FrameMode::kSampled) {}
+
+  FrameMode mode() const noexcept { return mode_; }
+  const Channel& channel() const noexcept { return channel_; }
+  std::size_t population_size() const noexcept { return n_; }
+
+  /// Executes one frame in the engine's mode. Consumes `rng` exactly as
+  /// the legacy executor for (shape, mode) did — bit-identical results.
+  FrameResult execute(const FrameRequest& request, util::Xoshiro256ss& rng);
+
+  /// Executes a batch of frames. All-Bloom exact-mode batches of ≥ 2
+  /// frames take the blocked path (one population walk for the whole
+  /// batch); everything else runs the frames sequentially through
+  /// execute(). See the determinism contract above.
+  std::vector<FrameResult> execute_batch(
+      const std::vector<FrameRequest>& requests, util::Xoshiro256ss& rng);
+
+  const EngineCounters& counters() const noexcept { return counters_; }
+  void reset_counters() noexcept { counters_ = EngineCounters{}; }
+
+ private:
+  // Scalar per-frame paths, bit-identical to the legacy executors.
+  void exact_bloom(const BloomFrameConfig& cfg, util::Xoshiro256ss& rng,
+                   FrameResult& out);
+  void sampled_bloom(const BloomFrameConfig& cfg, util::Xoshiro256ss& rng,
+                     FrameResult& out);
+  void exact_aloha(const AlohaFrameConfig& cfg, util::Xoshiro256ss& rng,
+                   FrameResult& out);
+  void sampled_aloha(const AlohaFrameConfig& cfg, util::Xoshiro256ss& rng,
+                     FrameResult& out);
+  void exact_single(const SingleSlotConfig& cfg, util::Xoshiro256ss& rng,
+                    FrameResult& out);
+  void sampled_single(const SingleSlotConfig& cfg, util::Xoshiro256ss& rng,
+                      FrameResult& out);
+  void exact_lottery(const LotteryFrameConfig& cfg, util::Xoshiro256ss& rng,
+                     FrameResult& out);
+  void sampled_lottery(const LotteryFrameConfig& cfg, util::Xoshiro256ss& rng,
+                       FrameResult& out);
+
+  /// Blocked exact-mode Bloom batch: one population walk for all frames.
+  std::vector<FrameResult> execute_bloom_batch_blocked(
+      const std::vector<FrameRequest>& requests, util::Xoshiro256ss& rng);
+
+  /// counts_[0..w) → busy bitmap through the channel (frame-major RNG).
+  util::BitVector counts_to_busy(const std::uint32_t* counts, std::size_t w,
+                                 util::Xoshiro256ss& rng) const;
+
+  const TagPopulation* tags_;
+  std::size_t n_;
+  Channel channel_;
+  FrameMode mode_;
+  EngineCounters counters_;
+  std::vector<std::uint32_t> counts_;        ///< per-frame scratch
+  std::vector<std::uint32_t> batch_counts_;  ///< blocked-path scratch
+};
+
+}  // namespace bfce::rfid

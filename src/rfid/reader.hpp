@@ -2,9 +2,11 @@
 // The reader-side execution context handed to estimation protocols.
 
 #include <cstdint>
+#include <vector>
 
 #include "rfid/channel.hpp"
 #include "rfid/frame.hpp"
+#include "rfid/frame_engine.hpp"
 #include "rfid/framelog.hpp"
 #include "rfid/population.hpp"
 #include "rfid/timing.hpp"
@@ -17,6 +19,11 @@ namespace bfce::rfid {
 /// a deterministic RNG stream (used both for protocol randomness — seed
 /// generation — and for the channel/persistence draws).
 ///
+/// Frames are executed by the context's FrameEngine: protocols build a
+/// FrameRequest and submit it via run_frame / run_batch; the engine
+/// dispatches on (shape, mode), reuses its scratch buffers across the
+/// run and keeps per-shape execution counters.
+///
 /// Multiple physical readers synchronised by a back-end server behave as
 /// one logical reader (§III-A, following ZOE); this context *is* that
 /// logical reader.
@@ -27,17 +34,31 @@ class ReaderContext {
                 ChannelModel channel_model = {},
                 TimingModel timing_model = {})
       : tags_(&tags),
-        channel_(channel_model),
         timing_(timing_model),
-        mode_(mode),
+        engine_(tags, Channel(channel_model), mode),
         rng_(util::derive_seed(seed, 0x5EEDED5EEDED5EEDULL)) {}
 
   const TagPopulation& tags() const noexcept { return *tags_; }
   std::size_t true_cardinality() const noexcept { return tags_->size(); }
-  const Channel& channel() const noexcept { return channel_; }
+  const Channel& channel() const noexcept { return engine_.channel(); }
   const TimingModel& timing() const noexcept { return timing_; }
-  FrameMode mode() const noexcept { return mode_; }
+  FrameMode mode() const noexcept { return engine_.mode(); }
   util::Xoshiro256ss& rng() noexcept { return rng_; }
+
+  /// The context's frame executor (counters, batch submission).
+  FrameEngine& engine() noexcept { return engine_; }
+  const FrameEngine& engine() const noexcept { return engine_; }
+
+  /// Executes one frame in the context's mode through the engine.
+  FrameResult run_frame(const FrameRequest& request) {
+    return engine_.execute(request, rng_);
+  }
+
+  /// Executes a batch of frames through the engine (blocked population
+  /// walk for all-Bloom exact batches).
+  std::vector<FrameResult> run_batch(const std::vector<FrameRequest>& batch) {
+    return engine_.execute_batch(batch, rng_);
+  }
 
   /// Fresh 64-bit random seed for a reader broadcast (hash seeds etc.).
   std::uint64_t next_seed() noexcept { return rng_(); }
@@ -56,9 +77,8 @@ class ReaderContext {
 
  private:
   const TagPopulation* tags_;
-  Channel channel_;
   TimingModel timing_;
-  FrameMode mode_;
+  FrameEngine engine_;
   util::Xoshiro256ss rng_;
   FrameLog* log_ = nullptr;
 };

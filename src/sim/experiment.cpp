@@ -28,6 +28,7 @@ std::vector<TrialRecord> run_experiment(const rfid::TagPopulation& population,
         rec.time_s = outcome.airtime.total_seconds(config.timing);
         rec.rounds = outcome.rounds;
         rec.met_by_design = outcome.met_by_design;
+        rec.counters = ctx.engine().counters();
         records[t] = rec;
       },
       config.threads);
@@ -47,6 +48,7 @@ ExperimentSummary summarize_records(const std::vector<TrialRecord>& records,
     accuracy.push_back(r.accuracy);
     time_s.push_back(r.time_s);
     if (r.accuracy > epsilon) ++violations;
+    s.counters += r.counters;
   }
   s.accuracy = math::summarize(std::move(accuracy));
   s.time_s = math::summarize(std::move(time_s));

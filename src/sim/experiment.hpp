@@ -14,6 +14,7 @@
 #include "math/stats.hpp"
 #include "rfid/channel.hpp"
 #include "rfid/frame.hpp"
+#include "rfid/frame_engine.hpp"
 #include "rfid/population.hpp"
 #include "rfid/timing.hpp"
 
@@ -37,6 +38,10 @@ struct TrialRecord {
   double time_s = 0.0;    ///< protocol execution time under the C1G2 model
   std::uint32_t rounds = 0;
   bool met_by_design = true;
+  /// This trial's FrameEngine counters (frames executed, slots
+  /// simulated, tag transmissions, host wall-clock) — pure
+  /// instrumentation, never part of the estimate.
+  rfid::EngineCounters counters;
 };
 
 /// Aggregate over a batch of trials.
@@ -51,6 +56,9 @@ struct ExperimentSummary {
   double violation_ci_lo = 0.0;
   double violation_ci_hi = 1.0;
   std::size_t trials = 0;
+  /// Engine counters summed over all trials (what was actually simulated
+  /// to produce this summary); benches print them via core/monitor.
+  rfid::EngineCounters counters;
 };
 
 /// Builds a fresh estimator per trial (estimators are cheap to construct;

@@ -6,8 +6,10 @@
 // that Monte-Carlo trials can be split into independent streams that do not
 // depend on thread scheduling.
 
+#include <bit>
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 namespace bfce::util {
 
@@ -99,5 +101,55 @@ class Xoshiro256ss {
 /// independent; this is how per-trial / per-tag / per-frame generators are
 /// created without coupling them to execution order.
 std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index) noexcept;
+
+/// Splitmix64-based sponge for deriving one seed from several typed
+/// components (sweep coordinates, protocol names, ...).
+///
+/// Each absorb() runs the previous state XOR the component through a full
+/// splitmix64 step, so every component avalanches into all 64 bits of the
+/// result. This replaces ad-hoc `seed ^ uint(eps*1e4) ^ hash(name)`
+/// mixing, where nearby sweep points (n, ε, δ) could collide into
+/// correlated streams: doubles are absorbed by bit pattern, not by lossy
+/// truncation, and strings via a byte-wise FNV-1a pre-hash.
+class SeedMixer {
+ public:
+  explicit constexpr SeedMixer(std::uint64_t master) noexcept
+      : state_(next(0x243F6A8885A308D3ULL ^ master)) {}
+
+  constexpr SeedMixer& absorb(std::uint64_t component) noexcept {
+    state_ = next(state_ ^ component);
+    return *this;
+  }
+
+  /// Absorbs the full bit pattern of a double (no truncation; 0.05 and
+  /// 0.050001 land in unrelated regions of the seed space).
+  constexpr SeedMixer& absorb(double component) noexcept {
+    return absorb(std::bit_cast<std::uint64_t>(component));
+  }
+
+  /// Absorbs a string byte-wise (FNV-1a), then mixes.
+  constexpr SeedMixer& absorb(std::string_view component) noexcept {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const char c : component) {
+      h = (h ^ static_cast<unsigned char>(c)) * 0x100000001B3ULL;
+    }
+    return absorb(h);
+  }
+
+  /// The derived seed for everything absorbed so far.
+  constexpr std::uint64_t value() const noexcept { return next(state_); }
+
+ private:
+  /// One splitmix64 step: advance by the golden-gamma increment and
+  /// finalise (same construction as SplitMix64::operator()).
+  static constexpr std::uint64_t next(std::uint64_t x) noexcept {
+    std::uint64_t z = x + 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t state_;
+};
 
 }  // namespace bfce::util

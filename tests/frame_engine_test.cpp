@@ -1,0 +1,507 @@
+// FrameEngine equivalence tests.
+//
+// The refactor that moved the frame executors behind the engine promises:
+//   * execute() is bit-identical to the pre-refactor free executors for
+//     every (shape, mode) pair — including identical RNG consumption, so
+//     downstream draws stay aligned;
+//   * execute_batch() is bit-identical to sequential execution when the
+//     tag-side responses draw no RNG (PersistenceMode::kRnBits), and
+//     law-equivalent (two-sample KS) for the stochastic persistence modes;
+//   * the per-shape counters add up.
+//
+// The pre-refactor executors are embedded verbatim below as `ref_*` so
+// the contract stays checkable even as frame.cpp itself becomes a thin
+// wrapper over the engine.
+
+#include "rfid/frame_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cassert>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "hash/mix.hpp"
+#include "hash/persistence.hpp"
+#include "hash/slot_hash.hpp"
+#include "math/hypothesis.hpp"
+#include "rfid/frame.hpp"
+#include "rfid/population.hpp"
+
+namespace bfce::rfid {
+namespace {
+
+// ---- verbatim pre-refactor executors (the reference behaviour) --------
+
+util::BitVector ref_counts_to_busy(const std::vector<std::uint32_t>& counts,
+                                   const Channel& channel,
+                                   util::Xoshiro256ss& rng) {
+  util::BitVector busy(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (is_busy(channel.observe(counts[i], rng))) busy.set(i);
+  }
+  return busy;
+}
+
+std::uint64_t ref_draw_binomial(std::uint64_t trials, double p,
+                                util::Xoshiro256ss& rng) {
+  if (trials == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return trials;
+  std::binomial_distribution<std::uint64_t> dist(trials, p);
+  return dist(rng);
+}
+
+std::uint64_t ref_total(const std::vector<std::uint32_t>& counts) {
+  std::uint64_t total = 0;
+  for (const std::uint32_t c : counts) total += c;
+  return total;
+}
+
+util::BitVector ref_run_bloom_frame(const TagPopulation& tags,
+                                    const BloomFrameConfig& cfg,
+                                    const Channel& channel,
+                                    util::Xoshiro256ss& rng,
+                                    std::uint64_t* tx_count = nullptr) {
+  std::vector<std::uint32_t> counts(cfg.w, 0);
+  for (const Tag& tag : tags.tags()) {
+    bool shared_respond = true;
+    if (cfg.persistence == hash::PersistenceMode::kSharedDraw) {
+      shared_respond = rng.bernoulli(cfg.p);
+      if (!shared_respond) continue;
+    }
+    for (std::uint32_t j = 0; j < cfg.k; ++j) {
+      std::uint32_t slot;
+      if (cfg.hash == HashScheme::kIdeal) {
+        slot = hash::IdealSlotHash(cfg.seeds[j]).slot(tag.id, cfg.w);
+      } else {
+        slot = hash::LightweightSlotHash(
+                   static_cast<std::uint32_t>(cfg.seeds[j]))
+                   .slot(tag.rn, cfg.w);
+      }
+      bool respond;
+      switch (cfg.persistence) {
+        case hash::PersistenceMode::kIdealBernoulli:
+          respond = rng.bernoulli(cfg.p);
+          break;
+        case hash::PersistenceMode::kSharedDraw:
+          respond = shared_respond;
+          break;
+        case hash::PersistenceMode::kRnBits:
+          respond = hash::rn_bits_respond(
+              tag.rn, slot, static_cast<std::uint32_t>(cfg.seeds[j]),
+              cfg.p_n);
+          break;
+        default:
+          respond = false;
+      }
+      if (respond) ++counts[slot];
+    }
+  }
+  if (tx_count != nullptr) *tx_count += ref_total(counts);
+  return ref_counts_to_busy(counts, channel, rng);
+}
+
+util::BitVector ref_sampled_bloom_frame(std::size_t n,
+                                        const BloomFrameConfig& cfg,
+                                        const Channel& channel,
+                                        util::Xoshiro256ss& rng,
+                                        std::uint64_t* tx_count = nullptr) {
+  const std::uint64_t responses =
+      ref_draw_binomial(static_cast<std::uint64_t>(n) * cfg.k, cfg.p, rng);
+  std::vector<std::uint32_t> counts(cfg.w, 0);
+  for (std::uint64_t r = 0; r < responses; ++r) {
+    ++counts[rng.below(cfg.w)];
+  }
+  if (tx_count != nullptr) *tx_count += responses;
+  return ref_counts_to_busy(counts, channel, rng);
+}
+
+std::vector<SlotState> ref_run_aloha_frame(const TagPopulation& tags,
+                                           std::uint32_t f, double p,
+                                           std::uint64_t seed,
+                                           const Channel& channel,
+                                           util::Xoshiro256ss& rng) {
+  std::vector<std::uint32_t> counts(f, 0);
+  const hash::IdealSlotHash slot_hash(seed);
+  for (const Tag& tag : tags.tags()) {
+    if (p < 1.0 && !rng.bernoulli(p)) continue;
+    ++counts[slot_hash.slot(tag.id, f)];
+  }
+  std::vector<SlotState> states(f);
+  for (std::uint32_t i = 0; i < f; ++i) {
+    states[i] = channel.observe(counts[i], rng);
+  }
+  return states;
+}
+
+std::vector<SlotState> ref_sampled_aloha_frame(std::size_t n, std::uint32_t f,
+                                               double p,
+                                               const Channel& channel,
+                                               util::Xoshiro256ss& rng) {
+  const std::uint64_t responders = ref_draw_binomial(n, p, rng);
+  std::vector<std::uint32_t> counts(f, 0);
+  for (std::uint64_t r = 0; r < responders; ++r) {
+    ++counts[rng.below(f)];
+  }
+  std::vector<SlotState> states(f);
+  for (std::uint32_t i = 0; i < f; ++i) {
+    states[i] = channel.observe(counts[i], rng);
+  }
+  return states;
+}
+
+SlotState ref_run_single_slot(const TagPopulation& tags, double q,
+                              std::uint64_t seed, const Channel& channel,
+                              util::Xoshiro256ss& rng) {
+  const std::uint64_t threshold =
+      q >= 1.0 ? ~0ULL
+               : static_cast<std::uint64_t>(
+                     q * 18446744073709551616.0 /* 2^64 */);
+  std::uint32_t responders = 0;
+  for (const Tag& tag : tags.tags()) {
+    if (hash::mix_with_seed(tag.id, seed) < threshold) ++responders;
+  }
+  return channel.observe(responders, rng);
+}
+
+SlotState ref_sampled_single_slot(std::size_t n, double q,
+                                  const Channel& channel,
+                                  util::Xoshiro256ss& rng) {
+  const std::uint64_t responders = ref_draw_binomial(n, q, rng);
+  return channel.observe(static_cast<std::uint32_t>(
+                             responders > 0xFFFFFFFFULL ? 0xFFFFFFFFULL
+                                                        : responders),
+                         rng);
+}
+
+util::BitVector ref_run_lottery_frame(const TagPopulation& tags,
+                                      std::uint32_t f, std::uint64_t seed,
+                                      const Channel& channel,
+                                      util::Xoshiro256ss& rng) {
+  std::vector<std::uint32_t> counts(f, 0);
+  const hash::GeometricSlotHash geo(seed);
+  for (const Tag& tag : tags.tags()) {
+    ++counts[geo.slot(tag.id, f)];
+  }
+  return ref_counts_to_busy(counts, channel, rng);
+}
+
+util::BitVector ref_sampled_lottery_frame(std::size_t n, std::uint32_t f,
+                                          const Channel& channel,
+                                          util::Xoshiro256ss& rng) {
+  std::vector<std::uint32_t> counts(f, 0);
+  std::uint64_t remaining = n;
+  double mass_remaining = 1.0;
+  for (std::uint32_t j = 0; j + 1 < f && remaining > 0; ++j) {
+    const double pj = std::ldexp(1.0, -static_cast<int>(j) - 1);
+    const double cond = pj / mass_remaining;
+    const std::uint64_t c =
+        ref_draw_binomial(remaining, cond > 1.0 ? 1.0 : cond, rng);
+    counts[j] = static_cast<std::uint32_t>(c > 0xFFFFFFFFULL ? 0xFFFFFFFFULL
+                                                             : c);
+    remaining -= c;
+    mass_remaining -= pj;
+    if (mass_remaining <= 0.0) break;
+  }
+  counts[f - 1] += static_cast<std::uint32_t>(
+      remaining > 0xFFFFFFFFULL ? 0xFFFFFFFFULL : remaining);
+  return ref_counts_to_busy(counts, channel, rng);
+}
+
+// ---- helpers ----------------------------------------------------------
+
+TagPopulation test_pop(std::size_t n, std::uint64_t seed = 1) {
+  return make_population(n, TagIdDistribution::kT1Uniform, seed);
+}
+
+BloomFrameConfig bloom_cfg(hash::PersistenceMode mode,
+                           std::uint32_t p_n = 256, std::uint32_t w = 512) {
+  BloomFrameConfig cfg;
+  cfg.w = w;
+  cfg.set_p_numerator(p_n);
+  cfg.persistence = mode;
+  cfg.seeds = {11, 22, 33};
+  return cfg;
+}
+
+/// Asserts a == b and that both generators are in the same state.
+void expect_same_rng(util::Xoshiro256ss& a, util::Xoshiro256ss& b) {
+  EXPECT_EQ(a(), b()) << "RNG streams diverged";
+}
+
+// ---- execute() vs the pre-refactor executors (bit-identical) ----------
+
+TEST(FrameEngineExact, BloomBitIdenticalAllPersistenceModes) {
+  const TagPopulation pop = test_pop(3000);
+  const Channel ch;
+  for (const auto mode :
+       {hash::PersistenceMode::kIdealBernoulli,
+        hash::PersistenceMode::kSharedDraw, hash::PersistenceMode::kRnBits}) {
+    const auto cfg = bloom_cfg(mode);
+    util::Xoshiro256ss ref_rng(42);
+    util::Xoshiro256ss eng_rng(42);
+    std::uint64_t ref_tx = 0;
+    const util::BitVector ref =
+        ref_run_bloom_frame(pop, cfg, ch, ref_rng, &ref_tx);
+    FrameEngine engine(pop, ch, FrameMode::kExact);
+    const FrameResult res =
+        engine.execute(FrameRequest::bloom(cfg), eng_rng);
+    EXPECT_EQ(ref.words(), res.busy.words());
+    EXPECT_EQ(ref_tx, res.tx);
+    expect_same_rng(ref_rng, eng_rng);
+  }
+}
+
+TEST(FrameEngineExact, BloomBitIdenticalLightweightHash) {
+  const TagPopulation pop = test_pop(2000);
+  const Channel ch;
+  auto cfg = bloom_cfg(hash::PersistenceMode::kRnBits);
+  cfg.hash = HashScheme::kLightweight;
+  util::Xoshiro256ss ref_rng(7);
+  util::Xoshiro256ss eng_rng(7);
+  const util::BitVector ref = ref_run_bloom_frame(pop, cfg, ch, ref_rng);
+  FrameEngine engine(pop, ch, FrameMode::kExact);
+  const FrameResult res = engine.execute(FrameRequest::bloom(cfg), eng_rng);
+  EXPECT_EQ(ref.words(), res.busy.words());
+  expect_same_rng(ref_rng, eng_rng);
+}
+
+TEST(FrameEngineExact, AlohaSingleLotteryBitIdentical) {
+  const TagPopulation pop = test_pop(3000);
+  const Channel ch;
+  util::Xoshiro256ss ref_rng(9);
+  util::Xoshiro256ss eng_rng(9);
+  FrameEngine engine(pop, ch, FrameMode::kExact);
+
+  const auto ref_states = ref_run_aloha_frame(pop, 128, 0.4, 77, ch, ref_rng);
+  const FrameResult aloha =
+      engine.execute(FrameRequest::aloha(128, 0.4, 77), eng_rng);
+  EXPECT_EQ(ref_states, aloha.states);
+
+  const SlotState ref_single =
+      ref_run_single_slot(pop, 0.001, 55, ch, ref_rng);
+  const FrameResult single =
+      engine.execute(FrameRequest::single_slot(0.001, 55), eng_rng);
+  EXPECT_EQ(ref_single, single.single);
+
+  const util::BitVector ref_busy =
+      ref_run_lottery_frame(pop, 32, 66, ch, ref_rng);
+  const FrameResult lottery =
+      engine.execute(FrameRequest::lottery(32, 66), eng_rng);
+  EXPECT_EQ(ref_busy.words(), lottery.busy.words());
+
+  expect_same_rng(ref_rng, eng_rng);
+}
+
+TEST(FrameEngineSampled, AllShapesBitIdentical) {
+  const std::size_t n = 50000;
+  const Channel ch;
+  util::Xoshiro256ss ref_rng(13);
+  util::Xoshiro256ss eng_rng(13);
+  FrameEngine engine(n, ch);
+
+  const auto cfg = bloom_cfg(hash::PersistenceMode::kIdealBernoulli);
+  const util::BitVector ref_bloom =
+      ref_sampled_bloom_frame(n, cfg, ch, ref_rng);
+  EXPECT_EQ(ref_bloom.words(),
+            engine.execute(FrameRequest::bloom(cfg), eng_rng).busy.words());
+
+  const auto ref_states = ref_sampled_aloha_frame(n, 256, 0.01, ch, ref_rng);
+  EXPECT_EQ(ref_states,
+            engine.execute(FrameRequest::aloha(256, 0.01, 0), eng_rng).states);
+
+  const SlotState ref_single = ref_sampled_single_slot(n, 3e-5, ch, ref_rng);
+  EXPECT_EQ(ref_single,
+            engine.execute(FrameRequest::single_slot(3e-5, 0), eng_rng).single);
+
+  const util::BitVector ref_lottery =
+      ref_sampled_lottery_frame(n, 32, ch, ref_rng);
+  EXPECT_EQ(
+      ref_lottery.words(),
+      engine.execute(FrameRequest::lottery(32, 0), eng_rng).busy.words());
+
+  expect_same_rng(ref_rng, eng_rng);
+}
+
+// The free functions stayed behaviourally identical through their
+// demotion to engine wrappers.
+TEST(FrameEngineWrappers, FreeFunctionsBitIdenticalToReference) {
+  const TagPopulation pop = test_pop(2000);
+  const Channel ch;
+  const auto cfg = bloom_cfg(hash::PersistenceMode::kIdealBernoulli);
+
+  util::Xoshiro256ss ref_rng(21);
+  util::Xoshiro256ss wrap_rng(21);
+  std::uint64_t ref_tx = 0;
+  std::uint64_t wrap_tx = 0;
+  const util::BitVector ref =
+      ref_run_bloom_frame(pop, cfg, ch, ref_rng, &ref_tx);
+  const util::BitVector wrap =
+      run_bloom_frame(pop, cfg, ch, wrap_rng, &wrap_tx);
+  EXPECT_EQ(ref.words(), wrap.words());
+  EXPECT_EQ(ref_tx, wrap_tx);
+
+  EXPECT_EQ(ref_run_aloha_frame(pop, 64, 0.3, 5, ch, ref_rng),
+            run_aloha_frame(pop, 64, 0.3, 5, ch, wrap_rng));
+  EXPECT_EQ(ref_run_single_slot(pop, 0.01, 6, ch, ref_rng),
+            run_single_slot(pop, 0.01, 6, ch, wrap_rng));
+  EXPECT_EQ(ref_run_lottery_frame(pop, 32, 7, ch, ref_rng).words(),
+            run_lottery_frame(pop, 32, 7, ch, wrap_rng).words());
+  EXPECT_EQ(ref_sampled_bloom_frame(5000, cfg, ch, ref_rng).words(),
+            sampled_bloom_frame(5000, cfg, ch, wrap_rng).words());
+  EXPECT_EQ(ref_sampled_aloha_frame(5000, 64, 0.1, ch, ref_rng),
+            sampled_aloha_frame(5000, 64, 0.1, ch, wrap_rng));
+  EXPECT_EQ(ref_sampled_single_slot(5000, 3e-4, ch, ref_rng),
+            sampled_single_slot(5000, 3e-4, ch, wrap_rng));
+  EXPECT_EQ(ref_sampled_lottery_frame(5000, 32, ch, ref_rng).words(),
+            sampled_lottery_frame(5000, 32, ch, wrap_rng).words());
+  expect_same_rng(ref_rng, wrap_rng);
+}
+
+// ---- execute_batch ----------------------------------------------------
+
+std::vector<FrameRequest> bloom_batch(hash::PersistenceMode mode,
+                                      std::size_t frames,
+                                      std::uint64_t seed_base) {
+  std::vector<FrameRequest> batch;
+  for (std::size_t i = 0; i < frames; ++i) {
+    auto cfg = bloom_cfg(mode);
+    cfg.seeds = {seed_base + 3 * i, seed_base + 3 * i + 1,
+                 seed_base + 3 * i + 2};
+    batch.push_back(FrameRequest::bloom(cfg));
+  }
+  return batch;
+}
+
+// kRnBits tag responses draw no RNG, so the blocked population walk is
+// bit-identical to sequential execution — including with an imperfect
+// channel, whose draws stay frame-major on both paths.
+TEST(FrameEngineBatch, RnBitsBitIdenticalToSequential) {
+  const TagPopulation pop = test_pop(3000);
+  for (const Channel ch :
+       {Channel{}, Channel{ChannelModel{0.05, 0.02}}}) {
+    const auto batch =
+        bloom_batch(hash::PersistenceMode::kRnBits, 8, 100);
+    FrameEngine batched(pop, ch, FrameMode::kExact);
+    FrameEngine sequential(pop, ch, FrameMode::kExact);
+    util::Xoshiro256ss batch_rng(3);
+    util::Xoshiro256ss seq_rng(3);
+    const auto batch_res = batched.execute_batch(batch, batch_rng);
+    std::vector<FrameResult> seq_res;
+    for (const FrameRequest& r : batch) {
+      seq_res.push_back(sequential.execute(r, seq_rng));
+    }
+    ASSERT_EQ(batch_res.size(), seq_res.size());
+    for (std::size_t i = 0; i < batch_res.size(); ++i) {
+      EXPECT_EQ(batch_res[i].busy.words(), seq_res[i].busy.words());
+      EXPECT_EQ(batch_res[i].tx, seq_res[i].tx);
+    }
+    expect_same_rng(batch_rng, seq_rng);
+    EXPECT_EQ(batched.counters().blocked_batches, 1u);
+  }
+}
+
+// The stochastic persistence modes reorder (and pack) the tag-side
+// draws, so the blocked path promises the same law, not the same bits:
+// compare per-frame busy-count distributions with a two-sample KS test.
+TEST(FrameEngineBatch, StochasticModesMatchSequentialLaw) {
+  const TagPopulation pop = test_pop(1500);
+  const Channel ch;
+  for (const auto mode : {hash::PersistenceMode::kIdealBernoulli,
+                          hash::PersistenceMode::kSharedDraw}) {
+    std::vector<double> batched_counts;
+    std::vector<double> sequential_counts;
+    for (std::uint64_t trial = 0; trial < 120; ++trial) {
+      const auto batch = bloom_batch(mode, 4, 1000 + 97 * trial);
+      FrameEngine batched(pop, ch, FrameMode::kExact);
+      util::Xoshiro256ss batch_rng(500 + trial);
+      for (const FrameResult& r : batched.execute_batch(batch, batch_rng)) {
+        batched_counts.push_back(static_cast<double>(r.busy.count_ones()));
+      }
+      FrameEngine sequential(pop, ch, FrameMode::kExact);
+      util::Xoshiro256ss seq_rng(9000 + trial);
+      for (const FrameRequest& r : batch) {
+        sequential_counts.push_back(static_cast<double>(
+            sequential.execute(r, seq_rng).busy.count_ones()));
+      }
+    }
+    const double d = math::ks_statistic(batched_counts, sequential_counts);
+    const double p =
+        math::ks_pvalue(d, batched_counts.size(), sequential_counts.size());
+    EXPECT_GT(p, 1e-3) << "mode " << static_cast<int>(mode)
+                       << ": KS D=" << d;
+  }
+}
+
+// A batch that mixes shapes cannot take the blocked path; it must be
+// bit-identical to sequential execution.
+TEST(FrameEngineBatch, MixedShapesFallBackToSequential) {
+  const TagPopulation pop = test_pop(2000);
+  const Channel ch;
+  std::vector<FrameRequest> batch;
+  batch.push_back(
+      FrameRequest::bloom(bloom_cfg(hash::PersistenceMode::kIdealBernoulli)));
+  batch.push_back(FrameRequest::aloha(64, 0.5, 3));
+  batch.push_back(FrameRequest::single_slot(0.01, 4));
+  batch.push_back(FrameRequest::lottery(32, 5));
+
+  FrameEngine batched(pop, ch, FrameMode::kExact);
+  FrameEngine sequential(pop, ch, FrameMode::kExact);
+  util::Xoshiro256ss batch_rng(17);
+  util::Xoshiro256ss seq_rng(17);
+  const auto batch_res = batched.execute_batch(batch, batch_rng);
+  std::vector<FrameResult> seq_res;
+  for (const FrameRequest& r : batch) {
+    seq_res.push_back(sequential.execute(r, seq_rng));
+  }
+  ASSERT_EQ(batch_res.size(), 4u);
+  EXPECT_EQ(batch_res[0].busy.words(), seq_res[0].busy.words());
+  EXPECT_EQ(batch_res[1].states, seq_res[1].states);
+  EXPECT_EQ(batch_res[2].single, seq_res[2].single);
+  EXPECT_EQ(batch_res[3].busy.words(), seq_res[3].busy.words());
+  expect_same_rng(batch_rng, seq_rng);
+  EXPECT_EQ(batched.counters().blocked_batches, 0u);
+  EXPECT_EQ(batched.counters().batches, 1u);
+}
+
+// ---- counters ---------------------------------------------------------
+
+TEST(FrameEngineCounters, CountFramesSlotsAndTransmissions) {
+  const TagPopulation pop = test_pop(500);
+  const Channel ch;
+  FrameEngine engine(pop, ch, FrameMode::kExact);
+  util::Xoshiro256ss rng(1);
+
+  auto cfg = bloom_cfg(hash::PersistenceMode::kRnBits, 1024 /* p = 1 */);
+  const FrameResult bloom = engine.execute(FrameRequest::bloom(cfg), rng);
+  engine.execute(FrameRequest::aloha(64, 1.0, 2), rng);
+  engine.execute(FrameRequest::single_slot(1.0, 3), rng);
+  engine.execute(FrameRequest::lottery(32, 4), rng);
+
+  const EngineCounters& c = engine.counters();
+  EXPECT_EQ(c.of(FrameShape::kBloom).frames, 1u);
+  EXPECT_EQ(c.of(FrameShape::kBloom).slots, cfg.w);
+  // p = 1: every tag answers in k slots / its one ALOHA slot / the single
+  // slot / its lottery slot.
+  EXPECT_EQ(c.of(FrameShape::kBloom).tag_tx, bloom.tx);
+  EXPECT_EQ(bloom.tx, 500u * cfg.k);
+  EXPECT_EQ(c.of(FrameShape::kAloha).tag_tx, 500u);
+  EXPECT_EQ(c.of(FrameShape::kSingleSlot).tag_tx, 500u);
+  EXPECT_EQ(c.of(FrameShape::kSingleSlot).slots, 1u);
+  EXPECT_EQ(c.of(FrameShape::kLottery).tag_tx, 500u);
+  EXPECT_EQ(c.total().frames, 4u);
+  EXPECT_EQ(c.total().slots, cfg.w + 64u + 1u + 32u);
+
+  EngineCounters sum;
+  sum += c;
+  sum += c;
+  EXPECT_EQ(sum.total().frames, 8u);
+  EXPECT_EQ(sum.of(FrameShape::kBloom).tag_tx, 2u * bloom.tx);
+
+  engine.reset_counters();
+  EXPECT_EQ(engine.counters().total().frames, 0u);
+}
+
+}  // namespace
+}  // namespace bfce::rfid

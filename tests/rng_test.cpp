@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
+#include <string_view>
 #include <vector>
 
 #include "math/hypothesis.hpp"
@@ -104,6 +106,62 @@ TEST(DeriveSeed, IsDeterministicAndIndexSensitive) {
   EXPECT_EQ(derive_seed(1, 0), derive_seed(1, 0));
   EXPECT_NE(derive_seed(1, 0), derive_seed(1, 1));
   EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+}
+
+TEST(SeedMixer, IsDeterministicAndOrderSensitive) {
+  const auto mix = [](std::uint64_t a, std::uint64_t b) {
+    return SeedMixer(1).absorb(a).absorb(b).value();
+  };
+  EXPECT_EQ(mix(3, 4), mix(3, 4));
+  EXPECT_NE(mix(3, 4), mix(4, 3));  // a sponge, not an XOR bag
+  EXPECT_NE(SeedMixer(1).value(), SeedMixer(2).value());
+}
+
+TEST(SeedMixer, SweepGridHasNoCollisions) {
+  // The exact (n, eps, delta, protocol) grid of the Fig 9/10 comparison
+  // sweeps — every point must get a distinct stream.
+  const std::vector<std::uint64_t> ns = {50000, 100000, 200000, 500000,
+                                         1000000};
+  const std::vector<double> epss = {0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
+  const std::vector<double> deltas = {0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
+  const std::vector<std::string_view> protos = {"BFCE", "ZOE", "SRC"};
+  std::set<std::uint64_t> seeds;
+  std::size_t points = 0;
+  for (const std::uint64_t n : ns) {
+    for (const double eps : epss) {
+      for (const double delta : deltas) {
+        for (const std::string_view proto : protos) {
+          seeds.insert(SeedMixer(12345)
+                           .absorb(n)
+                           .absorb(eps)
+                           .absorb(delta)
+                           .absorb(proto)
+                           .value());
+          ++points;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(seeds.size(), points);
+}
+
+TEST(SeedMixer, DoublesAbsorbedByBitPatternNotTruncation) {
+  // The old `uint(eps * 1e4)` mixing collapsed nearby doubles; the mixer
+  // must separate values that differ in the last mantissa bit.
+  const double eps = 0.05;
+  const double eps_next = std::nextafter(eps, 1.0);
+  EXPECT_NE(SeedMixer(7).absorb(eps).value(),
+            SeedMixer(7).absorb(eps_next).value());
+}
+
+TEST(SeedMixer, StringsHashByContent) {
+  EXPECT_NE(SeedMixer(7).absorb(std::string_view("ZOE")).value(),
+            SeedMixer(7).absorb(std::string_view("SRC")).value());
+  EXPECT_EQ(SeedMixer(7).absorb(std::string_view("BFCE")).value(),
+            SeedMixer(7).absorb(std::string_view("BFCE")).value());
+  // "" still advances the sponge: absorbing nothing != absorbing "".
+  EXPECT_NE(SeedMixer(7).absorb(std::string_view("")).value(),
+            SeedMixer(7).value());
 }
 
 TEST(DeriveSeed, AdjacentStreamsAreDecorrelated) {

@@ -1,0 +1,63 @@
+// Prints a digest of sim::run_experiment outputs for a handful of
+// (estimator, mode, threads) points. Used by the FrameEngine refactor to
+// prove bit-identical results before/after migrating the estimator call
+// sites: run it on both trees and diff the output.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "core/bfce.hpp"
+#include "estimators/registry.hpp"
+#include "rfid/population.hpp"
+#include "sim/experiment.hpp"
+
+using namespace bfce;
+
+namespace {
+
+std::uint64_t fnv1a(const void* data, std::size_t len, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void probe(const char* protocol, const rfid::TagPopulation& pop,
+           rfid::FrameMode mode, unsigned threads) {
+  sim::ExperimentConfig cfg;
+  cfg.trials = 8;
+  cfg.req = {0.1, 0.1};
+  cfg.mode = mode;
+  cfg.seed = 20150701;
+  cfg.threads = threads;
+  const auto records = sim::run_experiment(
+      pop, [&] { return estimators::make_estimator(protocol); }, cfg);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& r : records) {
+    h = fnv1a(&r.n_hat, sizeof(r.n_hat), h);
+    h = fnv1a(&r.accuracy, sizeof(r.accuracy), h);
+    h = fnv1a(&r.time_s, sizeof(r.time_s), h);
+    h = fnv1a(&r.rounds, sizeof(r.rounds), h);
+  }
+  std::printf("%s mode=%d threads=%u digest=%016" PRIx64 "\n", protocol,
+              static_cast<int>(mode), threads, h);
+}
+
+}  // namespace
+
+int main() {
+  const auto pop =
+      rfid::make_population(20000, rfid::TagIdDistribution::kT2ApproxNormal,
+                            99);
+  for (const char* name : {"BFCE", "ZOE", "SRC", "UPE", "LOF"}) {
+    for (const auto mode : {rfid::FrameMode::kExact, rfid::FrameMode::kSampled}) {
+      probe(name, pop, mode, 1);
+      probe(name, pop, mode, 4);
+    }
+  }
+  return 0;
+}
