@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/planner.hpp"
 #include "math/erf.hpp"
 
 namespace bfce::core {
@@ -54,24 +55,7 @@ double f2(double n, std::uint32_t w, std::uint32_t k, double p, double eps) {
 
 PersistenceChoice find_persistence(double n_low, std::uint32_t w,
                                    std::uint32_t k, double eps, double delta) {
-  const double d = math::confidence_d(delta);
-  PersistenceChoice best;  // margin-maximising fallback
-  bool have_best = false;
-  for (std::uint32_t p_n = 1; p_n <= 1023; ++p_n) {
-    const double p = static_cast<double>(p_n) / 1024.0;
-    const double lo = f1(n_low, w, k, p, eps);
-    const double hi = f2(n_low, w, k, p, eps);
-    const double margin = std::fmin(-lo, hi) - d;
-    if (margin >= 0.0) {
-      // Minimal satisfying p: the paper takes the first hit (p_o small).
-      return PersistenceChoice{p_n, p, true, margin};
-    }
-    if (!have_best || margin > best.margin) {
-      best = PersistenceChoice{p_n, p, false, margin};
-      have_best = true;
-    }
-  }
-  return best;
+  return PersistencePlanner::search(n_low, w, k, eps, delta);
 }
 
 double predicted_relative_sd(double n, std::uint32_t w, std::uint32_t k,

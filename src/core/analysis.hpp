@@ -45,6 +45,8 @@ struct PersistenceChoice {
 /// conditions at the rough lower bound `n_low`. When no grid point
 /// satisfies them (tiny populations), returns the margin-maximising p with
 /// `satisfies == false` so the caller can proceed on a best-effort basis.
+/// (Thin wrapper over PersistencePlanner::search — see core/planner.hpp
+/// for the memoizing front end a service shares across workers.)
 PersistenceChoice find_persistence(double n_low, std::uint32_t w,
                                    std::uint32_t k, double eps, double delta);
 

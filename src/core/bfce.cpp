@@ -140,7 +140,10 @@ estimators::EstimateOutcome BfceEstimator::estimate_traced(
 
   // ---- Phase 2: accurate estimation (§IV-D) --------------------------
   const PersistenceChoice choice =
-      find_persistence(n_low, prm.w, prm.k, req.epsilon, req.delta);
+      prm.planner != nullptr
+          ? prm.planner->choose(n_low, prm.w, prm.k, req.epsilon, req.delta)
+          : PersistencePlanner::search(n_low, prm.w, prm.k, req.epsilon,
+                                       req.delta);
   trace.p_choice = choice;
   if (!choice.satisfies) {
     out.met_by_design = false;

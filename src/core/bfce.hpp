@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/analysis.hpp"
+#include "core/planner.hpp"
 #include "estimators/estimator.hpp"
 #include "hash/persistence.hpp"
 #include "rfid/frame.hpp"
@@ -39,6 +40,12 @@ struct BfceParams {
   /// Broadcast field widths for the airtime ledger (§IV-E.1 uses 32+32).
   std::uint32_t seed_bits = 32;
   std::uint32_t p_bits = 32;
+
+  /// Optional Theorem-4 planner (non-owning; must outlive the
+  /// estimator). When set, the p_o selection goes through it — the
+  /// estimation service points every BFCE job at one shared memoizing
+  /// planner. When null, each estimate runs the plain search.
+  PersistencePlanner* planner = nullptr;
 };
 
 /// Step-by-step diagnostics of one BFCE run; surfaced by examples and

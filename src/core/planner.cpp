@@ -1,0 +1,101 @@
+#include "core/planner.hpp"
+
+#include <bit>
+#include <cmath>
+#include <mutex>
+
+#include "math/erf.hpp"
+#include "util/rng.hpp"
+
+namespace bfce::core {
+
+PersistencePlanner::PersistencePlanner(Options options) : options_(options) {}
+
+PersistenceChoice PersistencePlanner::search(double n_low, std::uint32_t w,
+                                             std::uint32_t k, double eps,
+                                             double delta) {
+  const double d = math::confidence_d(delta);
+  PersistenceChoice best;  // margin-maximising fallback
+  bool have_best = false;
+  for (std::uint32_t p_n = 1; p_n <= 1023; ++p_n) {
+    const double p = static_cast<double>(p_n) / 1024.0;
+    const double lo = f1(n_low, w, k, p, eps);
+    const double hi = f2(n_low, w, k, p, eps);
+    const double margin = std::fmin(-lo, hi) - d;
+    if (margin >= 0.0) {
+      // Minimal satisfying p: the paper takes the first hit (p_o small).
+      return PersistenceChoice{p_n, p, true, margin};
+    }
+    if (!have_best || margin > best.margin) {
+      best = PersistenceChoice{p_n, p, false, margin};
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+double PersistencePlanner::bucket(double n_low) const noexcept {
+  const std::uint32_t bits = options_.n_low_mantissa_bits;
+  if (bits >= 52 || !std::isfinite(n_low)) return n_low;
+  const std::uint64_t mask = ~((std::uint64_t{1} << (52 - bits)) - 1);
+  return std::bit_cast<double>(std::bit_cast<std::uint64_t>(n_low) & mask);
+}
+
+PersistenceChoice PersistencePlanner::choose(double n_low, std::uint32_t w,
+                                             std::uint32_t k, double eps,
+                                             double delta) {
+  const double snapped = bucket(n_low);
+  if (!options_.cache) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return search(snapped, w, k, eps, delta);
+  }
+
+  const Key key{std::bit_cast<std::uint64_t>(snapped), w, k,
+                std::bit_cast<std::uint64_t>(eps),
+                std::bit_cast<std::uint64_t>(delta)};
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  const PersistenceChoice choice = search(snapped, w, k, eps, delta);
+  {
+    std::unique_lock lock(mutex_);
+    if (cache_.size() < options_.max_entries) cache_.emplace(key, choice);
+  }
+  return choice;
+}
+
+PlannerCacheStats PersistencePlanner::stats() const {
+  PlannerCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  std::shared_lock lock(mutex_);
+  s.entries = cache_.size();
+  return s;
+}
+
+void PersistencePlanner::clear() {
+  std::unique_lock lock(mutex_);
+  cache_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t PersistencePlanner::KeyHash::operator()(
+    const Key& key) const noexcept {
+  return static_cast<std::size_t>(util::SeedMixer(0x706C616E6E657200ULL)
+                                      .absorb(key.n_low_bits)
+                                      .absorb(std::uint64_t{key.w})
+                                      .absorb(std::uint64_t{key.k})
+                                      .absorb(key.eps_bits)
+                                      .absorb(key.delta_bits)
+                                      .value());
+}
+
+}  // namespace bfce::core

@@ -1,0 +1,109 @@
+#pragma once
+// Theorem-4 persistence planning as a standalone, shareable component.
+//
+// BFCE's accurate phase needs the minimal persistence probability
+// p_o = p_n/1024 whose CLT edge functions satisfy Theorem 3 at the rough
+// lower bound n̂_low. The search scans up to 1023 grid candidates with
+// erfinv-based bounds per candidate — cheap for one estimate, but a
+// fleet serving millions of requests repeats the *same* search over and
+// over: n̂_low is a discrete function of (busy count, p_s) and the
+// (ε, δ, w, k) mix of a deployment is small. PersistencePlanner keeps
+// the search as a pure static function (bit-identical to the historical
+// in-estimator loop) and layers a thread-safe memo cache on top, keyed
+// on (bucketed n̂_low, ε, δ, w, k).
+//
+// Contract: choose() returns exactly search(bucket(n_low), w, k, ε, δ),
+// whether the answer came from the cache or from a fresh scan — the
+// bucketing happens *before* the search in both paths, so caching can
+// never change an estimate. With the default exact bucketing,
+// bucket(n_low) == n_low and choose() is bit-identical to the legacy
+// find_persistence().
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "core/analysis.hpp"
+
+namespace bfce::core {
+
+/// Snapshot of the planner cache's effectiveness counters.
+struct PlannerCacheStats {
+  std::uint64_t hits = 0;    ///< lookups answered from the cache
+  std::uint64_t misses = 0;  ///< lookups that ran the full search
+  std::size_t entries = 0;   ///< distinct keys currently stored
+
+  double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Memoizing front end to the Theorem-4 p_o search. Thread-safe: one
+/// instance may be shared by every worker of an estimation service
+/// (lookups take a shared lock; only a miss takes the exclusive one).
+class PersistencePlanner {
+ public:
+  struct Options {
+    /// false ⇒ every choose() runs the search (still counted as a miss);
+    /// useful for cache-on/off equivalence checks.
+    bool cache = true;
+    /// Mantissa bits of n̂_low kept when forming the bucket. 52 (the
+    /// full double mantissa) means exact keys; smaller values coarsen
+    /// the key grid — the searched value is coarsened identically, so
+    /// results remain a pure function of the key.
+    std::uint32_t n_low_mantissa_bits = 52;
+    /// Insertion stops once the table holds this many entries (lookups
+    /// and correctness are unaffected; further misses just stay cold).
+    std::size_t max_entries = std::size_t{1} << 20;
+  };
+
+  PersistencePlanner() = default;
+  explicit PersistencePlanner(Options options);
+
+  const Options& options() const noexcept { return options_; }
+
+  /// The raw Theorem-4 search over p_n ∈ [1, 1023] — the single
+  /// implementation behind the free find_persistence(), bit-identical
+  /// to the loop that used to live inside BfceEstimator.
+  static PersistenceChoice search(double n_low, std::uint32_t w,
+                                  std::uint32_t k, double eps, double delta);
+
+  /// n̂_low with its low mantissa bits cleared per the options (identity
+  /// at the default 52 bits).
+  double bucket(double n_low) const noexcept;
+
+  /// Memoized search: exactly search(bucket(n_low), w, k, eps, delta).
+  PersistenceChoice choose(double n_low, std::uint32_t w, std::uint32_t k,
+                           double eps, double delta);
+
+  PlannerCacheStats stats() const;
+
+  /// Drops every cached entry and zeroes the hit/miss counters.
+  void clear();
+
+ private:
+  struct Key {
+    std::uint64_t n_low_bits = 0;
+    std::uint32_t w = 0;
+    std::uint32_t k = 0;
+    std::uint64_t eps_bits = 0;
+    std::uint64_t delta_bits = 0;
+
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept;
+  };
+
+  Options options_;
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<Key, PersistenceChoice, KeyHash> cache_;
+  // Atomic so hits can be counted under the shared (reader) lock.
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace bfce::core

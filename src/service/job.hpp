@@ -1,0 +1,105 @@
+#pragma once
+// Job types for the estimation service.
+//
+// A job is one complete estimation request: which population to count,
+// with which protocol, to which (ε, δ) requirement, from which seed.
+// Results follow the same determinism contract as sim::run_experiment —
+// attempt a of a job executes against a ReaderContext seeded with
+// derive_seed(spec.seed, a), so every field of the JobResult outcome is
+// a pure function of the spec, regardless of worker count, queue order
+// or which other jobs share the service.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "estimators/estimator.hpp"
+#include "rfid/frame_engine.hpp"
+#include "rfid/population.hpp"
+
+namespace bfce::service {
+
+/// Service-assigned job handle. 0 is never a valid id; submit() returns
+/// it when the service is shutting down.
+using JobId = std::uint64_t;
+inline constexpr JobId kInvalidJob = 0;
+
+/// Builds a fresh estimator per attempt (same rationale as the
+/// experiment harness: fresh instances keep the worker pool trivially
+/// safe). Must be callable concurrently.
+using EstimatorFactory =
+    std::function<std::unique_ptr<estimators::CardinalityEstimator>()>;
+
+/// One estimation request.
+struct JobSpec {
+  /// The population to estimate; not owned, must outlive the job.
+  const rfid::TagPopulation* population = nullptr;
+
+  /// Registry name ("BFCE", "ZOE", ...). BFCE and BFCE-avg jobs share
+  /// the service's persistence planner when one is configured.
+  std::string estimator = "BFCE";
+  /// Optional override: when set, `estimator` is only a label.
+  EstimatorFactory factory;
+
+  estimators::Requirement req{};
+
+  /// Seed of this job's RNG streams (attempt a uses derive_seed(seed, a)).
+  std::uint64_t seed = 0;
+
+  /// Deterministic deadline on *simulated airtime*: an attempt whose
+  /// protocol execution time exceeds this budget fails (and is retried
+  /// while attempts remain). Infinity disables the check.
+  double airtime_budget_s = std::numeric_limits<double>::infinity();
+
+  /// Wall-clock admission deadline, in seconds from submit(): a job
+  /// still queued past it expires without executing. Infinity disables
+  /// the check. (Wall-clock, so it depends on load and worker count —
+  /// keep it infinite where bit-identical replay matters.)
+  double deadline_s = std::numeric_limits<double>::infinity();
+
+  /// Total attempt budget. An attempt fails when the outcome misses its
+  /// design point (met_by_design == false) or blows airtime_budget_s;
+  /// each retry runs the next derived RNG stream.
+  std::uint32_t max_attempts = 1;
+};
+
+enum class JobStatus : std::uint8_t {
+  kQueued = 0,    ///< admitted, waiting for a worker
+  kRunning,       ///< executing on a worker
+  kDone,          ///< terminal: outcome recorded (inspect met_by_design)
+  kDeadlineMissed,///< terminal: every attempt exceeded airtime_budget_s
+  kExpired,       ///< terminal: wall deadline passed while queued
+  kCancelled,     ///< terminal: cancelled before execution
+  kFailed,        ///< terminal: could not run (unknown estimator, ...)
+};
+
+/// Short lowercase label ("done", "deadline_missed", ...).
+const char* to_cstring(JobStatus status) noexcept;
+
+/// True for every status a job can no longer leave.
+constexpr bool is_terminal(JobStatus status) noexcept {
+  return status != JobStatus::kQueued && status != JobStatus::kRunning;
+}
+
+/// Everything the service records about one job.
+struct JobResult {
+  JobId id = kInvalidJob;
+  JobStatus status = JobStatus::kQueued;
+
+  /// Last attempt's outcome; meaningful for kDone and kDeadlineMissed.
+  estimators::EstimateOutcome outcome;
+  /// Simulated airtime of that outcome under the service timing model.
+  double airtime_s = 0.0;
+
+  std::uint32_t attempts = 0;   ///< attempts actually executed
+  double queue_wait_s = 0.0;    ///< wall time from submit to first run
+  double exec_s = 0.0;          ///< wall time spent executing attempts
+  double latency_s = 0.0;       ///< wall time from submit to terminal
+
+  /// FrameEngine counters summed over every attempt of this job.
+  rfid::EngineCounters counters;
+};
+
+}  // namespace bfce::service

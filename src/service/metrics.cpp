@@ -1,0 +1,137 @@
+#include "service/metrics.hpp"
+
+#include <cstdio>
+
+#include "core/monitor.hpp"
+
+namespace bfce::service {
+
+namespace {
+
+void append_latency_row(std::string& out, const char* label,
+                        const LatencyProfile& l) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "%-12s %8zu %10.4f %10.4f %10.4f %10.4f %10.4f\n", label,
+                l.count, l.mean_s, l.p50_s, l.p95_s, l.p99_s, l.max_s);
+  out += line;
+}
+
+void append_latency_json(std::string& out, const char* key,
+                         const LatencyProfile& l) {
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "  \"%s\": {\"count\": %zu, \"mean_s\": %.6f, "
+                "\"p50_s\": %.6f, \"p95_s\": %.6f, \"p99_s\": %.6f, "
+                "\"max_s\": %.6f},\n",
+                key, l.count, l.mean_s, l.p50_s, l.p95_s, l.p99_s, l.max_s);
+  out += buf;
+}
+
+}  // namespace
+
+std::string render_service_metrics(const ServiceMetrics& m) {
+  std::string out;
+  char line[240];
+
+  std::snprintf(line, sizeof(line),
+                "service: %u workers, queue %zu/%zu, %zu running, "
+                "%.2f s elapsed\n",
+                m.workers, m.queue_depth, m.queue_capacity, m.running,
+                m.elapsed_s);
+  out += line;
+  std::snprintf(
+      line, sizeof(line),
+      "jobs: admitted=%llu rejected=%llu completed=%llu "
+      "(done=%llu deadline_missed=%llu expired=%llu cancelled=%llu "
+      "failed=%llu) retries=%llu\n",
+      static_cast<unsigned long long>(m.admitted),
+      static_cast<unsigned long long>(m.rejected),
+      static_cast<unsigned long long>(m.completed),
+      static_cast<unsigned long long>(m.done),
+      static_cast<unsigned long long>(m.deadline_missed),
+      static_cast<unsigned long long>(m.expired),
+      static_cast<unsigned long long>(m.cancelled),
+      static_cast<unsigned long long>(m.failed),
+      static_cast<unsigned long long>(m.retries));
+  out += line;
+  std::snprintf(line, sizeof(line), "throughput: %.1f jobs/s\n",
+                m.throughput_jobs_per_s());
+  out += line;
+
+  std::snprintf(line, sizeof(line), "%-12s %8s %10s %10s %10s %10s %10s\n",
+                "wall (s)", "count", "mean", "p50", "p95", "p99", "max");
+  out += line;
+  append_latency_row(out, "latency", m.latency);
+  append_latency_row(out, "queue_wait", m.queue_wait);
+
+  if (m.planner_attached) {
+    std::snprintf(line, sizeof(line),
+                  "planner cache: %llu hits, %llu misses (hit rate %.3f), "
+                  "%zu entries\n",
+                  static_cast<unsigned long long>(m.planner.hits),
+                  static_cast<unsigned long long>(m.planner.misses),
+                  m.planner.hit_rate(), m.planner.entries);
+    out += line;
+  } else {
+    out += "planner cache: not attached\n";
+  }
+
+  out += core::render_engine_counters(m.engine);
+  return out;
+}
+
+std::string service_metrics_json(const ServiceMetrics& m) {
+  std::string out = "{\n";
+  char buf[512];
+
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"workers\": %u,\n  \"queue_depth\": %zu,\n"
+      "  \"queue_capacity\": %zu,\n  \"running\": %zu,\n"
+      "  \"elapsed_s\": %.6f,\n  \"admitted\": %llu,\n"
+      "  \"rejected\": %llu,\n  \"completed\": %llu,\n  \"done\": %llu,\n"
+      "  \"deadline_missed\": %llu,\n  \"expired\": %llu,\n"
+      "  \"cancelled\": %llu,\n  \"failed\": %llu,\n  \"retries\": %llu,\n"
+      "  \"throughput_jobs_per_s\": %.3f,\n",
+      m.workers, m.queue_depth, m.queue_capacity, m.running, m.elapsed_s,
+      static_cast<unsigned long long>(m.admitted),
+      static_cast<unsigned long long>(m.rejected),
+      static_cast<unsigned long long>(m.completed),
+      static_cast<unsigned long long>(m.done),
+      static_cast<unsigned long long>(m.deadline_missed),
+      static_cast<unsigned long long>(m.expired),
+      static_cast<unsigned long long>(m.cancelled),
+      static_cast<unsigned long long>(m.failed),
+      static_cast<unsigned long long>(m.retries),
+      m.throughput_jobs_per_s());
+  out += buf;
+
+  append_latency_json(out, "latency_s", m.latency);
+  append_latency_json(out, "queue_wait_s", m.queue_wait);
+
+  std::snprintf(buf, sizeof(buf),
+                "  \"planner_cache\": {\"attached\": %s, \"hits\": %llu, "
+                "\"misses\": %llu, \"hit_rate\": %.6f, \"entries\": %zu},\n",
+                m.planner_attached ? "true" : "false",
+                static_cast<unsigned long long>(m.planner.hits),
+                static_cast<unsigned long long>(m.planner.misses),
+                m.planner.hit_rate(), m.planner.entries);
+  out += buf;
+
+  const rfid::ShapeCounters total = m.engine.total();
+  std::snprintf(buf, sizeof(buf),
+                "  \"engine\": {\"frames\": %llu, \"slots\": %llu, "
+                "\"tag_tx\": %llu, \"wall_ms\": %.3f, \"batches\": %llu}\n",
+                static_cast<unsigned long long>(total.frames),
+                static_cast<unsigned long long>(total.slots),
+                static_cast<unsigned long long>(total.tag_tx),
+                total.wall_us / 1000.0,
+                static_cast<unsigned long long>(m.engine.batches));
+  out += buf;
+
+  out += "}\n";
+  return out;
+}
+
+}  // namespace bfce::service

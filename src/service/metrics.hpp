@@ -1,0 +1,76 @@
+#pragma once
+// Point-in-time metrics snapshot of an EstimationService.
+//
+// The snapshot is plain data so it can be taken under the service lock
+// and rendered/serialised outside it. Two renderings ship with it: an
+// aligned text table in the style of core::render_engine_counters for
+// humans, and a stable JSON document for machines (the fleet bench
+// writes it to BENCH_service.json; docs/SERVICE.md specifies the
+// schema).
+
+#include <cstdint>
+#include <string>
+
+#include "core/planner.hpp"
+#include "rfid/frame_engine.hpp"
+
+namespace bfce::service {
+
+/// Exact (not sketched) latency percentiles over one population of wall
+/// times; the service keeps every sample, so snapshots are O(n log n)
+/// in completed jobs — fine at fleet-bench scale.
+struct LatencyProfile {
+  std::size_t count = 0;
+  double mean_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+  double max_s = 0.0;
+};
+
+struct ServiceMetrics {
+  // Admission.
+  std::uint64_t admitted = 0;   ///< jobs accepted into the queue
+  std::uint64_t rejected = 0;   ///< try_submit calls bounced off a full queue
+
+  // Terminal outcomes (admitted == completed + queue_depth + running).
+  std::uint64_t completed = 0;        ///< reached any terminal status
+  std::uint64_t done = 0;             ///< kDone
+  std::uint64_t deadline_missed = 0;  ///< kDeadlineMissed
+  std::uint64_t expired = 0;          ///< kExpired
+  std::uint64_t cancelled = 0;        ///< kCancelled
+  std::uint64_t failed = 0;           ///< kFailed
+  std::uint64_t retries = 0;          ///< extra attempts beyond the first
+
+  // Instantaneous state.
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t running = 0;
+  unsigned workers = 0;
+  double elapsed_s = 0.0;  ///< wall time since the service started
+
+  LatencyProfile latency;     ///< submit → terminal, executed jobs
+  LatencyProfile queue_wait;  ///< submit → first attempt, executed jobs
+
+  /// Shared Theorem-4 planner cache, all-zero when none is attached.
+  bool planner_attached = false;
+  core::PlannerCacheStats planner;
+
+  /// FrameEngine counters aggregated over every completed job.
+  rfid::EngineCounters engine;
+
+  double throughput_jobs_per_s() const noexcept {
+    return elapsed_s > 0.0
+               ? static_cast<double>(completed) / elapsed_s
+               : 0.0;
+  }
+};
+
+/// Aligned, human-readable rendering (admission/outcome counts, latency
+/// percentiles, planner cache line, engine-counter totals).
+std::string render_service_metrics(const ServiceMetrics& m);
+
+/// The snapshot as a single JSON object (schema in docs/SERVICE.md).
+std::string service_metrics_json(const ServiceMetrics& m);
+
+}  // namespace bfce::service

@@ -1,0 +1,315 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/bfce.hpp"
+#include "estimators/registry.hpp"
+#include "math/stats.hpp"
+#include "rfid/reader.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace bfce::service {
+
+namespace {
+
+/// Resolves a job's estimator. BFCE variants built here (rather than
+/// through the registry) so they share the service's planner.
+std::unique_ptr<estimators::CardinalityEstimator> make_job_estimator(
+    const JobSpec& spec, core::PersistencePlanner* planner) {
+  if (spec.factory) return spec.factory();
+  if (planner != nullptr) {
+    core::BfceParams params;
+    params.planner = planner;
+    if (spec.estimator == "BFCE") {
+      return std::make_unique<core::BfceEstimator>(params);
+    }
+    if (spec.estimator == "BFCE-avg") {
+      return std::make_unique<core::AveragedBfceEstimator>(10, params);
+    }
+  }
+  return estimators::make_estimator(spec.estimator);
+}
+
+LatencyProfile profile_of(std::vector<double> samples) {
+  LatencyProfile p;
+  p.count = samples.size();
+  if (samples.empty()) return p;
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  p.mean_s = sum / static_cast<double>(samples.size());
+  std::sort(samples.begin(), samples.end());
+  p.p50_s = math::quantile_sorted(samples, 0.50);
+  p.p95_s = math::quantile_sorted(samples, 0.95);
+  p.p99_s = math::quantile_sorted(samples, 0.99);
+  p.max_s = samples.back();
+  return p;
+}
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+const char* to_cstring(JobStatus status) noexcept {
+  switch (status) {
+    case JobStatus::kQueued: return "queued";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kDone: return "done";
+    case JobStatus::kDeadlineMissed: return "deadline_missed";
+    case JobStatus::kExpired: return "expired";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+EstimationService::EstimationService(ServiceConfig config)
+    : config_(config),
+      workers_(config.workers != 0 ? config.workers
+                                   : util::default_thread_count()),
+      started_(Clock::now()) {
+  pool_.reserve(workers_);
+  for (unsigned t = 0; t < workers_; ++t) {
+    pool_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+EstimationService::~EstimationService() { shutdown(); }
+
+JobId EstimationService::admit_locked(JobSpec&& spec) {
+  const JobId id = next_id_++;
+  JobState& state = jobs_[id];
+  state.spec = std::move(spec);
+  state.result.id = id;
+  state.result.status = JobStatus::kQueued;
+  state.submitted = Clock::now();
+  queue_.push_back(id);
+  ++admitted_;
+  work_ready_.notify_one();
+  return id;
+}
+
+JobId EstimationService::submit(JobSpec spec) {
+  std::unique_lock lock(mutex_);
+  queue_space_.wait(lock, [&] {
+    return stopping_ || queue_.size() < config_.queue_capacity;
+  });
+  if (stopping_) return kInvalidJob;
+  return admit_locked(std::move(spec));
+}
+
+std::optional<JobId> EstimationService::try_submit(JobSpec spec) {
+  std::unique_lock lock(mutex_);
+  if (stopping_) return std::nullopt;
+  if (queue_.size() >= config_.queue_capacity) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  return admit_locked(std::move(spec));
+}
+
+bool EstimationService::cancel(JobId id) {
+  std::unique_lock lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  JobState& state = it->second;
+  if (state.result.status != JobStatus::kQueued) return false;
+
+  const auto pos = std::find(queue_.begin(), queue_.end(), id);
+  if (pos != queue_.end()) queue_.erase(pos);
+  state.result.status = JobStatus::kCancelled;
+  state.result.latency_s = seconds_between(state.submitted, Clock::now());
+  account_terminal(state.result);
+  queue_space_.notify_one();
+  job_done_.notify_all();
+  return true;
+}
+
+JobResult EstimationService::wait(JobId id) {
+  std::unique_lock lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    JobResult unknown;
+    unknown.id = id;
+    unknown.status = JobStatus::kFailed;
+    unknown.outcome.note = "unknown job id";
+    return unknown;
+  }
+  job_done_.wait(lock,
+                 [&] { return is_terminal(it->second.result.status); });
+  return it->second.result;
+}
+
+std::optional<JobResult> EstimationService::poll(JobId id) const {
+  std::unique_lock lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second.result;
+}
+
+void EstimationService::drain() {
+  std::unique_lock lock(mutex_);
+  job_done_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+}
+
+void EstimationService::shutdown() {
+  {
+    std::unique_lock lock(mutex_);
+    if (pool_.empty() && stopping_) return;
+    // Let queued work finish, then stop the pool.
+    job_done_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  queue_space_.notify_all();
+  for (std::thread& worker : pool_) worker.join();
+  pool_.clear();
+}
+
+std::size_t EstimationService::queue_depth() const {
+  std::unique_lock lock(mutex_);
+  return queue_.size();
+}
+
+ServiceMetrics EstimationService::metrics() const {
+  ServiceMetrics m;
+  std::vector<double> latency;
+  std::vector<double> waits;
+  {
+    std::unique_lock lock(mutex_);
+    m.admitted = admitted_;
+    m.rejected = rejected_;
+    m.completed = completed_;
+    m.done = done_;
+    m.deadline_missed = deadline_missed_;
+    m.expired = expired_;
+    m.cancelled = cancelled_;
+    m.failed = failed_;
+    m.retries = retries_;
+    m.queue_depth = queue_.size();
+    m.queue_capacity = config_.queue_capacity;
+    m.running = running_;
+    m.workers = workers_;
+    m.elapsed_s = seconds_between(started_, Clock::now());
+    m.engine = engine_;
+    latency = latency_s_;
+    waits = queue_wait_s_;
+  }
+  m.latency = profile_of(std::move(latency));
+  m.queue_wait = profile_of(std::move(waits));
+  if (config_.planner != nullptr) {
+    m.planner_attached = true;
+    m.planner = config_.planner->stats();
+  }
+  return m;
+}
+
+void EstimationService::worker_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and drained
+
+    const JobId id = queue_.front();
+    queue_.pop_front();
+    queue_space_.notify_one();
+    JobState& state = jobs_.at(id);  // element refs are rehash-stable
+    const double waited = seconds_between(state.submitted, Clock::now());
+
+    if (waited > state.spec.deadline_s) {
+      state.result.status = JobStatus::kExpired;
+      state.result.queue_wait_s = waited;
+      state.result.latency_s = waited;
+      account_terminal(state.result);
+      job_done_.notify_all();
+      continue;
+    }
+
+    state.result.status = JobStatus::kRunning;
+    state.result.queue_wait_s = waited;
+    ++running_;
+    const JobSpec spec = state.spec;
+    lock.unlock();
+
+    const auto exec_start = Clock::now();
+    std::uint64_t retries = 0;
+    JobResult executed = execute_job(spec, retries);
+    const double exec_s = seconds_between(exec_start, Clock::now());
+
+    lock.lock();
+    state.result.status = executed.status;
+    state.result.outcome = std::move(executed.outcome);
+    state.result.airtime_s = executed.airtime_s;
+    state.result.attempts = executed.attempts;
+    state.result.counters = executed.counters;
+    state.result.exec_s = exec_s;
+    state.result.latency_s = seconds_between(state.submitted, Clock::now());
+    retries_ += retries;
+    --running_;
+    account_terminal(state.result);
+    job_done_.notify_all();
+  }
+}
+
+JobResult EstimationService::execute_job(const JobSpec& spec,
+                                         std::uint64_t& retries) const {
+  JobResult r;
+  if (spec.population == nullptr) {
+    r.status = JobStatus::kFailed;
+    r.outcome.note = "job has no population";
+    return r;
+  }
+  const std::uint32_t budget = std::max<std::uint32_t>(1, spec.max_attempts);
+  for (std::uint32_t attempt = 0; attempt < budget; ++attempt) {
+    const auto estimator = make_job_estimator(spec, config_.planner);
+    if (estimator == nullptr) {
+      r.status = JobStatus::kFailed;
+      r.outcome.note = "unknown estimator '" + spec.estimator + "'";
+      return r;
+    }
+    rfid::ReaderContext ctx(*spec.population,
+                            util::derive_seed(spec.seed, attempt),
+                            config_.mode, config_.channel, config_.timing);
+    r.outcome = estimator->estimate(ctx, spec.req);
+    r.counters += ctx.engine().counters();
+    r.attempts = attempt + 1;
+    r.airtime_s = r.outcome.airtime.total_seconds(config_.timing);
+
+    const bool over_budget = r.airtime_s > spec.airtime_budget_s;
+    if (r.outcome.met_by_design && !over_budget) {
+      r.status = JobStatus::kDone;
+      return r;
+    }
+    if (attempt + 1 < budget) {
+      ++retries;
+    } else {
+      // Out of attempts: an airtime blow-out is a missed deadline; a
+      // mere design-point miss still delivers the estimate as kDone
+      // (the outcome carries met_by_design = false and the note).
+      r.status = over_budget ? JobStatus::kDeadlineMissed : JobStatus::kDone;
+    }
+  }
+  return r;
+}
+
+void EstimationService::account_terminal(const JobResult& result) {
+  ++completed_;
+  switch (result.status) {
+    case JobStatus::kDone: ++done_; break;
+    case JobStatus::kDeadlineMissed: ++deadline_missed_; break;
+    case JobStatus::kExpired: ++expired_; break;
+    case JobStatus::kCancelled: ++cancelled_; break;
+    case JobStatus::kFailed: ++failed_; break;
+    case JobStatus::kQueued:
+    case JobStatus::kRunning: break;  // unreachable for terminal results
+  }
+  latency_s_.push_back(result.latency_s);
+  if (result.attempts > 0) queue_wait_s_.push_back(result.queue_wait_s);
+  engine_ += result.counters;
+}
+
+}  // namespace bfce::service

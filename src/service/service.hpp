@@ -1,0 +1,158 @@
+#pragma once
+// EstimationService — the servable front end of the repository.
+//
+// Everything below sim::run_experiment answers "what does one estimate
+// cost?"; the service answers the ROADMAP's production question: how do
+// many concurrent estimation requests get admitted, scheduled, executed
+// and accounted for. It is a bounded-queue worker pool over the same
+// primitives the experiment harness uses:
+//
+//  * admission — submit() blocks while the queue is full (backpressure);
+//    try_submit() returns nullopt instead. The queue bound is the only
+//    memory the fleet can force on the service.
+//  * scheduling — FIFO over a worker pool (default size from
+//    util::default_thread_count(), so BFCE_THREADS caps it like every
+//    other parallel path in the repo).
+//  * execution — attempt a of a job runs a fresh estimator against a
+//    fresh ReaderContext seeded with derive_seed(spec.seed, a): results
+//    are bit-identical for any worker count, exactly like
+//    sim::run_experiment's (master seed, trial index) contract. BFCE
+//    jobs share the service's PersistencePlanner when one is attached;
+//    the planner memoizes the bucketed Theorem-4 search, which cannot
+//    change any result (see core/planner.hpp).
+//  * deadlines & retries — an attempt fails when the outcome misses its
+//    design point or exceeds the job's simulated-airtime budget; failed
+//    attempts are retried on the next derived stream while the budget
+//    lasts. A wall-clock admission deadline expires jobs that waited
+//    too long in the queue; cancel() withdraws a job that has not
+//    started.
+//  * accounting — metrics() snapshots admission/outcome counts, exact
+//    latency percentiles, planner-cache hit rate and the aggregated
+//    FrameEngine counters (service/metrics.hpp renders text and JSON).
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "rfid/channel.hpp"
+#include "rfid/frame.hpp"
+#include "rfid/timing.hpp"
+#include "service/job.hpp"
+#include "service/metrics.hpp"
+
+namespace bfce::service {
+
+struct ServiceConfig {
+  /// Worker threads; 0 ⇒ util::default_thread_count() (BFCE_THREADS).
+  unsigned workers = 0;
+  /// Bound on jobs admitted but not yet running.
+  std::size_t queue_capacity = 1024;
+
+  /// Simulation substrate every job runs on.
+  rfid::FrameMode mode = rfid::FrameMode::kSampled;
+  rfid::ChannelModel channel{};
+  rfid::TimingModel timing{};
+
+  /// Shared Theorem-4 planner for BFCE jobs (non-owning; must outlive
+  /// the service). Null ⇒ every estimate runs the plain search.
+  core::PersistencePlanner* planner = nullptr;
+};
+
+class EstimationService {
+ public:
+  explicit EstimationService(ServiceConfig config = {});
+  ~EstimationService();  // drains the queue, then joins the workers
+
+  EstimationService(const EstimationService&) = delete;
+  EstimationService& operator=(const EstimationService&) = delete;
+
+  const ServiceConfig& config() const noexcept { return config_; }
+
+  /// Admits a job, blocking while the queue is at capacity. Returns
+  /// kInvalidJob only when the service is shutting down.
+  JobId submit(JobSpec spec);
+
+  /// Non-blocking admission: nullopt when the queue is full (counted
+  /// as a rejection) or the service is shutting down.
+  std::optional<JobId> try_submit(JobSpec spec);
+
+  /// Withdraws a job that has not started; returns false once it is
+  /// running or terminal (a running estimate is never torn down).
+  bool cancel(JobId id);
+
+  /// Blocks until the job is terminal and returns its result. Unknown
+  /// ids return a default JobResult with status kFailed.
+  JobResult wait(JobId id);
+
+  /// Non-blocking result snapshot; nullopt for unknown ids.
+  std::optional<JobResult> poll(JobId id) const;
+
+  /// Blocks until every admitted job is terminal.
+  void drain();
+
+  /// Drains, then stops and joins the workers. Idempotent; called by
+  /// the destructor.
+  void shutdown();
+
+  std::size_t queue_depth() const;
+
+  /// Point-in-time snapshot; safe to call concurrently with everything.
+  ServiceMetrics metrics() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct JobState {
+    JobSpec spec;
+    JobResult result;
+    Clock::time_point submitted;
+  };
+
+  void worker_loop();
+  /// Creates, queues and counts a job (lock held, capacity checked).
+  JobId admit_locked(JobSpec&& spec);
+  /// Executes every attempt of `spec` (no lock held). `retries` returns
+  /// the attempts beyond the first.
+  JobResult execute_job(const JobSpec& spec, std::uint64_t& retries) const;
+  /// Folds a terminal result into the aggregate counters (lock held).
+  void account_terminal(const JobResult& result);
+
+  ServiceConfig config_;
+  unsigned workers_ = 0;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_space_;  ///< submitters waiting on a slot
+  std::condition_variable work_ready_;   ///< workers waiting for jobs
+  std::condition_variable job_done_;     ///< wait()/drain() waiters
+  std::deque<JobId> queue_;
+  std::unordered_map<JobId, JobState> jobs_;
+  JobId next_id_ = 1;
+  bool stopping_ = false;
+  std::size_t running_ = 0;
+
+  // Aggregates (guarded by mutex_).
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t done_ = 0;
+  std::uint64_t deadline_missed_ = 0;
+  std::uint64_t expired_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t retries_ = 0;
+  std::vector<double> latency_s_;
+  std::vector<double> queue_wait_s_;
+  rfid::EngineCounters engine_;
+  Clock::time_point started_;
+
+  std::vector<std::thread> pool_;
+};
+
+}  // namespace bfce::service

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: build and test both CMake presets.
+#
+#   tools/ci.sh            # release + asan
+#   tools/ci.sh asan       # just one preset
+#
+# The asan preset runs the whole test suite (including the
+# service/worker-pool tests) under AddressSanitizer + UBSan with no
+# recovery, so data races that corrupt memory and UB in the hot paths
+# fail the build loudly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(release asan)
+fi
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+for preset in "${presets[@]}"; do
+  echo "==== preset: ${preset} ===================================="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  ctest --preset "${preset}"
+done
+echo "==== all presets green ====================================="
