@@ -51,8 +51,16 @@ int main(int argc, char** argv) {
     table.add_row(
         {names[c], util::Table::num(static_cast<std::uint64_t>(truth[c])),
          util::Table::num(out.n_hat, 0),
-         "[" + util::Table::num(out.ci_low, 0) + ", " +
-             util::Table::num(out.ci_high, 0) + "]",
+         // Built incrementally: operator+ chains trip GCC 12's
+         // -Wrestrict false positive under -Werror.
+         [&] {
+           std::string ci = "[";
+           ci += util::Table::num(out.ci_low, 0);
+           ci += ", ";
+           ci += util::Table::num(out.ci_high, 0);
+           ci += "]";
+           return ci;
+         }(),
          util::Table::num(
              out.relative_error(static_cast<double>(truth[c])), 4),
          util::Table::num(out.airtime.total_seconds(ctx.timing()), 3)});

@@ -74,7 +74,7 @@ class BfceEstimator final : public estimators::CardinalityEstimator {
   explicit BfceEstimator(BfceParams params) : params_(params) {}
 
   std::string name() const override { return "BFCE"; }
-  const BfceParams& params() const noexcept { return params_; }
+  [[nodiscard]] const BfceParams& params() const noexcept { return params_; }
 
   estimators::EstimateOutcome estimate(
       rfid::ReaderContext& ctx, const estimators::Requirement& req) override;
@@ -103,7 +103,7 @@ class AveragedBfceEstimator final : public estimators::CardinalityEstimator {
       : inner_(params), rounds_(rounds) {}
 
   std::string name() const override { return "BFCE-avg"; }
-  std::uint32_t rounds() const noexcept { return rounds_; }
+  [[nodiscard]] std::uint32_t rounds() const noexcept { return rounds_; }
 
   estimators::EstimateOutcome estimate(
       rfid::ReaderContext& ctx, const estimators::Requirement& req) override;

@@ -62,9 +62,9 @@ class CardinalityMonitor {
   explicit CardinalityMonitor(MonitorParams params = {})
       : params_(params) {}
 
-  const MonitorParams& params() const noexcept { return params_; }
-  bool primed() const noexcept { return primed_; }
-  double level() const noexcept { return level_; }
+  [[nodiscard]] const MonitorParams& params() const noexcept { return params_; }
+  [[nodiscard]] bool primed() const noexcept { return primed_; }
+  [[nodiscard]] double level() const noexcept { return level_; }
 
   /// Runs one estimation against `ctx` with `estimator` and folds it
   /// into the change statistics.

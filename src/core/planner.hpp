@@ -63,7 +63,7 @@ class PersistencePlanner {
   PersistencePlanner() = default;
   explicit PersistencePlanner(Options options);
 
-  const Options& options() const noexcept { return options_; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
 
   /// The raw Theorem-4 search over p_n ∈ [1, 1023] — the single
   /// implementation behind the free find_persistence(), bit-identical
@@ -98,6 +98,18 @@ class PersistencePlanner {
     std::size_t operator()(const Key& key) const noexcept;
   };
 
+  // ---- Locking discipline (hammered by tests/race_stress_test.cpp
+  // under the tsan preset) ---------------------------------------------
+  //
+  //  * mutex_ is a strict leaf: no other lock is ever acquired while it
+  //    is held, and choose()/stats()/clear() never call out under it —
+  //    the search runs before the exclusive lock is taken.
+  //  * A miss is double-checked by design: two threads may both run the
+  //    search for the same key and race to insert; the loser's value is
+  //    dropped. Benign because search() is a pure function of the key,
+  //    so both values are bit-identical.
+  //  * hits_/misses_ are atomics so the read path can count under the
+  //    shared lock; they are monotone telemetry, not invariants.
   Options options_;
   mutable std::shared_mutex mutex_;
   std::unordered_map<Key, PersistenceChoice, KeyHash> cache_;

@@ -38,7 +38,7 @@ class A3Estimator final : public CardinalityEstimator {
   explicit A3Estimator(A3Params params) : params_(params) {}
 
   std::string name() const override { return "A3"; }
-  const A3Params& params() const noexcept { return params_; }
+  [[nodiscard]] const A3Params& params() const noexcept { return params_; }
 
   EstimateOutcome estimate(rfid::ReaderContext& ctx,
                            const Requirement& req) override;

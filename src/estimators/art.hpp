@@ -33,7 +33,7 @@ class ArtEstimator final : public CardinalityEstimator {
   explicit ArtEstimator(ArtParams params) : params_(params) {}
 
   std::string name() const override { return "ART"; }
-  const ArtParams& params() const noexcept { return params_; }
+  [[nodiscard]] const ArtParams& params() const noexcept { return params_; }
 
   EstimateOutcome estimate(rfid::ReaderContext& ctx,
                            const Requirement& req) override;

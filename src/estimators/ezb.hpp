@@ -30,7 +30,7 @@ class EzbEstimator final : public CardinalityEstimator {
   explicit EzbEstimator(EzbParams params) : params_(params) {}
 
   std::string name() const override { return "EZB"; }
-  const EzbParams& params() const noexcept { return params_; }
+  [[nodiscard]] const EzbParams& params() const noexcept { return params_; }
 
   EstimateOutcome estimate(rfid::ReaderContext& ctx,
                            const Requirement& req) override;

@@ -30,7 +30,7 @@ class FnebEstimator final : public CardinalityEstimator {
   explicit FnebEstimator(FnebParams params) : params_(params) {}
 
   std::string name() const override { return "FNEB"; }
-  const FnebParams& params() const noexcept { return params_; }
+  [[nodiscard]] const FnebParams& params() const noexcept { return params_; }
 
   EstimateOutcome estimate(rfid::ReaderContext& ctx,
                            const Requirement& req) override;

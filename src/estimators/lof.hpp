@@ -31,7 +31,7 @@ class LofEstimator final : public CardinalityEstimator {
   explicit LofEstimator(LofParams params) : params_(params) {}
 
   std::string name() const override { return "LOF"; }
-  const LofParams& params() const noexcept { return params_; }
+  [[nodiscard]] const LofParams& params() const noexcept { return params_; }
 
   /// LOF ignores (ε, δ): its accuracy is fixed by `rounds`.
   EstimateOutcome estimate(rfid::ReaderContext& ctx,

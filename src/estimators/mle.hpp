@@ -35,7 +35,7 @@ class MleEstimator final : public CardinalityEstimator {
   explicit MleEstimator(MleParams params) : params_(params) {}
 
   std::string name() const override { return "MLE"; }
-  const MleParams& params() const noexcept { return params_; }
+  [[nodiscard]] const MleParams& params() const noexcept { return params_; }
 
   EstimateOutcome estimate(rfid::ReaderContext& ctx,
                            const Requirement& req) override;

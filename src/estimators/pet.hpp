@@ -30,7 +30,7 @@ class PetEstimator final : public CardinalityEstimator {
   explicit PetEstimator(PetParams params) : params_(params) {}
 
   std::string name() const override { return "PET"; }
-  const PetParams& params() const noexcept { return params_; }
+  [[nodiscard]] const PetParams& params() const noexcept { return params_; }
 
   EstimateOutcome estimate(rfid::ReaderContext& ctx,
                            const Requirement& req) override;

@@ -46,7 +46,7 @@ class SrcEstimator final : public CardinalityEstimator {
   explicit SrcEstimator(SrcParams params) : params_(params) {}
 
   std::string name() const override { return "SRC"; }
-  const SrcParams& params() const noexcept { return params_; }
+  [[nodiscard]] const SrcParams& params() const noexcept { return params_; }
 
   EstimateOutcome estimate(rfid::ReaderContext& ctx,
                            const Requirement& req) override;

@@ -32,7 +32,7 @@ class UpeEstimator final : public CardinalityEstimator {
   explicit UpeEstimator(UpeParams params) : params_(params) {}
 
   std::string name() const override { return "UPE"; }
-  const UpeParams& params() const noexcept { return params_; }
+  [[nodiscard]] const UpeParams& params() const noexcept { return params_; }
 
   EstimateOutcome estimate(rfid::ReaderContext& ctx,
                            const Requirement& req) override;

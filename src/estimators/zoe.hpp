@@ -50,7 +50,7 @@ class ZoeEstimator final : public CardinalityEstimator {
   explicit ZoeEstimator(ZoeParams params) : params_(params) {}
 
   std::string name() const override { return "ZOE"; }
-  const ZoeParams& params() const noexcept { return params_; }
+  [[nodiscard]] const ZoeParams& params() const noexcept { return params_; }
 
   EstimateOutcome estimate(rfid::ReaderContext& ctx,
                            const Requirement& req) override;

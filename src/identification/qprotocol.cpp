@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <random>
 #include <vector>
+
+#include "util/rng.hpp"
 
 namespace bfce::identification {
 
@@ -32,8 +33,9 @@ IdentificationOutcome QProtocol::identify(rfid::ReaderContext& ctx) {
     for (std::uint64_t s = 0; s + 1 < slots && left > 0; ++s) {
       const double p_slot =
           1.0 / static_cast<double>(slots - s);  // conditional uniform
-      std::binomial_distribution<std::uint64_t> dist(left, p_slot);
-      const std::uint64_t c = dist(rng);
+      // util::draw_binomial: bit-identical draws, minus the signgam race
+      // of constructing std::binomial_distribution on this thread.
+      const std::uint64_t c = util::draw_binomial(left, p_slot, rng);
       occupancy[s] = static_cast<std::uint32_t>(c);
       left -= c;
     }

@@ -25,7 +25,7 @@ class QProtocol final : public IdentificationProtocol {
   explicit QProtocol(QProtocolParams params) : params_(params) {}
 
   std::string name() const override { return "C1G2-Q"; }
-  const QProtocolParams& params() const noexcept { return params_; }
+  [[nodiscard]] const QProtocolParams& params() const noexcept { return params_; }
 
   IdentificationOutcome identify(rfid::ReaderContext& ctx) override;
 

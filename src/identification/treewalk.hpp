@@ -22,7 +22,7 @@ class TreeWalk final : public IdentificationProtocol {
   explicit TreeWalk(TreeWalkParams params) : params_(params) {}
 
   std::string name() const override { return "TreeWalk"; }
-  const TreeWalkParams& params() const noexcept { return params_; }
+  [[nodiscard]] const TreeWalkParams& params() const noexcept { return params_; }
 
   IdentificationOutcome identify(rfid::ReaderContext& ctx) override;
 

@@ -103,6 +103,23 @@ double ks_normality_pvalue(std::vector<double> samples) {
   return std::clamp(2.0 * p, 0.0, 1.0);
 }
 
+namespace {
+
+/// ln Γ(x) without glibc lgamma()'s write to the global `signgam` — the
+/// estimator paths call this concurrently from service workers, and the
+/// global write is a data race under ThreadSanitizer. lgamma_r returns
+/// bit-identical values; the sign output is discarded (x > 0 here).
+double log_gamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
+
 double binomial_upper_tail(std::size_t m, std::size_t k, double p) {
   if (k == 0) return 1.0;
   if (k > m) return 0.0;
@@ -110,9 +127,9 @@ double binomial_upper_tail(std::size_t m, std::size_t k, double p) {
   const double logq = std::log1p(-p);
   double tail = 0.0;
   for (std::size_t i = k; i <= m; ++i) {
-    const double log_choose = std::lgamma(static_cast<double>(m) + 1.0) -
-                              std::lgamma(static_cast<double>(i) + 1.0) -
-                              std::lgamma(static_cast<double>(m - i) + 1.0);
+    const double log_choose = log_gamma(static_cast<double>(m) + 1.0) -
+                              log_gamma(static_cast<double>(i) + 1.0) -
+                              log_gamma(static_cast<double>(m - i) + 1.0);
     tail += std::exp(log_choose + static_cast<double>(i) * logp +
                      static_cast<double>(m - i) * logq);
   }

@@ -13,13 +13,13 @@ class RunningStats {
  public:
   void add(double x) noexcept;
 
-  std::size_t count() const noexcept { return n_; }
-  double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
   /// Unbiased sample variance; 0 for fewer than two samples.
   double variance() const noexcept;
   double stddev() const noexcept;
-  double min() const noexcept { return min_; }
-  double max() const noexcept { return max_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
 
   /// Merges another accumulator (parallel reduction step).
   void merge(const RunningStats& other) noexcept;

@@ -53,7 +53,7 @@ struct C1g2Link {
   double turnaround_us = 302.0;
 
   /// Backscatter link frequency in kHz.
-  double blf_khz() const noexcept { return divide_ratio / trcal_us * 1e3; }
+  [[nodiscard]] double blf_khz() const noexcept { return divide_ratio / trcal_us * 1e3; }
 
   /// Effective reader→tag microseconds per bit under PIE.
   double reader_bit_us() const noexcept {

@@ -44,7 +44,7 @@ class Channel {
   Channel() = default;
   explicit Channel(ChannelModel model) noexcept : model_(model) {}
 
-  const ChannelModel& model() const noexcept { return model_; }
+  [[nodiscard]] const ChannelModel& model() const noexcept { return model_; }
 
   /// Observes a slot with `repliers` simultaneous 1-bit transmissions.
   SlotState observe(std::uint32_t repliers,

@@ -3,7 +3,6 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
-#include <random>
 
 #include "hash/persistence.hpp"
 #include "hash/slot_hash.hpp"
@@ -19,13 +18,11 @@ double elapsed_us(Clock::time_point start) {
       .count();
 }
 
-std::uint64_t draw_binomial(std::uint64_t trials, double p,
-                            util::Xoshiro256ss& rng) {
-  if (trials == 0 || p <= 0.0) return 0;
-  if (p >= 1.0) return trials;
-  std::binomial_distribution<std::uint64_t> dist(trials, p);
-  return dist(rng);
-}
+// Binomial draws go through util::draw_binomial, which serialises the
+// lgamma-calling construction of std::binomial_distribution (glibc
+// signgam data race under concurrent workers) while keeping draws
+// bit-identical to the historical in-line use.
+using util::draw_binomial;
 
 std::uint64_t sum_counts(const std::uint32_t* counts, std::size_t w) {
   std::uint64_t total = 0;

@@ -178,9 +178,9 @@ class FrameEngine {
   FrameEngine(std::size_t n, Channel channel)
       : tags_(nullptr), n_(n), channel_(channel), mode_(FrameMode::kSampled) {}
 
-  FrameMode mode() const noexcept { return mode_; }
-  const Channel& channel() const noexcept { return channel_; }
-  std::size_t population_size() const noexcept { return n_; }
+  [[nodiscard]] FrameMode mode() const noexcept { return mode_; }
+  [[nodiscard]] const Channel& channel() const noexcept { return channel_; }
+  [[nodiscard]] std::size_t population_size() const noexcept { return n_; }
 
   /// Executes one frame in the engine's mode. Consumes `rng` exactly as
   /// the legacy executor for (shape, mode) did — bit-identical results.
@@ -193,7 +193,7 @@ class FrameEngine {
   std::vector<FrameResult> execute_batch(
       const std::vector<FrameRequest>& requests, util::Xoshiro256ss& rng);
 
-  const EngineCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const EngineCounters& counters() const noexcept { return counters_; }
   void reset_counters() noexcept { counters_ = EngineCounters{}; }
 
  private:

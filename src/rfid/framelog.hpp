@@ -52,7 +52,7 @@ class FrameLog {
   const std::vector<FrameRecord>& records() const noexcept {
     return records_;
   }
-  std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
 
   /// Number of records of one kind.
   std::size_t count(FrameKind kind) const noexcept;

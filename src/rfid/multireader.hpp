@@ -41,7 +41,7 @@ class MultiReaderSystem {
   MultiReaderSystem(const TagPopulation& tags,
                     std::vector<ReaderPlacement> readers);
 
-  std::size_t reader_count() const noexcept { return readers_.size(); }
+  [[nodiscard]] std::size_t reader_count() const noexcept { return readers_.size(); }
   const std::vector<ReaderPlacement>& readers() const noexcept {
     return readers_;
   }
@@ -54,13 +54,13 @@ class MultiReaderSystem {
 
   /// Tags covered by at least one reader — the back-end's logical-reader
   /// view, i.e. what §III-A's synchronised system estimates.
-  const TagPopulation& union_population() const noexcept { return union_; }
+  [[nodiscard]] const TagPopulation& union_population() const noexcept { return union_; }
 
   /// Tags covered by two or more readers (the double-counting mass).
-  std::size_t overlap_count() const noexcept { return overlap_; }
+  [[nodiscard]] std::size_t overlap_count() const noexcept { return overlap_; }
 
   /// Tags covered by no reader (blind spots).
-  std::size_t uncovered_count() const noexcept { return uncovered_; }
+  [[nodiscard]] std::size_t uncovered_count() const noexcept { return uncovered_; }
 
   /// Sum of per-reader coverage sizes: what naive per-reader estimation
   /// would add up to (union + double counting).

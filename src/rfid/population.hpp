@@ -33,8 +33,8 @@ class TagPopulation {
   TagPopulation() = default;
   explicit TagPopulation(std::vector<Tag> tags) : tags_(std::move(tags)) {}
 
-  std::size_t size() const noexcept { return tags_.size(); }
-  const std::vector<Tag>& tags() const noexcept { return tags_; }
+  [[nodiscard]] std::size_t size() const noexcept { return tags_.size(); }
+  [[nodiscard]] const std::vector<Tag>& tags() const noexcept { return tags_; }
   const Tag& operator[](std::size_t i) const noexcept { return tags_[i]; }
 
  private:

@@ -38,16 +38,16 @@ class ReaderContext {
         engine_(tags, Channel(channel_model), mode),
         rng_(util::derive_seed(seed, 0x5EEDED5EEDED5EEDULL)) {}
 
-  const TagPopulation& tags() const noexcept { return *tags_; }
-  std::size_t true_cardinality() const noexcept { return tags_->size(); }
-  const Channel& channel() const noexcept { return engine_.channel(); }
-  const TimingModel& timing() const noexcept { return timing_; }
-  FrameMode mode() const noexcept { return engine_.mode(); }
+  [[nodiscard]] const TagPopulation& tags() const noexcept { return *tags_; }
+  [[nodiscard]] std::size_t true_cardinality() const noexcept { return tags_->size(); }
+  [[nodiscard]] const Channel& channel() const noexcept { return engine_.channel(); }
+  [[nodiscard]] const TimingModel& timing() const noexcept { return timing_; }
+  [[nodiscard]] FrameMode mode() const noexcept { return engine_.mode(); }
   util::Xoshiro256ss& rng() noexcept { return rng_; }
 
   /// The context's frame executor (counters, batch submission).
   FrameEngine& engine() noexcept { return engine_; }
-  const FrameEngine& engine() const noexcept { return engine_; }
+  [[nodiscard]] const FrameEngine& engine() const noexcept { return engine_; }
 
   /// Executes one frame in the context's mode through the engine.
   FrameResult run_frame(const FrameRequest& request) {
@@ -66,7 +66,7 @@ class ReaderContext {
   /// Attaches a frame log; protocols append one record per frame while
   /// it is attached. The log must outlive the estimation calls.
   void attach_log(FrameLog* log) noexcept { log_ = log; }
-  FrameLog* log() const noexcept { return log_; }
+  [[nodiscard]] FrameLog* log() const noexcept { return log_; }
 
   /// Protocol-side helper: records a frame if a log is attached.
   void log_frame(FrameKind kind, std::uint32_t slots_observed, double p,
@@ -79,6 +79,7 @@ class ReaderContext {
   const TagPopulation* tags_;
   TimingModel timing_;
   FrameEngine engine_;
+  // lint:allow(unseeded-rng) member; seeded in the ctor init-list
   util::Xoshiro256ss rng_;
   FrameLog* log_ = nullptr;
 };

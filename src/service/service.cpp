@@ -1,6 +1,7 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 #include "core/bfce.hpp"
@@ -157,17 +158,34 @@ void EstimationService::drain() {
 }
 
 void EstimationService::shutdown() {
+  // Exactly one caller may own the join: pool_ is swapped out under the
+  // lock, so a second concurrent shutdown() (or the destructor racing an
+  // explicit call) sees an empty pool and parks on joined_ instead of
+  // iterating a vector the owner is mutating. (Found by the TSan race
+  // stress suite: the old code joined pool_ unlocked while a concurrent
+  // caller cleared it.)
+  std::vector<std::thread> workers;
   {
     std::unique_lock lock(mutex_);
-    if (pool_.empty() && stopping_) return;
     // Let queued work finish, then stop the pool.
     job_done_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
     stopping_ = true;
+    workers.swap(pool_);
+    if (workers.empty()) {
+      // Another caller owns (or already finished) the join; wait it out
+      // so every shutdown() returns only once the workers are gone.
+      job_done_.wait(lock, [&] { return joined_; });
+      return;
+    }
   }
   work_ready_.notify_all();
   queue_space_.notify_all();
-  for (std::thread& worker : pool_) worker.join();
-  pool_.clear();
+  for (std::thread& worker : workers) worker.join();
+  {
+    std::lock_guard lock(mutex_);
+    joined_ = true;
+  }
+  job_done_.notify_all();
 }
 
 std::size_t EstimationService::queue_depth() const {
@@ -218,6 +236,9 @@ void EstimationService::worker_loop() {
     queue_.pop_front();
     queue_space_.notify_one();
     JobState& state = jobs_.at(id);  // element refs are rehash-stable
+    // Only cancel() removes queued entries, and it erases them from
+    // queue_ in the same critical section — a dequeued id is kQueued.
+    assert(state.result.status == JobStatus::kQueued);
     const double waited = seconds_between(state.submitted, Clock::now());
 
     if (waited > state.spec.deadline_s) {
@@ -297,6 +318,7 @@ JobResult EstimationService::execute_job(const JobSpec& spec,
 }
 
 void EstimationService::account_terminal(const JobResult& result) {
+  assert(is_terminal(result.status));
   ++completed_;
   switch (result.status) {
     case JobStatus::kDone: ++done_; break;

@@ -73,7 +73,7 @@ class EstimationService {
   EstimationService(const EstimationService&) = delete;
   EstimationService& operator=(const EstimationService&) = delete;
 
-  const ServiceConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
 
   /// Admits a job, blocking while the queue is at capacity. Returns
   /// kInvalidJob only when the service is shutting down.
@@ -107,6 +107,23 @@ class EstimationService {
   ServiceMetrics metrics() const;
 
  private:
+  // ---- Locking discipline (checked by tests/race_stress_test.cpp
+  // under the tsan preset; asserts below back the claims) -------------
+  //
+  //  * mutex_ is the service's only lock. It guards every field below
+  //    it: the queue, the job table, the aggregate counters and pool_.
+  //  * mutex_ is NEVER held across job execution (worker_loop unlocks
+  //    around execute_job) or across any blocking wait other than the
+  //    three condition variables — so submit/cancel/poll/metrics can
+  //    never be starved by a long estimate.
+  //  * Lock order: mutex_ → PersistencePlanner::mutex_ is the only
+  //    nesting that could arise (metrics() reading planner stats), and
+  //    it is avoided entirely: planner calls are made with mutex_
+  //    released, so the planner's shared_mutex is a strict leaf and no
+  //    cycle exists.
+  //  * pool_ teardown: shutdown() swaps pool_ out under mutex_ and
+  //    joins the swapped vector unlocked; joined_ lets concurrent
+  //    callers wait for the owner instead of double-joining.
   using Clock = std::chrono::steady_clock;
 
   struct JobState {
@@ -135,6 +152,7 @@ class EstimationService {
   std::unordered_map<JobId, JobState> jobs_;
   JobId next_id_ = 1;
   bool stopping_ = false;
+  bool joined_ = false;  ///< workers joined; set by the shutdown owner
   std::size_t running_ = 0;
 
   // Aggregates (guarded by mutex_).

@@ -33,8 +33,8 @@ class PopulationTimeline {
   /// Starts with `initial` tags drawn uniformly; deterministic in seed.
   PopulationTimeline(std::size_t initial, std::uint64_t seed);
 
-  const rfid::TagPopulation& current() const noexcept { return current_; }
-  std::size_t size() const noexcept { return current_.size(); }
+  [[nodiscard]] const rfid::TagPopulation& current() const noexcept { return current_; }
+  [[nodiscard]] std::size_t size() const noexcept { return current_.size(); }
 
   /// Advances one period under `model`.
   ChurnStep step(const ChurnModel& model);
@@ -42,6 +42,7 @@ class PopulationTimeline {
  private:
   rfid::Tag fresh_tag();
 
+  // lint:allow(unseeded-rng) member; seeded in the ctor init-list
   util::Xoshiro256ss rng_;
   std::uint64_t next_id_salt_ = 0;
   rfid::TagPopulation current_;

@@ -19,8 +19,8 @@ class BitVector {
   explicit BitVector(std::size_t size)
       : size_(size), words_((size + 63) / 64, 0) {}
 
-  std::size_t size() const noexcept { return size_; }
-  bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
   /// Reads bit `i`. Precondition: i < size().
   bool get(std::size_t i) const noexcept {
@@ -64,7 +64,7 @@ class BitVector {
   std::size_t first_one() const noexcept;
 
   /// Raw word storage (little-endian bit order within each word).
-  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept { return words_; }
 
  private:
   std::size_t size_ = 0;

@@ -27,9 +27,9 @@ class Cli {
   double get_double(const std::string& key, double fallback) const;
 
   /// Common to every bench: emit CSV instead of the aligned table.
-  bool csv() const { return has("csv"); }
+  [[nodiscard]] bool csv() const { return has("csv"); }
   /// Common to every bench: master seed for the Monte-Carlo streams.
-  std::uint64_t seed() const { return get_u64("seed", 20150701); }
+  [[nodiscard]] std::uint64_t seed() const { return get_u64("seed", 20150701); }
 
  private:
   std::map<std::string, std::string> values_;

@@ -1,5 +1,8 @@
 #include "util/rng.hpp"
 
+#include <mutex>
+#include <random>
+
 namespace bfce::util {
 
 std::uint64_t Xoshiro256ss::below(std::uint64_t bound) noexcept {
@@ -26,6 +29,23 @@ std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index) noexcept {
   SplitMix64 sm(master ^ (0xA0761D6478BD642FULL * (index + 1)));
   sm();  // discard one output to decorrelate from the raw key
   return sm();
+}
+
+std::uint64_t draw_binomial(std::uint64_t trials, double p,
+                            Xoshiro256ss& rng) {
+  if (trials == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return trials;
+  // Both construction (param precompute) and the BTPE rejection draw in
+  // libstdc++ call glibc lgamma(), which writes the process-global
+  // `signgam` — a data race across worker threads. The lock covers the
+  // whole draw. Bit-identicality is unaffected: `rng` is consumed in
+  // the same order within its owning thread, and each estimation runs
+  // against its own stream. Cost: one locked draw per *frame* (not per
+  // slot), negligible next to the slot work it gates.
+  static std::mutex lgamma_mutex;
+  std::lock_guard lock(lgamma_mutex);
+  std::binomial_distribution<std::uint64_t> dist(trials, p);
+  return dist(rng);
 }
 
 }  // namespace bfce::util

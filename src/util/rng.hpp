@@ -102,6 +102,20 @@ class Xoshiro256ss {
 /// created without coupling them to execution order.
 std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index) noexcept;
 
+/// Binomial(trials, p) draw — the one sanctioned way to sample a binomial
+/// anywhere in src/.
+///
+/// Wraps std::binomial_distribution (so draws are bit-identical to the
+/// historical in-line uses) but serialises the draw behind a global mutex:
+/// glibc's lgamma(), which libstdc++ calls both while precomputing the
+/// distribution's parameters and inside the BTPE rejection step of large-np
+/// draws, writes the process-global `signgam`, so two worker threads
+/// drawing concurrently is a genuine data race (found by
+/// tests/race_stress_test.cpp under the tsan preset). The rng stream is
+/// consumed in exactly the same order as before, and sampled-mode frames
+/// make one draw per frame, so the lock is far off the per-slot hot path.
+std::uint64_t draw_binomial(std::uint64_t trials, double p, Xoshiro256ss& rng);
+
 /// Splitmix64-based sponge for deriving one seed from several typed
 /// components (sweep coordinates, protocol names, ...).
 ///
@@ -137,7 +151,7 @@ class SeedMixer {
   }
 
   /// The derived seed for everything absorbed so far.
-  constexpr std::uint64_t value() const noexcept { return next(state_); }
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return next(state_); }
 
  private:
   /// One splitmix64 step: advance by the golden-gamma increment and

@@ -25,7 +25,7 @@ class Table {
   static std::string num(std::uint64_t v);
   static std::string num(std::int64_t v);
 
-  std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
 
   /// Renders the aligned table with a separator under the header.
   void print(std::ostream& os) const;

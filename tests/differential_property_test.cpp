@@ -64,12 +64,17 @@ INSTANTIATE_TEST_SUITE_P(
                       ChurnParam{50000, 0.3, 0.0},
                       ChurnParam{200000, 0.15, 0.05}),
     [](const auto& param_info) {
-      return "n" + std::to_string(std::get<0>(param_info.param)) + "_dep" +
-             std::to_string(
-                 static_cast<int>(std::get<1>(param_info.param) * 100)) +
-             "_arr" +
-             std::to_string(
-                 static_cast<int>(std::get<2>(param_info.param) * 100));
+      // Built incrementally: operator+ chains trip GCC 12's -Wrestrict
+      // false positive under -Werror.
+      std::string name = "n";
+      name += std::to_string(std::get<0>(param_info.param));
+      name += "_dep";
+      name += std::to_string(
+          static_cast<int>(std::get<1>(param_info.param) * 100));
+      name += "_arr";
+      name += std::to_string(
+          static_cast<int>(std::get<2>(param_info.param) * 100));
+      return name;
     });
 
 }  // namespace

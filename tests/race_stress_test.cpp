@@ -1,0 +1,238 @@
+// Race-stress suite: hammers every concurrent seam of the service layer
+// from many threads at once. Run under the `tsan` preset (ThreadSanitizer
+// instruments every access, so a race that never corrupts memory — and
+// would sail through ASan — still fails loudly). The tests also run
+// plain as a ctest `stress`-labelled binary; assertions keep them
+// meaningful without instrumentation.
+//
+// Surfaces covered, mirroring the lock-discipline blocks in
+// service/service.hpp and core/planner.hpp:
+//   * submit / try_submit vs a full queue (backpressure cv)
+//   * cancel racing workers dequeuing the same ids
+//   * wall-clock expiry racing execution
+//   * metrics() / queue_depth() / poll() snapshots during the storm
+//   * concurrent shutdown() callers (double-join on the pool)
+//   * PersistencePlanner::choose / stats / clear from many threads
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "rfid/population.hpp"
+#include "service/service.hpp"
+#include "util/rng.hpp"
+
+namespace bfce::service {
+namespace {
+
+// Small enough that a single BFCE estimate is cheap, large enough that
+// workers genuinely overlap.
+const rfid::TagPopulation& stress_pop() {
+  static const auto pop =
+      rfid::make_population(5000, rfid::TagIdDistribution::kT1Uniform, 7);
+  return pop;
+}
+
+/// Cheap estimator so the stress loops turn over quickly; the returned
+/// estimate is a pure function of nothing, which is fine — these tests
+/// assert on liveness and race-freedom, not accuracy.
+class NoopEstimator final : public estimators::CardinalityEstimator {
+ public:
+  std::string name() const override { return "noop"; }
+  estimators::EstimateOutcome estimate(
+      rfid::ReaderContext&, const estimators::Requirement&) override {
+    estimators::EstimateOutcome out;
+    out.n_hat = 42.0;
+    out.met_by_design = true;
+    return out;
+  }
+};
+
+EstimatorFactory noop_factory() {
+  return [] { return std::make_unique<NoopEstimator>(); };
+}
+
+JobSpec noop_spec(std::uint64_t seed) {
+  JobSpec spec;
+  spec.population = &stress_pop();
+  spec.factory = noop_factory();
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(RaceStress, SubmitCancelExpireMetricsStorm) {
+  constexpr unsigned kSubmitters = 4;
+  constexpr unsigned kCancellers = 2;
+  constexpr unsigned kObservers = 2;
+  constexpr std::uint64_t kJobsPerSubmitter = 300;
+
+  core::PersistencePlanner planner;
+  ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = 32;  // small: keeps the backpressure cv hot
+  cfg.planner = &planner;
+  EstimationService svc(cfg);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> bounced{0};
+
+  // Recent ids ring shared with the cancellers; slots are atomics so a
+  // torn read is impossible and a stale id is merely a failed cancel.
+  constexpr std::size_t kRing = 64;
+  std::array<std::atomic<JobId>, kRing> recent{};
+
+  std::vector<std::thread> threads;
+  for (unsigned s = 0; s < kSubmitters; ++s) {
+    threads.emplace_back([&, s] {
+      util::Xoshiro256ss rng(1000 + s);
+      for (std::uint64_t i = 0; i < kJobsPerSubmitter; ++i) {
+        JobSpec spec = noop_spec(s * kJobsPerSubmitter + i);
+        const std::uint64_t roll = rng() % 8;
+        if (roll == 0) spec.deadline_s = 0.0;  // expires unless run instantly
+        if (roll == 1) {
+          // Non-blocking path: full queue bounces are expected and counted.
+          const auto id = svc.try_submit(spec);
+          if (id.has_value()) {
+            submitted.fetch_add(1);
+            recent[(s * kJobsPerSubmitter + i) % kRing].store(*id);
+          } else {
+            bounced.fetch_add(1);
+          }
+        } else {
+          const JobId id = svc.submit(spec);
+          ASSERT_NE(id, kInvalidJob);
+          submitted.fetch_add(1);
+          recent[(s * kJobsPerSubmitter + i) % kRing].store(id);
+        }
+      }
+    });
+  }
+  for (unsigned c = 0; c < kCancellers; ++c) {
+    threads.emplace_back([&, c] {
+      util::Xoshiro256ss rng(2000 + c);
+      while (!done.load()) {
+        const JobId id = recent[rng() % kRing].load();
+        if (id != kInvalidJob) svc.cancel(id);  // any outcome is legal
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (unsigned o = 0; o < kObservers; ++o) {
+    threads.emplace_back([&, o] {
+      util::Xoshiro256ss rng(3000 + o);
+      while (!done.load()) {
+        const ServiceMetrics m = svc.metrics();
+        // Terminal counts must never exceed admissions, even mid-storm.
+        EXPECT_LE(m.completed, m.admitted);
+        EXPECT_LE(m.queue_depth, m.queue_capacity);
+        (void)svc.queue_depth();
+        (void)svc.poll(recent[rng() % kRing].load());
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  for (unsigned s = 0; s < kSubmitters; ++s) threads[s].join();
+  svc.drain();
+  done.store(true);
+  for (unsigned t = kSubmitters; t < threads.size(); ++t) threads[t].join();
+
+  const ServiceMetrics m = svc.metrics();
+  EXPECT_EQ(m.admitted, submitted.load());
+  EXPECT_EQ(m.completed, m.admitted);  // drained: every job is terminal
+  EXPECT_EQ(m.rejected, bounced.load());
+  EXPECT_EQ(m.done + m.expired + m.cancelled + m.deadline_missed + m.failed,
+            m.completed);
+}
+
+TEST(RaceStress, RealEstimatorJobsShareThePlannerCache) {
+  core::PersistencePlanner planner;
+  ServiceConfig cfg;
+  cfg.workers = 8;
+  cfg.planner = &planner;
+  EstimationService svc(cfg);
+
+  // Identical (ε, δ) across jobs makes every worker collide on the same
+  // cache keys — the worst case for the shared_mutex path.
+  std::vector<JobId> ids;
+  for (std::uint64_t i = 0; i < 48; ++i) {
+    JobSpec spec;
+    spec.population = &stress_pop();
+    spec.estimator = "BFCE";
+    spec.req = {0.1, 0.1};
+    spec.seed = 500 + i;
+    ids.push_back(svc.submit(spec));
+  }
+  for (const JobId id : ids) {
+    EXPECT_EQ(svc.wait(id).status, JobStatus::kDone);
+  }
+  const core::PlannerCacheStats stats = planner.stats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+TEST(RaceStress, ConcurrentShutdownCallersAllObserveTheJoin) {
+  for (int round = 0; round < 8; ++round) {
+    EstimationService svc({.workers = 4});
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      (void)svc.submit(noop_spec(i));
+    }
+    std::vector<std::thread> closers;
+    for (int t = 0; t < 4; ++t) {
+      closers.emplace_back([&] { svc.shutdown(); });
+    }
+    for (std::thread& t : closers) t.join();
+    // Post-shutdown the service must refuse admissions, not crash.
+    EXPECT_EQ(svc.submit(noop_spec(99)), kInvalidJob);
+  }
+}
+
+TEST(RaceStress, PlannerChooseStatsClearStorm) {
+  constexpr unsigned kChoosers = 8;
+  constexpr std::uint64_t kIters = 2000;
+
+  core::PersistencePlanner planner;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kChoosers; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256ss rng(4000 + t);
+      for (std::uint64_t i = 0; i < kIters; ++i) {
+        // 16 distinct n_low values: heavy key collision, so hot shared-
+        // lock hits race cold exclusive-lock inserts constantly.
+        const double n_low = 1000.0 + static_cast<double>(rng() % 16) * 250.0;
+        const auto choice = planner.choose(n_low, 1024, 3, 0.05, 0.05);
+        ASSERT_GE(choice.p_n, 1u);
+        ASSERT_LE(choice.p_n, 1023u);
+        // Purity: a second lookup of the same key must be bit-identical
+        // no matter which thread computed it or whether clear() ran.
+        const auto again = planner.choose(n_low, 1024, 3, 0.05, 0.05);
+        ASSERT_EQ(choice.p_n, again.p_n);
+        ASSERT_EQ(choice.p, again.p);
+        ASSERT_EQ(choice.margin, again.margin);
+      }
+    });
+  }
+  std::thread churner([&] {
+    util::Xoshiro256ss rng(5000);
+    while (!done.load()) {
+      const core::PlannerCacheStats s = planner.stats();
+      EXPECT_LE(s.entries, planner.options().max_entries);
+      if (rng() % 4 == 0) planner.clear();
+      std::this_thread::yield();
+    }
+  });
+
+  for (unsigned t = 0; t < kChoosers; ++t) threads[t].join();
+  done.store(true);
+  churner.join();
+}
+
+}  // namespace
+}  // namespace bfce::service

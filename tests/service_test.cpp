@@ -9,6 +9,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -135,6 +136,36 @@ TEST(EstimationService, ResultsBitIdenticalAcrossWorkerCounts) {
   const auto parallel_results = run_all(parallel, specs);
 
   expect_same_results(serial_results, parallel_results);
+}
+
+// The determinism regression the tooling PR locks in: the full worker-
+// count × planner-cache matrix must reproduce one reference run bit for
+// bit. This is the invariant the tsan preset and tools/lint_determinism.py
+// exist to protect — if it ever breaks, suspect a nondeterminism source
+// (wall clock, unseeded RNG, shared mutable state) smuggled into an
+// estimator path.
+TEST(EstimationService, DeterministicAcrossWorkerCountAndCacheMatrix) {
+  const auto specs = mixed_jobs();
+
+  ServiceConfig ref_cfg;
+  ref_cfg.workers = 1;
+  EstimationService reference(ref_cfg);
+  const auto ref_results = run_all(reference, specs);
+
+  for (const unsigned workers : {1u, 4u, 8u}) {
+    for (const bool cached : {false, true}) {
+      core::PersistencePlanner planner(
+          core::PersistencePlanner::Options{.cache = cached});
+      ServiceConfig cfg;
+      cfg.workers = workers;
+      cfg.planner = &planner;
+      EstimationService svc(cfg);
+      const auto results = run_all(svc, specs);
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " cache=" + (cached ? std::string("on") : "off"));
+      expect_same_results(ref_results, results);
+    }
+  }
 }
 
 TEST(EstimationService, PlannerCacheOnVsOffIsEquivalent) {

@@ -1,19 +1,52 @@
 #!/usr/bin/env bash
-# CI entry point: build and test both CMake presets.
+# CI entry point: lints first, then the preset build/test matrix.
 #
-#   tools/ci.sh            # release + asan
-#   tools/ci.sh asan       # just one preset
+#   tools/ci.sh                 # lints + release + asan + tsan
+#   tools/ci.sh --quick         # lints + release-preset unit tests only
+#   tools/ci.sh asan tsan       # lints + just the named presets
+#   tools/ci.sh --no-lint tsan  # skip the lint stage (debugging builds)
 #
-# The asan preset runs the whole test suite (including the
-# service/worker-pool tests) under AddressSanitizer + UBSan with no
-# recovery, so data races that corrupt memory and UB in the hot paths
-# fail the build loudly.
+# Stages:
+#   1. tools/lint_determinism.py — bans nondeterminism sources and raw
+#      threading outside the sanctioned layers (file:line diagnostics).
+#   2. tools/tidy.sh — clang-tidy over src/ with the curated .clang-tidy
+#      (loud skip when clang-tidy is not installed).
+#   3. Preset matrix. Every preset builds with -Wall -Wextra -Werror.
+#        release — optimised; runs the `unit`-labelled tests.
+#        asan    — ASan+UBSan, no recovery; runs the `unit` tests.
+#        tsan    — ThreadSanitizer; runs the `stress`-labelled race
+#                  suite plus the concurrency-labelled unit tests.
+#      (`slow` sweeps run in the tier-1 plain `ctest` and nightlies:
+#      `ctest --test-dir build-release -L slow`.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-presets=("$@")
+quick=0
+lint=1
+presets=()
+for arg in "$@"; do
+  case "${arg}" in
+    --quick) quick=1 ;;
+    --no-lint) lint=0 ;;
+    --help|-h)
+      sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0 ;;
+    *) presets+=("${arg}") ;;
+  esac
+done
 if [ ${#presets[@]} -eq 0 ]; then
-  presets=(release asan)
+  if [ "${quick}" -eq 1 ]; then
+    presets=(release)
+  else
+    presets=(release asan tsan)
+  fi
+fi
+
+if [ "${lint}" -eq 1 ]; then
+  echo "==== lint: determinism ====================================="
+  python3 tools/lint_determinism.py
+  echo "==== lint: clang-tidy ======================================"
+  tools/tidy.sh
 fi
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
@@ -24,4 +57,4 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "${preset}" -j "${jobs}"
   ctest --preset "${preset}"
 done
-echo "==== all presets green ====================================="
+echo "==== all stages green ======================================"
