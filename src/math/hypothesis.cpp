@@ -155,6 +155,50 @@ ProportionInterval wilson_interval(std::size_t successes,
   return ci;
 }
 
+namespace {
+
+/// Solves f(p) = target for monotone f on the open interval (0, 1).
+/// `increasing` states f's direction; 100 halvings bound the error by
+/// 2^-100, far below the double-precision noise floor of the tail sums.
+template <typename F>
+double bisect_unit(F f, double target, bool increasing) {
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int it = 0; it < 100; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const bool go_right = increasing ? f(mid) < target : f(mid) > target;
+    (go_right ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+ProportionInterval clopper_pearson_interval(std::size_t successes,
+                                            std::size_t trials,
+                                            double confidence) {
+  ProportionInterval ci;
+  if (trials == 0) return ci;
+  const double alpha = 1.0 - confidence;
+  // Lower endpoint: the p with Pr{X ≥ k | p} = α/2 (degenerate at k=0).
+  // Pr{X ≥ k | p} increases in p, so bisection aims right when below.
+  if (successes > 0) {
+    ci.lo = bisect_unit(
+        [&](double p) { return binomial_upper_tail(trials, successes, p); },
+        alpha / 2.0, /*increasing=*/true);
+  }
+  // Upper endpoint: the p with Pr{X ≤ k | p} = α/2, i.e.
+  // Pr{X ≥ k+1 | p} = 1 − α/2 (degenerate at k=m).
+  if (successes < trials) {
+    ci.hi = bisect_unit(
+        [&](double p) {
+          return binomial_upper_tail(trials, successes + 1, p);
+        },
+        1.0 - alpha / 2.0, /*increasing=*/true);
+  }
+  return ci;
+}
+
 std::size_t src_round_count(double delta, double per_round_success) {
   // Odd m only: the median of an odd number of rounds is well defined, and
   // the paper's formula sums from (m+1)/2 which presumes odd m.

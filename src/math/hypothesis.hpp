@@ -51,4 +51,16 @@ ProportionInterval wilson_interval(std::size_t successes,
                                    std::size_t trials,
                                    double confidence = 0.95);
 
+/// Clopper–Pearson exact binomial interval.
+///
+/// The conformance tier needs a bound with *guaranteed* (not asymptotic)
+/// coverage: "k misses in m trials is consistent with true rate δ" must
+/// hold with at least the stated confidence even at m = 200 and δ near
+/// the boundary, where Wilson's normal approximation under-covers. The
+/// endpoints invert binomial_upper_tail by bisection, so they are exact
+/// to ~1e-12 at any (k, m).
+ProportionInterval clopper_pearson_interval(std::size_t successes,
+                                            std::size_t trials,
+                                            double confidence = 0.95);
+
 }  // namespace bfce::math

@@ -13,11 +13,13 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "estimators/estimator.hpp"
 #include "rfid/frame_engine.hpp"
 #include "rfid/population.hpp"
+#include "tracking/session.hpp"
 
 namespace bfce::service {
 
@@ -31,6 +33,20 @@ inline constexpr JobId kInvalidJob = 0;
 /// safe). Must be callable concurrently.
 using EstimatorFactory =
     std::function<std::unique_ptr<estimators::CardinalityEstimator>()>;
+
+/// Continuous-tracking request payload. When JobSpec::tracking is set
+/// the job runs a tracking::TrackingSession instead of a single
+/// estimate: the session owns its own churning ground-truth population
+/// (seeded from the job seed), runs one BFCE round per churn period and
+/// fuses the rounds with the Kalman tracker. The service keeps one
+/// tracker state per `reader_id` in its metrics.
+struct TrackingJobSpec {
+  /// Logical reader this trajectory belongs to; jobs sharing a
+  /// reader_id update the same ServiceMetrics tracker row.
+  std::uint64_t reader_id = 0;
+  std::size_t initial_population = 10000;
+  tracking::ChurnSchedule schedule;
+};
 
 /// One estimation request.
 struct JobSpec {
@@ -63,6 +79,13 @@ struct JobSpec {
   /// design point (met_by_design == false) or blows airtime_budget_s;
   /// each retry runs the next derived RNG stream.
   std::uint32_t max_attempts = 1;
+
+  /// When set, this is a tracking job: `population` and `factory` are
+  /// ignored (the session builds its own timeline), `estimator` is only
+  /// a label, and the outcome carries the final fused state. Attempt a
+  /// seeds its session with derive_seed(seed, a), so trajectories keep
+  /// the bit-identical-across-worker-counts contract.
+  std::optional<TrackingJobSpec> tracking;
 };
 
 enum class JobStatus : std::uint8_t {
@@ -100,6 +123,9 @@ struct JobResult {
 
   /// FrameEngine counters summed over every attempt of this job.
   rfid::EngineCounters counters;
+
+  /// Tracking jobs only: the final attempt's full trajectory + summary.
+  std::optional<tracking::TrackResult> tracking;
 };
 
 }  // namespace bfce::service

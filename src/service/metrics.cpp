@@ -77,6 +77,28 @@ std::string render_service_metrics(const ServiceMetrics& m) {
     out += "planner cache: not attached\n";
   }
 
+  if (m.tracking.jobs > 0) {
+    std::snprintf(line, sizeof(line),
+                  "tracking: %llu jobs, %llu rounds, raw rmse %.2f, "
+                  "tracked rmse %.2f, innovation rms %.2f, residual rms "
+                  "%.2f\n",
+                  static_cast<unsigned long long>(m.tracking.jobs),
+                  static_cast<unsigned long long>(m.tracking.rounds),
+                  m.tracking.raw_rmse_mean, m.tracking.tracked_rmse_mean,
+                  m.tracking.innovation_rms, m.tracking.residual_rms);
+    out += line;
+    for (const ReaderTrackerState& r : m.readers) {
+      std::snprintf(line, sizeof(line),
+                    "  reader %llu: %llu jobs, %llu rounds, state %.1f "
+                    "(var %.1f), innovation rms %.2f, residual rms %.2f\n",
+                    static_cast<unsigned long long>(r.reader_id),
+                    static_cast<unsigned long long>(r.jobs),
+                    static_cast<unsigned long long>(r.rounds), r.state,
+                    r.variance, r.innovation_rms, r.residual_rms);
+      out += line;
+    }
+  }
+
   out += core::render_engine_counters(m.engine);
   return out;
 }
@@ -118,6 +140,31 @@ std::string service_metrics_json(const ServiceMetrics& m) {
                 static_cast<unsigned long long>(m.planner.misses),
                 m.planner.hit_rate(), m.planner.entries);
   out += buf;
+
+  std::snprintf(buf, sizeof(buf),
+                "  \"tracking\": {\"jobs\": %llu, \"rounds\": %llu, "
+                "\"raw_rmse_mean\": %.6f, \"tracked_rmse_mean\": %.6f, "
+                "\"innovation_rms\": %.6f, \"residual_rms\": %.6f, "
+                "\"readers\": [",
+                static_cast<unsigned long long>(m.tracking.jobs),
+                static_cast<unsigned long long>(m.tracking.rounds),
+                m.tracking.raw_rmse_mean, m.tracking.tracked_rmse_mean,
+                m.tracking.innovation_rms, m.tracking.residual_rms);
+  out += buf;
+  for (std::size_t i = 0; i < m.readers.size(); ++i) {
+    const ReaderTrackerState& r = m.readers[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"reader_id\": %llu, \"jobs\": %llu, "
+                  "\"rounds\": %llu, \"state\": %.6f, \"variance\": %.6f, "
+                  "\"innovation_rms\": %.6f, \"residual_rms\": %.6f}",
+                  i == 0 ? "" : ", ",
+                  static_cast<unsigned long long>(r.reader_id),
+                  static_cast<unsigned long long>(r.jobs),
+                  static_cast<unsigned long long>(r.rounds), r.state,
+                  r.variance, r.innovation_rms, r.residual_rms);
+    out += buf;
+  }
+  out += "]},\n";
 
   const rfid::ShapeCounters total = m.engine.total();
   std::snprintf(buf, sizeof(buf),

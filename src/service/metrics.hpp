@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/planner.hpp"
 #include "rfid/frame_engine.hpp"
@@ -26,6 +27,31 @@ struct LatencyProfile {
   double p95_s = 0.0;
   double p99_s = 0.0;
   double max_s = 0.0;
+};
+
+/// One logical reader's tracker, as last updated by a *completed*
+/// tracking job carrying that reader_id. This is monitoring state: when
+/// several jobs share a reader_id, "last" means completion order, which
+/// depends on scheduling — the deterministic artefacts are the
+/// JobResults themselves (pure functions of their specs), not this row.
+struct ReaderTrackerState {
+  std::uint64_t reader_id = 0;
+  std::uint64_t jobs = 0;       ///< completed tracking jobs for this reader
+  std::uint64_t rounds = 0;     ///< fused rounds across those jobs
+  double state = 0.0;           ///< final fused population estimate
+  double variance = 0.0;        ///< its posterior variance P
+  double innovation_rms = 0.0;  ///< last trajectory's innovation RMS
+  double residual_rms = 0.0;    ///< last trajectory's residual RMS
+};
+
+/// Fleet-level aggregates over every completed tracking job.
+struct TrackingStats {
+  std::uint64_t jobs = 0;    ///< completed tracking jobs
+  std::uint64_t rounds = 0;  ///< fused rounds across them
+  double raw_rmse_mean = 0.0;      ///< mean per-job raw-estimate RMSE
+  double tracked_rmse_mean = 0.0;  ///< mean per-job fused RMSE
+  double innovation_rms = 0.0;     ///< RMS innovation pooled over all rounds
+  double residual_rms = 0.0;       ///< RMS residual pooled over all rounds
 };
 
 struct ServiceMetrics {
@@ -58,6 +84,11 @@ struct ServiceMetrics {
 
   /// FrameEngine counters aggregated over every completed job.
   rfid::EngineCounters engine;
+
+  /// Tracking-job aggregates plus one row per logical reader, sorted by
+  /// reader_id. Both all-zero/empty when no tracking job has completed.
+  TrackingStats tracking;
+  std::vector<ReaderTrackerState> readers;
 
   double throughput_jobs_per_s() const noexcept {
     return elapsed_s > 0.0

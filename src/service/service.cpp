@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <utility>
 
 #include "core/bfce.hpp"
 #include "estimators/registry.hpp"
+#include "math/erf.hpp"
 #include "math/stats.hpp"
 #include "rfid/reader.hpp"
+#include "tracking/session.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -216,7 +219,26 @@ ServiceMetrics EstimationService::metrics() const {
     m.engine = engine_;
     latency = latency_s_;
     waits = queue_wait_s_;
+
+    m.tracking.jobs = tracking_jobs_;
+    m.tracking.rounds = tracking_rounds_;
+    if (tracking_jobs_ > 0) {
+      const double jobs = static_cast<double>(tracking_jobs_);
+      m.tracking.raw_rmse_mean = tracking_raw_rmse_sum_ / jobs;
+      m.tracking.tracked_rmse_mean = tracking_tracked_rmse_sum_ / jobs;
+    }
+    if (tracking_rounds_ > 0) {
+      const double rounds = static_cast<double>(tracking_rounds_);
+      m.tracking.innovation_rms = std::sqrt(tracking_innovation_sq_ / rounds);
+      m.tracking.residual_rms = std::sqrt(tracking_residual_sq_ / rounds);
+    }
+    m.readers.reserve(trackers_.size());
+    for (const auto& [id, reader] : trackers_) m.readers.push_back(reader);
   }
+  std::sort(m.readers.begin(), m.readers.end(),
+            [](const ReaderTrackerState& a, const ReaderTrackerState& b) {
+              return a.reader_id < b.reader_id;
+            });
   m.latency = profile_of(std::move(latency));
   m.queue_wait = profile_of(std::move(waits));
   if (config_.planner != nullptr) {
@@ -264,6 +286,7 @@ void EstimationService::worker_loop() {
     lock.lock();
     state.result.status = executed.status;
     state.result.outcome = std::move(executed.outcome);
+    state.result.tracking = std::move(executed.tracking);
     state.result.airtime_s = executed.airtime_s;
     state.result.attempts = executed.attempts;
     state.result.counters = executed.counters;
@@ -278,6 +301,7 @@ void EstimationService::worker_loop() {
 
 JobResult EstimationService::execute_job(const JobSpec& spec,
                                          std::uint64_t& retries) const {
+  if (spec.tracking.has_value()) return execute_tracking(spec, retries);
   JobResult r;
   if (spec.population == nullptr) {
     r.status = JobStatus::kFailed;
@@ -317,6 +341,65 @@ JobResult EstimationService::execute_job(const JobSpec& spec,
   return r;
 }
 
+JobResult EstimationService::execute_tracking(const JobSpec& spec,
+                                              std::uint64_t& retries) const {
+  JobResult r;
+  const TrackingJobSpec& track = *spec.tracking;
+  const std::uint32_t budget = std::max<std::uint32_t>(1, spec.max_attempts);
+  for (std::uint32_t attempt = 0; attempt < budget; ++attempt) {
+    tracking::SessionConfig cfg;
+    cfg.initial_population = track.initial_population;
+    cfg.params.planner = config_.planner;
+    cfg.req = spec.req;
+    cfg.mode = config_.mode;
+    cfg.channel = config_.channel;
+    cfg.timing = config_.timing;
+    // Same stream contract as single-estimate jobs: attempt a derives
+    // its whole session (timeline + every round) from (spec.seed, a).
+    cfg.seed = util::derive_seed(spec.seed, attempt);
+
+    tracking::TrackingSession session(cfg);
+    session.run(track.schedule);
+
+    tracking::TrackResult tracked;
+    tracked.reader_id = track.reader_id;
+    tracked.trajectory = session.trajectory();
+    tracked.summary = session.summary();
+
+    r.counters += session.counters();
+    r.attempts = attempt + 1;
+    r.airtime_s = tracked.summary.airtime_s;
+
+    // The job-level outcome is the tracker's final fused state, with a
+    // (1−δ) CI from the posterior variance (Gaussian posterior, so the
+    // same d = confidence_d(δ) the protocol uses internally).
+    r.outcome = estimators::EstimateOutcome{};
+    r.outcome.n_hat = session.tracker().state();
+    const double half =
+        math::confidence_d(spec.req.delta) * std::sqrt(session.tracker().variance());
+    r.outcome.ci_low = std::max(0.0, r.outcome.n_hat - half);
+    r.outcome.ci_high = r.outcome.n_hat + half;
+    r.outcome.rounds = static_cast<std::uint32_t>(tracked.summary.rounds);
+    r.outcome.met_by_design = tracked.summary.design_misses == 0;
+    if (!r.outcome.met_by_design) {
+      r.outcome.note = "tracking: rounds fell back from the design point";
+    }
+    r.tracking = std::move(tracked);
+
+    const bool over_budget = r.airtime_s > spec.airtime_budget_s;
+    if (r.outcome.met_by_design && !over_budget) {
+      r.status = JobStatus::kDone;
+      return r;
+    }
+    if (attempt + 1 < budget) {
+      ++retries;
+    } else {
+      r.status = over_budget ? JobStatus::kDeadlineMissed : JobStatus::kDone;
+    }
+  }
+  return r;
+}
+
 void EstimationService::account_terminal(const JobResult& result) {
   assert(is_terminal(result.status));
   ++completed_;
@@ -332,6 +415,30 @@ void EstimationService::account_terminal(const JobResult& result) {
   latency_s_.push_back(result.latency_s);
   if (result.attempts > 0) queue_wait_s_.push_back(result.queue_wait_s);
   engine_ += result.counters;
+
+  if (result.tracking.has_value()) {
+    const tracking::TrackResult& t = *result.tracking;
+    const double rounds = static_cast<double>(t.summary.rounds);
+    ++tracking_jobs_;
+    tracking_rounds_ += t.summary.rounds;
+    tracking_innovation_sq_ +=
+        t.summary.innovation_rms * t.summary.innovation_rms * rounds;
+    tracking_residual_sq_ +=
+        t.summary.residual_rms * t.summary.residual_rms * rounds;
+    tracking_raw_rmse_sum_ += t.summary.raw_rmse;
+    tracking_tracked_rmse_sum_ += t.summary.tracked_rmse;
+
+    ReaderTrackerState& reader = trackers_[t.reader_id];
+    reader.reader_id = t.reader_id;
+    ++reader.jobs;
+    reader.rounds += t.summary.rounds;
+    if (!t.trajectory.empty()) {
+      reader.state = t.trajectory.back().tracked_n;
+      reader.variance = t.trajectory.back().variance;
+    }
+    reader.innovation_rms = t.summary.innovation_rms;
+    reader.residual_rms = t.summary.residual_rms;
+  }
 }
 
 }  // namespace bfce::service

@@ -29,6 +29,10 @@
 //  * accounting — metrics() snapshots admission/outcome counts, exact
 //    latency percentiles, planner-cache hit rate and the aggregated
 //    FrameEngine counters (service/metrics.hpp renders text and JSON).
+//  * tracking — a JobSpec with `tracking` set runs a continuous
+//    tracking::TrackingSession instead of a single estimate; the
+//    service keeps one Kalman-tracker row per logical reader_id and
+//    surfaces innovation/residual statistics through metrics().
 
 #include <chrono>
 #include <condition_variable>
@@ -138,6 +142,10 @@ class EstimationService {
   /// Executes every attempt of `spec` (no lock held). `retries` returns
   /// the attempts beyond the first.
   JobResult execute_job(const JobSpec& spec, std::uint64_t& retries) const;
+  /// Tracking flavour of execute_job: runs a TrackingSession per
+  /// attempt instead of a single estimate (no lock held).
+  JobResult execute_tracking(const JobSpec& spec,
+                             std::uint64_t& retries) const;
   /// Folds a terminal result into the aggregate counters (lock held).
   void account_terminal(const JobResult& result);
 
@@ -169,6 +177,17 @@ class EstimationService {
   std::vector<double> queue_wait_s_;
   rfid::EngineCounters engine_;
   Clock::time_point started_;
+
+  // Tracking-job aggregates (guarded by mutex_). The pooled RMS fields
+  // keep sums of squares so metrics() can report fleet-level RMS over
+  // every fused round, not a mean of per-job RMS values.
+  std::uint64_t tracking_jobs_ = 0;
+  std::uint64_t tracking_rounds_ = 0;
+  double tracking_innovation_sq_ = 0.0;
+  double tracking_residual_sq_ = 0.0;
+  double tracking_raw_rmse_sum_ = 0.0;
+  double tracking_tracked_rmse_sum_ = 0.0;
+  std::unordered_map<std::uint64_t, ReaderTrackerState> trackers_;
 
   std::vector<std::thread> pool_;
 };

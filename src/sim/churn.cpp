@@ -40,10 +40,21 @@ ChurnStep PopulationTimeline::step(const ChurnModel& model) {
       next.push_back(tag);
     }
   }
-  // Poisson arrivals via inversion (λ is small per period).
+  // Poisson arrivals via Knuth's product method. The method compares a
+  // product of uniforms against exp(-λ), which underflows to zero for
+  // λ ≳ 708 and silently capped large batches at ~700 tags (found by
+  // the tracking bench: burst scenarios fed the tracker a nominal
+  // arrival mean the timeline never delivered). Split λ into chunks the
+  // method can represent — Poisson(λ₁)+Poisson(λ₂) = Poisson(λ₁+λ₂),
+  // and a single chunk reproduces the historical draw sequence exactly
+  // for λ ≤ 64.
   std::size_t arrivals = 0;
-  if (model.arrival_mean > 0.0) {
-    const double l = std::exp(-model.arrival_mean);
+  double remaining = model.arrival_mean;
+  constexpr double kMaxChunk = 64.0;
+  while (remaining > 0.0) {
+    const double lambda = std::min(remaining, kMaxChunk);
+    remaining -= lambda;
+    const double l = std::exp(-lambda);
     double product = rng_.uniform();
     while (product > l) {
       ++arrivals;

@@ -1,0 +1,159 @@
+#include "tracking/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rfid/reader.hpp"
+#include "util/rng.hpp"
+
+namespace bfce::tracking {
+
+namespace {
+
+/// Stream index of the timeline RNG; rounds use streams 0, 1, 2, …
+/// (well below this), so the ground-truth churn and the per-round
+/// protocol randomness never alias.
+constexpr std::uint64_t kTimelineStream = 0x7F2A9D3B5C17E4F0ULL;
+
+}  // namespace
+
+ChurnSchedule steady_scenario(std::size_t rounds, double departure_prob,
+                              double n0) {
+  // Stationary point of n ← (1−q)n + a is a/q = n0.
+  return {{rounds, sim::ChurnModel{departure_prob, departure_prob * n0}}};
+}
+
+ChurnSchedule ramp_scenario(std::size_t rounds, double departure_prob,
+                            double n0, double factor) {
+  // Constant arrivals aimed at factor·n0: the population climbs along
+  // the exponential approach to the new stationary point — a ramp over
+  // a run short relative to 1/q.
+  return {{rounds,
+           sim::ChurnModel{departure_prob, departure_prob * factor * n0}}};
+}
+
+ChurnSchedule step_scenario(std::size_t rounds, double departure_prob,
+                            double n0, double factor) {
+  // One third steady, a 3-round arrival burst that lifts the
+  // population by ~(factor−1)·n0, then steady at the new level.
+  const std::size_t before = rounds / 3;
+  const std::size_t burst = std::min<std::size_t>(3, rounds - before);
+  const std::size_t after = rounds - before - burst;
+  const double n1 = factor * n0;
+  ChurnSchedule schedule;
+  schedule.push_back({before, sim::ChurnModel{departure_prob,
+                                              departure_prob * n0}});
+  if (burst > 0) {
+    // Per burst round: departures remove q·n, arrivals add the steady
+    // share plus an equal slice of the jump.
+    const double jump = (n1 - n0) / static_cast<double>(burst);
+    schedule.push_back(
+        {burst, sim::ChurnModel{departure_prob,
+                                departure_prob * n0 + jump}});
+  }
+  if (after > 0) {
+    schedule.push_back({after, sim::ChurnModel{departure_prob,
+                                               departure_prob * n1}});
+  }
+  return schedule;
+}
+
+TrackingSession::TrackingSession(SessionConfig config)
+    : config_(config),
+      timeline_(config.initial_population,
+                util::derive_seed(config.seed, kTimelineStream)) {}
+
+TrackPoint TrackingSession::step(const sim::ChurnModel& model) {
+  TrackPoint point;
+  point.round = round_;
+  const sim::ChurnStep churn = timeline_.step(model);
+  point.true_n = churn.population;
+
+  // One full BFCE round against the churned population. Round r draws
+  // from stream derive_seed(seed, r): reordering or re-running rounds
+  // can never change another round's estimate.
+  rfid::ReaderContext ctx(timeline_.current(),
+                          util::derive_seed(config_.seed, round_),
+                          config_.mode, config_.channel, config_.timing);
+  core::BfceEstimator estimator(config_.params);
+  core::BfceTrace trace;
+  const estimators::EstimateOutcome outcome =
+      estimator.estimate_traced(ctx, config_.req, trace);
+  counters_ += ctx.engine().counters();
+
+  point.raw_n_hat = outcome.n_hat;
+  point.p_o = trace.p_choice.p;
+  point.met_by_design = outcome.met_by_design;
+  point.airtime_s = outcome.airtime.total_seconds(config_.timing);
+
+  const ProcessModel process{model.departure_prob, model.arrival_mean};
+  if (!tracker_.initialized()) {
+    const double r0 = measurement_variance(outcome.n_hat, config_.params.w,
+                                           config_.params.k, point.p_o);
+    tracker_.initialize(outcome.n_hat, r0);
+    point.predicted_n = outcome.n_hat;
+    point.tracked_n = tracker_.state();
+    point.variance = tracker_.variance();
+    point.measurement_sd = std::sqrt(r0);
+  } else {
+    tracker_.predict(process);
+    // R is evaluated at the prior mean (the EKF linearisation point),
+    // not at the noisy observation.
+    const double r = measurement_variance(tracker_.state(), config_.params.w,
+                                          config_.params.k, point.p_o);
+    const FuseStep fused = tracker_.update(outcome.n_hat, r);
+    point.predicted_n = fused.predicted;
+    point.innovation = fused.innovation;
+    point.residual = fused.residual;
+    point.gain = fused.gain;
+    point.tracked_n = fused.fused;
+    point.variance = fused.variance;
+    point.measurement_sd = std::sqrt(r);
+  }
+
+  trajectory_.push_back(point);
+  ++round_;
+  return point;
+}
+
+void TrackingSession::run(const ChurnSchedule& schedule) {
+  for (const ChurnPhase& phase : schedule) {
+    for (std::size_t r = 0; r < phase.rounds; ++r) step(phase.model);
+  }
+}
+
+TrackSummary TrackingSession::summary() const {
+  return summarize_trajectory(trajectory_);
+}
+
+TrackSummary summarize_trajectory(const std::vector<TrackPoint>& trajectory) {
+  TrackSummary s;
+  s.rounds = trajectory.size();
+  if (trajectory.empty()) return s;
+  double raw_sq = 0.0, tracked_sq = 0.0;
+  double raw_rel_sq = 0.0, tracked_rel_sq = 0.0;
+  double innovation_sq = 0.0, residual_sq = 0.0;
+  for (const TrackPoint& p : trajectory) {
+    const double n = std::max(1.0, static_cast<double>(p.true_n));
+    const double raw_err = p.raw_n_hat - static_cast<double>(p.true_n);
+    const double tracked_err = p.tracked_n - static_cast<double>(p.true_n);
+    raw_sq += raw_err * raw_err;
+    tracked_sq += tracked_err * tracked_err;
+    raw_rel_sq += (raw_err / n) * (raw_err / n);
+    tracked_rel_sq += (tracked_err / n) * (tracked_err / n);
+    innovation_sq += p.innovation * p.innovation;
+    residual_sq += p.residual * p.residual;
+    s.airtime_s += p.airtime_s;
+    if (!p.met_by_design) ++s.design_misses;
+  }
+  const double m = static_cast<double>(trajectory.size());
+  s.raw_rmse = std::sqrt(raw_sq / m);
+  s.tracked_rmse = std::sqrt(tracked_sq / m);
+  s.raw_rel_rmse = std::sqrt(raw_rel_sq / m);
+  s.tracked_rel_rmse = std::sqrt(tracked_rel_sq / m);
+  s.innovation_rms = std::sqrt(innovation_sq / m);
+  s.residual_rms = std::sqrt(residual_sq / m);
+  return s;
+}
+
+}  // namespace bfce::tracking

@@ -1,0 +1,77 @@
+#include "tracking/tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/analysis.hpp"
+
+namespace bfce::tracking {
+
+namespace {
+
+/// Process noise of one churn round around state `x`: departed tags are
+/// Binomial(x, q) (variance x·q·(1−q)), arrivals Poisson(a) (variance
+/// a); the two are independent.
+double process_variance(double x, const ProcessModel& model) noexcept {
+  const double q = std::clamp(model.departure_prob, 0.0, 1.0);
+  const double a = std::max(0.0, model.arrival_mean);
+  return std::max(0.0, x) * q * (1.0 - q) + a;
+}
+
+}  // namespace
+
+void PopulationTracker::initialize(double estimate, double variance) noexcept {
+  x_ = std::max(0.0, estimate);
+  p_ = std::max(variance, 1e-12);
+  initialized_ = true;
+  rounds_ = 0;
+}
+
+void PopulationTracker::predict(const ProcessModel& model) noexcept {
+  if (!initialized_) return;
+  const double q = std::clamp(model.departure_prob, 0.0, 1.0);
+  const double a = std::max(0.0, model.arrival_mean);
+  const double f = 1.0 - q;  // state-transition slope
+  x_ = f * x_ + a;
+  p_ = f * f * p_ + process_variance(x_, model);
+}
+
+FuseStep PopulationTracker::update(double observation,
+                                   double observation_variance) noexcept {
+  FuseStep step;
+  if (!initialized_) {
+    initialize(observation, observation_variance);
+    step.predicted = step.fused = x_;
+    step.variance = p_;
+    return step;
+  }
+  const double r = std::max(observation_variance, 1e-12);
+  step.predicted = x_;
+  step.innovation = observation - x_;
+  const double s = p_ + r;  // innovation variance
+  const double k = p_ / s;
+  x_ += k * step.innovation;
+  p_ *= (1.0 - k);
+  x_ = std::max(0.0, x_);
+  step.residual = observation - x_;
+  step.gain = k;
+  step.fused = x_;
+  step.variance = p_;
+  ++rounds_;
+  return step;
+}
+
+double measurement_variance(double n, std::uint32_t w, std::uint32_t k,
+                            double p_o) {
+  const double n_eff = std::max(1.0, n);
+  // p_o always lies on the {1/1024, …, 1023/1024} grid when it came from
+  // the Theorem-4 search; clamp anyway so a degenerate round inflates R
+  // instead of poisoning the filter.
+  const double p_eff = std::clamp(p_o, 1.0 / 1024.0, 1.0);
+  const double rel = core::predicted_relative_sd(n_eff, w, k, p_eff);
+  const double sd = rel * n_eff;
+  if (!std::isfinite(sd) || sd <= 0.0) return 1e18;  // ignore the round
+  return std::max(sd * sd, 1e-12);
+}
+
+}  // namespace bfce::tracking

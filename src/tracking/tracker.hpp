@@ -1,0 +1,90 @@
+#pragma once
+// Scalar Kalman/EKF fusion of per-round cardinality estimates into a
+// tracked population trajectory.
+//
+// The paper validates BFCE on static populations; real deployments see
+// tags arrive and depart between rounds ("From Static to Dynamic Tag
+// Population Estimation: An EKF Perspective", Yu & Chen). This tracker
+// treats each BFCE round as one noisy observation of a population that
+// evolves under the churn birth/death process:
+//
+//   process      n_{t+1} = Binomial(n_t, 1−q) + Poisson(a)
+//   prediction   x⁻ = (1−q)·x + a,  P⁻ = (1−q)²·P + Q(x⁻)
+//   proc. noise  Q(x) = x·q·(1−q) + a   (binomial + Poisson variance)
+//   observation  z = n̂_BFCE,  R from Theorem 3's σ(X) — see
+//                measurement_variance() below, NOT hand-tuned.
+//   update       K = P⁻/(P⁻+R),  x = x⁻ + K·(z−x⁻),  P = (1−K)·P⁻
+//
+// "Extended" in the EKF sense: both Q and R are re-linearised around
+// the predicted state every round (Q is state-dependent, R comes from
+// the delta-method CLT at x⁻ with the round's chosen p_o).
+//
+// Pure arithmetic — no RNG, no clocks — so a trajectory is a bit-exact
+// function of the observation sequence, which is what lets the service
+// keep its results-bit-identical-across-worker-counts contract.
+
+#include <cstdint>
+
+namespace bfce::tracking {
+
+/// Per-round birth/death process the predictor assumes — the same
+/// parameters sim::ChurnModel applies to the true population.
+struct ProcessModel {
+  double departure_prob = 0.0;  ///< q: each tag departs w.p. q per round
+  double arrival_mean = 0.0;    ///< a: Poisson(a) arrivals per round
+};
+
+/// Diagnostics of one predict/update cycle.
+struct FuseStep {
+  double predicted = 0.0;   ///< x⁻ (prior mean)
+  double innovation = 0.0;  ///< z − x⁻ (pre-fit residual)
+  double residual = 0.0;    ///< z − x (post-fit residual)
+  double gain = 0.0;        ///< Kalman gain K ∈ [0, 1]
+  double fused = 0.0;       ///< x (posterior mean)
+  double variance = 0.0;    ///< P (posterior variance)
+};
+
+/// Scalar population tracker. initialize() with the first observation,
+/// then predict()/update() once per round.
+class PopulationTracker {
+ public:
+  PopulationTracker() = default;
+
+  [[nodiscard]] bool initialized() const noexcept { return initialized_; }
+
+  /// Seeds the state from the first observation and its variance.
+  void initialize(double estimate, double variance) noexcept;
+
+  /// Propagates mean and variance one round under `model`.
+  void predict(const ProcessModel& model) noexcept;
+
+  /// Fuses one observation with variance `observation_variance`;
+  /// returns the cycle's diagnostics. Precondition: initialized().
+  FuseStep update(double observation, double observation_variance) noexcept;
+
+  [[nodiscard]] double state() const noexcept { return x_; }
+  [[nodiscard]] double variance() const noexcept { return p_; }
+  /// update() calls folded in so far (the initialize() seed excluded).
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+
+ private:
+  double x_ = 0.0;  ///< state estimate (population)
+  double p_ = 0.0;  ///< state variance
+  bool initialized_ = false;
+  std::uint64_t rounds_ = 0;
+};
+
+/// Theorem-3-derived variance of one BFCE estimate at population `n`
+/// under the chosen accurate-phase parameters (w, k, p_o):
+///
+///   sd(n̂)/n = σ(X) / (√w · λ · e^{−λ}),  λ = k·p_o·n/w
+///
+/// (core::predicted_relative_sd — the delta method through Theorem 2's
+/// inversion), so R = (n · sd(n̂)/n)². This is what makes the tracker's
+/// measurement noise a function of the protocol configuration instead
+/// of a tuning knob. `n` is clamped to ≥ 1 and the result to a small
+/// positive floor so degenerate rounds cannot produce R = 0 or NaN.
+double measurement_variance(double n, std::uint32_t w, std::uint32_t k,
+                            double p_o);
+
+}  // namespace bfce::tracking

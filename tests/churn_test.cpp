@@ -6,8 +6,10 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "core/bfce.hpp"
 #include "core/differential.hpp"
 #include "math/stats.hpp"
+#include "rfid/reader.hpp"
 
 namespace bfce::sim {
 namespace {
@@ -66,6 +68,16 @@ TEST(Churn, ArrivalsArePoisson) {
   EXPECT_NEAR(arrivals.variance(), 20.0, 5.0);
 }
 
+TEST(Churn, LargeArrivalBatchesAreNotTruncated) {
+  // Knuth's product method compares against exp(-λ), which underflows
+  // for λ ≳ 708; before chunking, batches this size were silently
+  // capped near 700 arrivals.
+  PopulationTimeline tl(0, 11);
+  const ChurnStep s = tl.step(ChurnModel{0.0, 5000.0});
+  EXPECT_NEAR(static_cast<double>(s.arrived), 5000.0, 500.0);  // ±~7σ
+  EXPECT_EQ(s.population, s.arrived);
+}
+
 TEST(Churn, SurvivorsKeepTheirIdentity) {
   PopulationTimeline tl(5000, 5);
   std::unordered_set<std::uint64_t> before;
@@ -85,6 +97,52 @@ TEST(Churn, SteadyStateHoversAroundArrivalOverDeparture) {
   const ChurnModel model{0.05, 250.0};  // stationary ≈ 5000
   for (int i = 0; i < 200; ++i) tl.step(model);
   EXPECT_NEAR(static_cast<double>(tl.size()), 5000.0, 1000.0);
+}
+
+/// Runs one BFCE estimate against `tl`'s current population and checks
+/// the all-idle ρ̄ = 1 path stays finite (no division by zero, no NaN in
+/// Theorem 2's inversion) — the contract the tiny-population fallback
+/// promises.
+void expect_finite_estimate(const sim::PopulationTimeline& tl) {
+  rfid::ReaderContext ctx(tl.current(), 21, rfid::FrameMode::kExact);
+  core::BfceEstimator estimator;
+  const estimators::EstimateOutcome out =
+      estimator.estimate(ctx, {0.05, 0.05});
+  EXPECT_TRUE(std::isfinite(out.n_hat));
+  EXPECT_GE(out.n_hat, 0.0);
+  EXPECT_TRUE(std::isfinite(out.time_us));
+  // A population this small cannot satisfy Theorem 3 — the outcome must
+  // be honestly flagged, not silently mislabelled as designed.
+  EXPECT_FALSE(out.met_by_design);
+}
+
+TEST(Churn, EmptyPopulationSurvivesChurnAndEstimation) {
+  PopulationTimeline tl(0, 9);
+  EXPECT_EQ(tl.size(), 0u);
+  // Departures from nothing are nothing.
+  const ChurnStep s = tl.step(ChurnModel{0.5, 0.0});
+  EXPECT_EQ(s.departed, 0u);
+  EXPECT_EQ(s.arrived, 0u);
+  EXPECT_EQ(s.population, 0u);
+  expect_finite_estimate(tl);
+  // An empty timeline can still grow.
+  ChurnStep grown{};
+  for (int i = 0; i < 20 && tl.size() == 0; ++i) {
+    grown = tl.step(ChurnModel{0.0, 5.0});
+  }
+  EXPECT_GT(tl.size(), 0u);
+  EXPECT_EQ(grown.population, tl.size());
+}
+
+TEST(Churn, SingletonPopulationSurvivesChurnAndEstimation) {
+  PopulationTimeline tl(1, 10);
+  EXPECT_EQ(tl.size(), 1u);
+  expect_finite_estimate(tl);
+  // Churn with q = 1 must be able to empty it without wrapping.
+  const ChurnStep s = tl.step(ChurnModel{1.0, 0.0});
+  EXPECT_EQ(s.departed, 1u);
+  EXPECT_EQ(s.population, 0u);
+  expect_finite_estimate(tl);
 }
 
 TEST(Churn, DrivesTheDifferentialEstimatorEndToEnd) {

@@ -8,7 +8,10 @@
 #include <numeric>
 #include <vector>
 
+#include "core/bfce.hpp"
 #include "math/stats.hpp"
+#include "rfid/reader.hpp"
+#include "sim/churn.hpp"
 #include "util/bitvector.hpp"
 #include "util/rng.hpp"
 
@@ -121,6 +124,41 @@ TEST(FuzzQuantiles, SortedQuantileIsMonotone) {
       ASSERT_GE(v, xs.front());
       ASSERT_LE(v, xs.back());
       prev = v;
+    }
+  }
+}
+
+TEST(FuzzTinyPopulations, EstimatesStayFiniteThroughChurnAndBfce) {
+  // n ∈ {0, 1} sends the frame all-idle (ρ̄ = 1): Theorem 2's
+  // −w·ln(ρ̄)/(k·p) hits ln(1) = 0 and the planner has no satisfiable
+  // p_o. Fuzz the surrounding churn + estimate paths across seeds,
+  // requirements and frame modes: nothing may divide by zero, go NaN
+  // or report a designed round.
+  const estimators::Requirement reqs[] = {
+      {0.05, 0.05}, {0.1, 0.01}, {0.2, 0.1}};
+  util::Xoshiro256ss rng(6);
+  for (int round = 0; round < 24; ++round) {
+    const std::size_t n = round % 2;  // 0 or 1
+    sim::PopulationTimeline tl(n, 100 + static_cast<std::uint64_t>(round));
+    // A few churn periods that keep the population tiny.
+    for (int p = 0; p < 3; ++p) {
+      const sim::ChurnStep s =
+          tl.step(sim::ChurnModel{rng.uniform(), rng.uniform()});
+      ASSERT_LE(s.departed, s.population + s.departed);
+    }
+    const auto mode = round % 4 < 2 ? rfid::FrameMode::kExact
+                                    : rfid::FrameMode::kSampled;
+    rfid::ReaderContext ctx(tl.current(), rng(), mode);
+    core::BfceEstimator estimator;
+    const estimators::EstimateOutcome out =
+        estimator.estimate(ctx, reqs[round % 3]);
+    ASSERT_TRUE(std::isfinite(out.n_hat)) << "round " << round;
+    ASSERT_GE(out.n_hat, 0.0) << "round " << round;
+    ASSERT_TRUE(std::isfinite(out.ci_low)) << "round " << round;
+    ASSERT_TRUE(std::isfinite(out.ci_high)) << "round " << round;
+    ASSERT_TRUE(std::isfinite(out.time_us)) << "round " << round;
+    if (tl.size() <= 1) {
+      ASSERT_FALSE(out.met_by_design) << "round " << round;
     }
   }
 }

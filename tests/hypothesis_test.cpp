@@ -108,5 +108,68 @@ TEST(SrcRoundCount, MonotoneInDelta) {
   }
 }
 
+TEST(ClopperPearson, KnownEndpoints) {
+  // The "rule of three" case, exactly: 0 of 20 at 95% has lower bound 0
+  // and upper bound 1 − (α/2)^(1/20) = 1 − 0.025^0.05 ≈ 0.16843.
+  const ProportionInterval none = clopper_pearson_interval(0, 20, 0.95);
+  EXPECT_DOUBLE_EQ(none.lo, 0.0);
+  EXPECT_NEAR(none.hi, 1.0 - std::pow(0.025, 1.0 / 20.0), 1e-9);
+
+  // Mirror image at 20 of 20.
+  const ProportionInterval all = clopper_pearson_interval(20, 20, 0.95);
+  EXPECT_NEAR(all.lo, std::pow(0.025, 1.0 / 20.0), 1e-9);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+
+  // 5 of 20 at 95%: the textbook exact interval (0.0866, 0.4910).
+  const ProportionInterval mid = clopper_pearson_interval(5, 20, 0.95);
+  EXPECT_NEAR(mid.lo, 0.0866, 5e-4);
+  EXPECT_NEAR(mid.hi, 0.4910, 5e-4);
+}
+
+TEST(ClopperPearson, EndpointsInvertTheBinomialTails) {
+  // By construction Pr{X ≥ k | lo} = α/2 and Pr{X ≥ k+1 | hi} = 1 − α/2.
+  for (const std::size_t k : {1u, 3u, 10u, 19u}) {
+    const ProportionInterval ci = clopper_pearson_interval(k, 20, 0.95);
+    EXPECT_NEAR(binomial_upper_tail(20, k, ci.lo), 0.025, 1e-9) << k;
+    EXPECT_NEAR(binomial_upper_tail(20, k + 1, ci.hi), 0.975, 1e-9) << k;
+  }
+}
+
+TEST(ClopperPearson, CoversThePointEstimateAndNestsByConfidence) {
+  for (const std::size_t k : {0u, 2u, 7u, 50u, 200u}) {
+    const std::size_t m = 200;
+    const double p_hat = static_cast<double>(k) / static_cast<double>(m);
+    const ProportionInterval narrow = clopper_pearson_interval(k, m, 0.90);
+    const ProportionInterval wide = clopper_pearson_interval(k, m, 0.99);
+    EXPECT_LE(narrow.lo, p_hat);
+    EXPECT_GE(narrow.hi, p_hat);
+    // Higher confidence ⇒ wider interval, nested around the same p̂.
+    EXPECT_LE(wide.lo, narrow.lo);
+    EXPECT_GE(wide.hi, narrow.hi);
+    EXPECT_GE(narrow.lo, 0.0);
+    EXPECT_LE(narrow.hi, 1.0);
+  }
+}
+
+TEST(ClopperPearson, DegenerateInputs) {
+  // No data: the vacuous interval.
+  const ProportionInterval empty = clopper_pearson_interval(0, 0, 0.95);
+  EXPECT_DOUBLE_EQ(empty.lo, 0.0);
+  EXPECT_DOUBLE_EQ(empty.hi, 1.0);
+  // One trial keeps the closed ends exact.
+  EXPECT_DOUBLE_EQ(clopper_pearson_interval(0, 1, 0.95).lo, 0.0);
+  EXPECT_DOUBLE_EQ(clopper_pearson_interval(1, 1, 0.95).hi, 1.0);
+}
+
+TEST(ClopperPearson, IsConservativeRelativeToWilson) {
+  // The exact interval can only be wider than (or equal to) Wilson's
+  // normal approximation far from the boundary; this is the property
+  // the conformance tier relies on for guaranteed coverage.
+  const ProportionInterval cp = clopper_pearson_interval(10, 200, 0.95);
+  const ProportionInterval w = wilson_interval(10, 200, 0.95);
+  EXPECT_LT(cp.lo, w.lo + 5e-3);
+  EXPECT_GT(cp.hi, w.hi - 5e-3);
+}
+
 }  // namespace
 }  // namespace bfce::math

@@ -111,6 +111,53 @@ TEST(PersistencePlanner, BucketingSnapsBeforeTheSearch) {
   EXPECT_EQ(planner.stats().entries, 1u);
 }
 
+TEST(PersistencePlanner, BucketBoundaryNeighboursSatisfyTheoremFourBothSides) {
+  // Coarse 8-bit-mantissa bucketing snaps n̂_low values ~0.4% apart onto
+  // the same key. Find two *adjacent* n_low values that straddle a
+  // bucket edge near the paper's 250k working point, and require a
+  // valid (satisfying) Theorem-4 choice on both sides — cached and
+  // uncached — plus validity at the raw (unbucketed) n_low. A planner
+  // that rounded across the edge into an unsatisfiable cell would turn
+  // a fine design point into a silent fallback.
+  PersistencePlanner cached({.cache = true, .n_low_mantissa_bits = 8});
+  PersistencePlanner uncached({.cache = false, .n_low_mantissa_bits = 8});
+
+  // With an 8-bit mantissa near 250000 ≈ 2^18 the bucket width is
+  // 2^(18−8) = 1024, so the next edge is at most 1024 away.
+  double below_edge = 250000.0;
+  double above_edge = below_edge + 1.0;
+  while (cached.bucket(above_edge) == cached.bucket(below_edge)) {
+    below_edge = above_edge;
+    above_edge += 1.0;
+    ASSERT_LT(above_edge, 252000.0) << "no bucket edge found";
+  }
+  ASSERT_NE(cached.bucket(below_edge), cached.bucket(above_edge));
+
+  for (const double n_low : {below_edge, above_edge}) {
+    SCOPED_TRACE(n_low);
+    const PersistenceChoice from_cache =
+        cached.choose(n_low, 8192, 3, 0.05, 0.05);
+    const PersistenceChoice no_cache =
+        uncached.choose(n_low, 8192, 3, 0.05, 0.05);
+    expect_same_choice(from_cache, no_cache);
+    // Both sides of the edge must still satisfy Theorem 4...
+    EXPECT_TRUE(from_cache.satisfies);
+    EXPECT_GE(from_cache.p_n, 1u);
+    EXPECT_LE(from_cache.p_n, 1023u);
+    EXPECT_GE(from_cache.margin, 0.0);
+    // ...and the bucketed choice must also be valid at the *raw* n_low,
+    // not only at the snapped key it was computed for.
+    const PersistenceChoice raw =
+        PersistencePlanner::search(n_low, 8192, 3, 0.05, 0.05);
+    EXPECT_TRUE(raw.satisfies);
+    // A second cached lookup is a hit with the identical choice.
+    expect_same_choice(from_cache, cached.choose(n_low, 8192, 3, 0.05, 0.05));
+  }
+  EXPECT_EQ(cached.stats().entries, 2u);  // one entry per side of the edge
+  EXPECT_EQ(cached.stats().hits, 2u);
+  EXPECT_EQ(uncached.stats().entries, 0u);
+}
+
 TEST(PersistencePlanner, DefaultBucketIsIdentity) {
   PersistencePlanner planner;
   for (const double v : {1.0, 3.1415926, 250000.0, 5.0e6}) {

@@ -410,6 +410,133 @@ TEST(EstimationService, MetricsSnapshotAndJsonAreConsistent) {
   EXPECT_FALSE(svc.poll(123456).has_value());
 }
 
+/// Small tracking workload: three logical readers, two jobs each, with
+/// distinct scenarios and seeds.
+std::vector<JobSpec> tracking_jobs() {
+  std::vector<JobSpec> specs;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    JobSpec spec;
+    spec.estimator = "BFCE";  // label only for tracking jobs
+    spec.req = {0.1, 0.1};
+    spec.seed = 5000 + i;
+    TrackingJobSpec track;
+    track.reader_id = i % 3;
+    track.initial_population = 4000 + 1000 * (i % 2);
+    track.schedule = (i % 2 == 0)
+                         ? tracking::steady_scenario(5, 0.05, 4000.0)
+                         : tracking::ramp_scenario(5, 0.05, 5000.0, 1.5);
+    spec.tracking = track;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+/// Bit-exact trajectory comparison (plain EXPECT_EQ on doubles: the
+/// contract is bit-identical, not merely close).
+void expect_same_trajectories(const std::vector<JobResult>& a,
+                              const std::vector<JobResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].tracking.has_value()) << i;
+    ASSERT_TRUE(b[i].tracking.has_value()) << i;
+    const tracking::TrackResult& ta = *a[i].tracking;
+    const tracking::TrackResult& tb = *b[i].tracking;
+    EXPECT_EQ(ta.reader_id, tb.reader_id) << i;
+    ASSERT_EQ(ta.trajectory.size(), tb.trajectory.size()) << i;
+    for (std::size_t r = 0; r < ta.trajectory.size(); ++r) {
+      const tracking::TrackPoint& pa = ta.trajectory[r];
+      const tracking::TrackPoint& pb = tb.trajectory[r];
+      EXPECT_EQ(pa.true_n, pb.true_n) << i << "/" << r;
+      EXPECT_EQ(pa.raw_n_hat, pb.raw_n_hat) << i << "/" << r;
+      EXPECT_EQ(pa.tracked_n, pb.tracked_n) << i << "/" << r;
+      EXPECT_EQ(pa.predicted_n, pb.predicted_n) << i << "/" << r;
+      EXPECT_EQ(pa.innovation, pb.innovation) << i << "/" << r;
+      EXPECT_EQ(pa.variance, pb.variance) << i << "/" << r;
+      EXPECT_EQ(pa.p_o, pb.p_o) << i << "/" << r;
+      EXPECT_EQ(pa.airtime_s, pb.airtime_s) << i << "/" << r;
+    }
+    EXPECT_EQ(ta.summary.raw_rmse, tb.summary.raw_rmse) << i;
+    EXPECT_EQ(ta.summary.tracked_rmse, tb.summary.tracked_rmse) << i;
+    EXPECT_EQ(a[i].outcome.n_hat, b[i].outcome.n_hat) << i;
+    EXPECT_EQ(a[i].outcome.ci_low, b[i].outcome.ci_low) << i;
+    EXPECT_EQ(a[i].outcome.ci_high, b[i].outcome.ci_high) << i;
+  }
+}
+
+TEST(EstimationService, TrackingTrajectoriesBitIdenticalAcrossWorkerCounts) {
+  const auto specs = tracking_jobs();
+
+  ServiceConfig ref_cfg;
+  ref_cfg.workers = 1;
+  EstimationService reference(ref_cfg);
+  const auto ref_results = run_all(reference, specs);
+
+  for (const unsigned workers : {1u, 4u, 8u}) {
+    core::PersistencePlanner planner;
+    ServiceConfig cfg;
+    cfg.workers = workers;
+    cfg.planner = &planner;
+    EstimationService svc(cfg);
+    const auto results = run_all(svc, specs);
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    expect_same_trajectories(ref_results, results);
+  }
+}
+
+TEST(EstimationService, TrackingJobsSurfacePerReaderMetrics) {
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  EstimationService svc(cfg);
+  const auto specs = tracking_jobs();
+  const auto results = run_all(svc, specs);
+
+  for (const JobResult& r : results) {
+    EXPECT_EQ(r.status, JobStatus::kDone);
+    ASSERT_TRUE(r.tracking.has_value());
+    EXPECT_EQ(r.tracking->summary.rounds, 5u);
+    EXPECT_GT(r.outcome.n_hat, 0.0);
+    EXPECT_LT(r.outcome.ci_low, r.outcome.n_hat);
+    EXPECT_GT(r.outcome.ci_high, r.outcome.n_hat);
+    EXPECT_GT(r.airtime_s, 0.0);
+    EXPECT_GT(r.counters.total().frames, 0u);
+  }
+
+  const ServiceMetrics m = svc.metrics();
+  EXPECT_EQ(m.tracking.jobs, specs.size());
+  EXPECT_EQ(m.tracking.rounds, 5u * specs.size());
+  EXPECT_GT(m.tracking.innovation_rms, 0.0);
+  EXPECT_GT(m.tracking.residual_rms, 0.0);
+  EXPECT_GT(m.tracking.raw_rmse_mean, 0.0);
+  ASSERT_EQ(m.readers.size(), 3u);  // reader ids 0, 1, 2, sorted
+  for (std::size_t i = 0; i < m.readers.size(); ++i) {
+    EXPECT_EQ(m.readers[i].reader_id, i);
+    EXPECT_EQ(m.readers[i].jobs, 2u);
+    EXPECT_EQ(m.readers[i].rounds, 10u);
+    EXPECT_GT(m.readers[i].state, 0.0);
+    EXPECT_GT(m.readers[i].variance, 0.0);
+  }
+
+  const std::string table = render_service_metrics(m);
+  EXPECT_NE(table.find("tracking:"), std::string::npos);
+  EXPECT_NE(table.find("reader 0:"), std::string::npos);
+  const std::string json = service_metrics_json(m);
+  for (const char* key : {"\"tracking\"", "\"readers\"", "\"reader_id\"",
+                          "\"innovation_rms\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(EstimationService, NonTrackingMetricsStayEmpty) {
+  EstimationService svc({.workers = 1});
+  JobSpec spec;
+  spec.population = &small_pop();
+  EXPECT_EQ(svc.wait(svc.submit(spec)).status, JobStatus::kDone);
+  const ServiceMetrics m = svc.metrics();
+  EXPECT_EQ(m.tracking.jobs, 0u);
+  EXPECT_TRUE(m.readers.empty());
+  EXPECT_EQ(render_service_metrics(m).find("tracking:"), std::string::npos);
+}
+
 TEST(EstimationService, SubmitAfterShutdownIsRefused) {
   EstimationService svc({.workers = 1});
   JobSpec spec;

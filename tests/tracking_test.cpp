@@ -1,0 +1,218 @@
+// Tests for the continuous tracking subsystem: the scalar Kalman
+// tracker's arithmetic, the Theorem-3-derived measurement variance, the
+// canonical churn scenarios and TrackingSession's determinism and
+// accuracy against the timeline ground truth.
+#include "tracking/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.hpp"
+#include "tracking/tracker.hpp"
+
+namespace bfce::tracking {
+namespace {
+
+TEST(PopulationTracker, InitializeSeedsStateAndVariance) {
+  PopulationTracker t;
+  EXPECT_FALSE(t.initialized());
+  t.initialize(1000.0, 100.0);
+  EXPECT_TRUE(t.initialized());
+  EXPECT_DOUBLE_EQ(t.state(), 1000.0);
+  EXPECT_DOUBLE_EQ(t.variance(), 100.0);
+  EXPECT_EQ(t.rounds(), 0u);
+}
+
+TEST(PopulationTracker, PredictFollowsTheChurnProcess) {
+  PopulationTracker t;
+  t.initialize(1000.0, 100.0);
+  const ProcessModel model{0.1, 50.0};
+  t.predict(model);
+  // Mean: (1−q)·x + a. Variance: (1−q)²·P + Q(x⁻) with
+  // Q = x⁻·q·(1−q) + a evaluated at the new mean 950.
+  EXPECT_DOUBLE_EQ(t.state(), 0.9 * 1000.0 + 50.0);
+  EXPECT_DOUBLE_EQ(t.variance(),
+                   0.81 * 100.0 + (950.0 * 0.1 * 0.9 + 50.0));
+}
+
+TEST(PopulationTracker, UpdateBlendsByTheKalmanGain) {
+  PopulationTracker t;
+  t.initialize(1000.0, 400.0);
+  const FuseStep step = t.update(1100.0, 100.0);
+  // K = P/(P+R) = 400/500 = 0.8.
+  EXPECT_DOUBLE_EQ(step.gain, 0.8);
+  EXPECT_DOUBLE_EQ(step.predicted, 1000.0);
+  EXPECT_DOUBLE_EQ(step.innovation, 100.0);
+  EXPECT_DOUBLE_EQ(step.fused, 1080.0);
+  EXPECT_DOUBLE_EQ(step.residual, 20.0);
+  // Posterior variance shrinks: (1−K)·P = 80.
+  EXPECT_DOUBLE_EQ(step.variance, 80.0);
+  EXPECT_EQ(t.rounds(), 1u);
+}
+
+TEST(PopulationTracker, NoisyObservationsBarelyMoveTheState) {
+  PopulationTracker t;
+  t.initialize(1000.0, 1.0);
+  const FuseStep step = t.update(5000.0, 1e9);  // hopeless observation
+  EXPECT_LT(step.gain, 1e-6);
+  EXPECT_NEAR(step.fused, 1000.0, 0.01);
+}
+
+TEST(PopulationTracker, StateStaysNonNegative) {
+  PopulationTracker t;
+  t.initialize(10.0, 1e6);
+  const FuseStep step = t.update(-1e5, 1.0);
+  EXPECT_GE(step.fused, 0.0);
+  EXPECT_GE(t.state(), 0.0);
+}
+
+TEST(PopulationTracker, RepeatedUpdatesConvergeOnAConstantSignal) {
+  PopulationTracker t;
+  t.initialize(0.0, 1e6);
+  for (int i = 0; i < 50; ++i) {
+    t.predict(ProcessModel{0.0, 0.0});  // static population
+    t.update(777.0, 100.0);
+  }
+  EXPECT_NEAR(t.state(), 777.0, 1.0);
+  // With no process noise the posterior variance keeps shrinking.
+  EXPECT_LT(t.variance(), 100.0);
+}
+
+TEST(MeasurementVariance, MatchesTheorem3RelativeSd) {
+  // §IV-D working point: n = 250k, w = 8192, k = 3, p_o = 3/1024.
+  const double n = 250000.0;
+  const double p = 3.0 / 1024.0;
+  const double rel = core::predicted_relative_sd(n, 8192, 3, p);
+  EXPECT_DOUBLE_EQ(measurement_variance(n, 8192, 3, p),
+                   (rel * n) * (rel * n));
+}
+
+TEST(MeasurementVariance, DegenerateInputsAreClampedNotPropagated) {
+  // n ≤ 0 clamps to 1; p outside the Theorem-4 grid clamps into it.
+  EXPECT_EQ(measurement_variance(0.0, 8192, 3, 0.5),
+            measurement_variance(1.0, 8192, 3, 0.5));
+  EXPECT_EQ(measurement_variance(1000.0, 8192, 3, 0.0),
+            measurement_variance(1000.0, 8192, 3, 1.0 / 1024.0));
+  // Everything finite and positive.
+  for (const double n : {0.0, 1.0, 100.0, 1e7}) {
+    const double r = measurement_variance(n, 8192, 3, 3.0 / 1024.0);
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_GT(r, 0.0);
+  }
+}
+
+TEST(Scenarios, SteadyScenarioBalancesArrivalsAgainstDepartures) {
+  const ChurnSchedule s = steady_scenario(40, 0.05, 8000.0);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].rounds, 40u);
+  EXPECT_DOUBLE_EQ(s[0].model.departure_prob, 0.05);
+  EXPECT_DOUBLE_EQ(s[0].model.arrival_mean, 0.05 * 8000.0);
+}
+
+TEST(Scenarios, StepScenarioPhasesCoverEveryRound) {
+  const ChurnSchedule s = step_scenario(60, 0.02, 10000.0, 1.5);
+  std::size_t total = 0;
+  for (const ChurnPhase& phase : s) total += phase.rounds;
+  EXPECT_EQ(total, 60u);
+  ASSERT_GE(s.size(), 2u);
+  // The burst phase out-arrives the steady phases.
+  EXPECT_GT(s[1].model.arrival_mean, s[0].model.arrival_mean);
+}
+
+SessionConfig small_session(std::uint64_t seed) {
+  SessionConfig cfg;
+  cfg.initial_population = 5000;
+  cfg.req = {0.1, 0.1};
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(TrackingSession, TrajectoryIsBitIdenticalForTheSameSeed) {
+  const ChurnSchedule schedule = steady_scenario(8, 0.05, 5000.0);
+  TrackingSession a(small_session(42));
+  TrackingSession b(small_session(42));
+  a.run(schedule);
+  b.run(schedule);
+  ASSERT_EQ(a.trajectory().size(), b.trajectory().size());
+  for (std::size_t i = 0; i < a.trajectory().size(); ++i) {
+    const TrackPoint& pa = a.trajectory()[i];
+    const TrackPoint& pb = b.trajectory()[i];
+    EXPECT_EQ(pa.true_n, pb.true_n) << i;
+    EXPECT_EQ(pa.raw_n_hat, pb.raw_n_hat) << i;
+    EXPECT_EQ(pa.tracked_n, pb.tracked_n) << i;
+    EXPECT_EQ(pa.variance, pb.variance) << i;
+    EXPECT_EQ(pa.p_o, pb.p_o) << i;
+  }
+}
+
+TEST(TrackingSession, DifferentSeedsDiverge) {
+  const ChurnSchedule schedule = steady_scenario(4, 0.05, 5000.0);
+  TrackingSession a(small_session(1));
+  TrackingSession b(small_session(2));
+  a.run(schedule);
+  b.run(schedule);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.trajectory().size(); ++i) {
+    if (a.trajectory()[i].raw_n_hat != b.trajectory()[i].raw_n_hat) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(TrackingSession, StepAdvancesGroundTruthAndCounters) {
+  TrackingSession session(small_session(7));
+  const sim::ChurnModel model{0.05, 250.0};
+  const TrackPoint p0 = session.step(model);
+  EXPECT_EQ(p0.round, 0u);
+  EXPECT_EQ(p0.true_n, session.true_population());
+  EXPECT_GT(p0.raw_n_hat, 0.0);
+  EXPECT_GT(p0.p_o, 0.0);
+  // Round 0 seeds the tracker at the observation.
+  EXPECT_DOUBLE_EQ(p0.tracked_n, p0.raw_n_hat);
+  EXPECT_TRUE(session.tracker().initialized());
+
+  const TrackPoint p1 = session.step(model);
+  EXPECT_EQ(p1.round, 1u);
+  EXPECT_NE(p1.gain, 0.0);
+  EXPECT_EQ(session.trajectory().size(), 2u);
+  EXPECT_GT(session.counters().total().frames, 0u);
+}
+
+TEST(TrackingSession, FusionBeatsRawRoundsOnSteadyChurn) {
+  SessionConfig cfg = small_session(20150701);
+  cfg.initial_population = 10000;
+  TrackingSession session(cfg);
+  session.run(steady_scenario(40, 0.02, 10000.0));
+  const TrackSummary s = session.summary();
+  ASSERT_EQ(s.rounds, 40u);
+  EXPECT_GT(s.raw_rmse, 0.0);
+  EXPECT_LT(s.tracked_rmse, s.raw_rmse);
+  EXPECT_GT(s.improvement(), 1.0);
+  EXPECT_GT(s.airtime_s, 0.0);
+}
+
+TEST(TrackingSession, SummaryMatchesFreeFunctionOverTheTrajectory) {
+  TrackingSession session(small_session(3));
+  session.run(steady_scenario(6, 0.05, 5000.0));
+  const TrackSummary from_session = session.summary();
+  const TrackSummary recomputed = summarize_trajectory(session.trajectory());
+  EXPECT_EQ(from_session.rounds, recomputed.rounds);
+  EXPECT_DOUBLE_EQ(from_session.raw_rmse, recomputed.raw_rmse);
+  EXPECT_DOUBLE_EQ(from_session.tracked_rmse, recomputed.tracked_rmse);
+  EXPECT_DOUBLE_EQ(from_session.innovation_rms, recomputed.innovation_rms);
+  EXPECT_DOUBLE_EQ(from_session.airtime_s, recomputed.airtime_s);
+}
+
+TEST(TrackingSession, EmptyScheduleYieldsAnEmptySummary) {
+  TrackingSession session(small_session(5));
+  session.run({});
+  const TrackSummary s = session.summary();
+  EXPECT_EQ(s.rounds, 0u);
+  EXPECT_DOUBLE_EQ(s.raw_rmse, 0.0);
+  EXPECT_FALSE(session.tracker().initialized());
+}
+
+}  // namespace
+}  // namespace bfce::tracking

@@ -5,6 +5,7 @@
 #   tools/ci.sh --quick         # lints + release-preset unit tests only
 #   tools/ci.sh asan tsan       # lints + just the named presets
 #   tools/ci.sh --no-lint tsan  # skip the lint stage (debugging builds)
+#   tools/ci.sh --conformance   # + the statistical (ε, δ) contract tier
 #
 # Stages:
 #   1. tools/lint_determinism.py — bans nondeterminism sources and raw
@@ -12,24 +13,31 @@
 #   2. tools/tidy.sh — clang-tidy over src/ with the curated .clang-tidy
 #      (loud skip when clang-tidy is not installed).
 #   3. Preset matrix. Every preset builds with -Wall -Wextra -Werror.
-#        release — optimised; runs the `unit`-labelled tests.
+#        release — optimised; runs the `unit`-labelled tests, then a
+#                  30-second bounded tracking_bench smoke run.
 #        asan    — ASan+UBSan, no recovery; runs the `unit` tests.
 #        tsan    — ThreadSanitizer; runs the `stress`-labelled race
 #                  suite plus the concurrency-labelled unit tests.
 #      (`slow` sweeps run in the tier-1 plain `ctest` and nightlies:
 #      `ctest --test-dir build-release -L slow`.)
+#   4. Opt-in (--conformance): `ctest -L conformance` in the release
+#      build — the seeded Clopper–Pearson sweep of tests/
+#      conformance_test.cpp. Also works against a tsan build dir:
+#      `ctest --test-dir build-tsan -L conformance`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=0
 lint=1
+conformance=0
 presets=()
 for arg in "$@"; do
   case "${arg}" in
     --quick) quick=1 ;;
     --no-lint) lint=0 ;;
+    --conformance) conformance=1 ;;
     --help|-h)
-      sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,27p' "$0" | sed 's/^# \{0,1\}//'
       exit 0 ;;
     *) presets+=("${arg}") ;;
   esac
@@ -56,5 +64,21 @@ for preset in "${presets[@]}"; do
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${jobs}"
   ctest --preset "${preset}"
+  if [ "${preset}" = "release" ]; then
+    echo "==== tracking smoke (release) =============================="
+    # Bounded: the smoke workload finishes in seconds; the timeout is a
+    # hang guard, and the binary's own exit code asserts tracked RMSE
+    # beats raw on the ramp and step scenarios.
+    (cd "build-release" && timeout 30 ./bench/tracking_bench --smoke)
+  fi
 done
+
+if [ "${conformance}" -eq 1 ]; then
+  echo "==== conformance tier ======================================"
+  if [ ! -d build-release ]; then
+    cmake --preset release
+    cmake --build --preset release -j "${jobs}"
+  fi
+  ctest --test-dir build-release -L conformance --output-on-failure
+fi
 echo "==== all stages green ======================================"

@@ -18,8 +18,9 @@ nondeterminism that would silently break it:
     scheduler into results.
   * unseeded Xoshiro256ss construction — a default-constructed stream
     is a stealth constant seed; every stream must state its seed.
-  * function-local `static` mutable state in estimator code — hidden
-    cross-call coupling breaks the fresh-instance-per-attempt contract.
+  * function-local `static` mutable state in estimator and tracking
+    code — hidden cross-call coupling breaks the fresh-instance-per-
+    attempt contract and the bit-identical-trajectory contract.
   * raw std::thread outside src/service and src/util/parallel — all
     concurrency goes through the worker pool or util::parallel_for so
     the (master seed, index) seeding contract stays enforceable.
@@ -55,8 +56,10 @@ THREAD_ALLOWLIST_PREFIXES = (
     "src/util/parallel",  # parallel_for's fork/join pool
 )
 
-# Estimator code where function-local mutable `static` state is banned.
-STATIC_SCOPE_PREFIXES = ("src/core/", "src/estimators/")
+# Estimator/tracker code where function-local mutable `static` state is
+# banned (src/tracking must stay a pure function of its inputs for the
+# service's bit-identical-trajectory contract).
+STATIC_SCOPE_PREFIXES = ("src/core/", "src/estimators/", "src/tracking/")
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z0-9_,\- ]+)\)")
 LINE_COMMENT_RE = re.compile(r"//.*$")
