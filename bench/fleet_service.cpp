@@ -11,6 +11,12 @@
 //
 //   $ fleet_service [--jobs=2000] [--workers=0] [--queue=256]
 //                   [--attempts=2] [--seed=...] [--exact] [--csv]
+//                   [--shards=N]
+//
+// --shards=N turns on the sharded exact-mode population walk inside
+// every job's FrameEngine (N = 0 picks the host default); estimates are
+// unchanged by construction — the sharded walk is a pure function of
+// the job seed for any shard count.
 
 #include <chrono>
 #include <cstdio>
@@ -115,13 +121,15 @@ bool bit_identical(const std::vector<service::JobResult>& a,
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv,
                       {"jobs", "workers", "queue", "attempts", "seed",
-                       "exact", "csv"});
+                       "exact", "csv", "shards"});
   const auto jobs = static_cast<std::size_t>(cli.get_int("jobs", 2000));
   const auto workers = static_cast<unsigned>(cli.get_int("workers", 0));
   const auto queue =
       static_cast<std::size_t>(cli.get_int("queue", 256));
   const auto attempts =
       static_cast<std::uint32_t>(cli.get_int("attempts", 2));
+  const std::int64_t shards =
+      cli.get_int("shards", -1);  // -1 ⇒ sequential walk
 
   bench::PopulationCache pops(cli.seed());
   const auto specs = build_workload(pops, jobs, cli.seed(), attempts);
@@ -130,6 +138,10 @@ int main(int argc, char** argv) {
   cfg.workers = workers;
   cfg.queue_capacity = queue;
   cfg.mode = bench::mode_from(cli);
+  if (shards >= 0) {
+    cfg.engine_policy =
+        rfid::ExecutionPolicy::sharded(static_cast<std::uint32_t>(shards));
+  }
 
   // Pass 1: shared planner cache.
   core::PersistencePlanner planner;
@@ -195,9 +207,11 @@ int main(int argc, char** argv) {
   std::snprintf(buf, sizeof(buf),
                 "  \"jobs\": %zu,\n  \"workers\": %u,\n"
                 "  \"queue_capacity\": %zu,\n  \"attempts\": %u,\n"
-                "  \"mode\": \"%s\",\n  \"seed\": %llu,\n",
+                "  \"mode\": \"%s\",\n  \"shards\": %lld,\n"
+                "  \"seed\": %llu,\n",
                 jobs, m.workers, queue, attempts,
                 cfg.mode == rfid::FrameMode::kExact ? "exact" : "sampled",
+                static_cast<long long>(shards),
                 static_cast<unsigned long long>(cli.seed()));
   json += buf;
   std::snprintf(buf, sizeof(buf),

@@ -174,6 +174,23 @@ void BM_BloomBatch16Engine(benchmark::State& state) {
 }
 BENCHMARK(BM_BloomBatch16Engine)->Arg(10000)->Arg(100000)->Arg(1000000);
 
+// Sharded side: the same 16 frames through the ExecutionPolicy-sharded
+// walk (counter-addressed persistence, word-packed busy synthesis, the
+// packed AVX-512 decision kernel where the CPU has one).
+void BM_BloomBatch16Sharded(benchmark::State& state) {
+  const auto& pop = pop_of(static_cast<std::size_t>(state.range(0)));
+  util::Xoshiro256ss rng(7);
+  rfid::FrameEngine engine(pop, rfid::Channel{}, rfid::FrameMode::kExact,
+                           rfid::ExecutionPolicy::sharded());
+  const auto batch = bloom_batch();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.execute_batch(batch, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(kBatchFrames));
+}
+BENCHMARK(BM_BloomBatch16Sharded)->Arg(10000)->Arg(100000)->Arg(1000000);
+
 void BM_SingleSlotExact(benchmark::State& state) {
   const auto& pop = pop_of(static_cast<std::size_t>(state.range(0)));
   util::Xoshiro256ss rng(3);
@@ -249,7 +266,7 @@ int run_baseline() {
   const auto cfg = bloom_cfg();
 
   std::string json;
-  char buf[256];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "{\n  \"bench\": \"micro_frame\",\n"
                 "  \"batch_frames\": %zu,\n"
@@ -259,9 +276,9 @@ int run_baseline() {
   json += buf;
 
   std::printf("16-frame exact Bloom batch, pre-engine executor vs "
-              "FrameEngine::execute_batch\n");
-  std::printf("%10s %18s %18s %9s\n", "n", "legacy_tags/s", "engine_tags/s",
-              "speedup");
+              "FrameEngine::execute_batch vs the sharded walk\n");
+  std::printf("%10s %15s %15s %15s %8s %8s\n", "n", "legacy_tags/s",
+              "engine_tags/s", "sharded_tags/s", "eng_x", "shard_x");
 
   bool first = true;
   for (const std::size_t n : ns) {
@@ -283,20 +300,33 @@ int run_baseline() {
       benchmark::DoNotOptimize(engine.execute_batch(batch, engine_rng));
     });
 
+    rfid::FrameEngine sharded(pop, ch, rfid::FrameMode::kExact,
+                              rfid::ExecutionPolicy::sharded());
+    util::Xoshiro256ss sharded_rng(7);
+    const double sharded_s = best_seconds([&] {
+      benchmark::DoNotOptimize(sharded.execute_batch(batch, sharded_rng));
+    });
+
     const double tags = static_cast<double>(n * kBatchFrames);
     const double legacy_tps = tags / legacy_s;
     const double engine_tps = tags / engine_s;
+    const double sharded_tps = tags / sharded_s;
     const double speedup = legacy_s / engine_s;
+    const double sharded_speedup = engine_s / sharded_s;
 
-    std::printf("%10zu %18.3e %18.3e %8.2fx\n", n, legacy_tps, engine_tps,
-                speedup);
+    std::printf("%10zu %15.3e %15.3e %15.3e %7.2fx %7.2fx\n", n, legacy_tps,
+                engine_tps, sharded_tps, speedup, sharded_speedup);
 
     std::snprintf(buf, sizeof(buf),
                   "%s\n    {\"n\": %zu, \"legacy_s\": %.6f, "
-                  "\"engine_s\": %.6f, \"legacy_tags_per_s\": %.1f, "
-                  "\"engine_tags_per_s\": %.1f, \"speedup\": %.3f}",
-                  first ? "" : ",", n, legacy_s, engine_s, legacy_tps,
-                  engine_tps, speedup);
+                  "\"engine_s\": %.6f, \"sharded_s\": %.6f, "
+                  "\"legacy_tags_per_s\": %.1f, "
+                  "\"engine_tags_per_s\": %.1f, "
+                  "\"sharded_tags_per_s\": %.1f, \"speedup\": %.3f, "
+                  "\"sharded_speedup\": %.3f}",
+                  first ? "" : ",", n, legacy_s, engine_s, sharded_s,
+                  legacy_tps, engine_tps, sharded_tps, speedup,
+                  sharded_speedup);
     json += buf;
     first = false;
   }

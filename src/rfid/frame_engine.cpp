@@ -1,11 +1,14 @@
 #include "rfid/frame_engine.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cmath>
 
 #include "hash/persistence.hpp"
 #include "hash/slot_hash.hpp"
+#include "rfid/frame_engine_simd.hpp"
+#include "util/parallel.hpp"
 
 namespace bfce::rfid {
 
@@ -71,6 +74,269 @@ struct HoistedBloomHashes {
   }
 };
 
+// ---- sharded exact-mode walk (ExecutionPolicy::kSharded) --------------
+
+/// Bitmap words for a w-slot frame, padded to a 64-byte multiple so
+/// adjacent shard slices never share a cache line (the parallel walk
+/// stays false-sharing-free without atomics).
+std::size_t padded_words(std::uint32_t w) noexcept {
+  return ((static_cast<std::size_t>(w) + 63) / 64 + 7) & ~std::size_t{7};
+}
+
+/// One Bloom frame hoisted for the sharded walk.
+struct ShardedFrame {
+  HoistedBloomHashes hashes;
+  std::size_t word_offset = 0;  ///< into each shard's bitmap slice
+  std::uint64_t base = 0;       ///< counter base (stochastic modes only)
+  double p = 1.0;
+  std::uint32_t k = 0;
+  std::uint32_t w = 0;
+  std::uint32_t p_n = 0;
+  std::uint32_t threshold16 = 0;
+  std::uint32_t lane_mask = 0;  ///< nonzero ⇔ the packed kernel applies
+  std::array<std::uint32_t, kMaxHashes> seeds32{};
+  hash::PersistenceMode persistence = hash::PersistenceMode::kRnBits;
+};
+
+ShardedFrame hoist_sharded(const BloomFrameConfig& cfg,
+                           std::size_t word_offset,
+                           util::Xoshiro256ss& rng) {
+  assert(cfg.k >= 1 && cfg.k <= kMaxHashes);
+  assert(cfg.hash != HashScheme::kLightweight || (cfg.w & (cfg.w - 1)) == 0);
+  ShardedFrame fr{HoistedBloomHashes(cfg),
+                  word_offset,
+                  0,
+                  cfg.p,
+                  cfg.k,
+                  cfg.w,
+                  cfg.p_n,
+                  packed16_threshold(cfg.p),
+                  0,
+                  {},
+                  cfg.persistence};
+  for (std::uint32_t j = 0; j < cfg.k; ++j) {
+    fr.seeds32[j] = static_cast<std::uint32_t>(cfg.seeds[j]);
+  }
+  if (cfg.persistence == hash::PersistenceMode::kIdealBernoulli ||
+      cfg.persistence == hash::PersistenceMode::kSharedDraw) {
+    // One draw of the caller's stream, mixed with the frame's broadcast
+    // parameters: the walk itself is then RNG-free (which is what makes
+    // it shard-count invariant), repeated identical configs still get
+    // independent decision streams, and everything remains a pure
+    // function of the context seed.
+    util::SeedMixer mix(rng());
+    mix.absorb(static_cast<std::uint64_t>(cfg.w));
+    mix.absorb(static_cast<std::uint64_t>(cfg.k));
+    for (std::uint32_t j = 0; j < cfg.k; ++j) mix.absorb(cfg.seeds[j]);
+    fr.base = mix.value();
+    if (fr.threshold16 != kNoPack16) {
+      if (cfg.persistence == hash::PersistenceMode::kSharedDraw) {
+        fr.lane_mask = detail::lane_mask_for(1);  // one decision per tag
+      } else if (cfg.k <= 4) {
+        fr.lane_mask = detail::lane_mask_for(cfg.k);
+      }
+    }
+  }
+  return fr;
+}
+
+/// Merged shard bitmap → busy map through the channel. The merged
+/// bitmap IS the busy map under a perfect channel (it senses exactly
+/// what was transmitted and draws nothing). An imperfect channel is
+/// replayed slot-major on the caller's stream — the same draw order the
+/// sequential path uses; observe() branches only on busy-vs-idle
+/// (single and collision behave identically), so presenting the bitmap
+/// as 0/2 repliers is draw-for-draw equivalent to the counts.
+util::BitVector bitmap_to_busy(const Channel& channel,
+                               const std::uint64_t* words, std::size_t w,
+                               util::Xoshiro256ss& rng) {
+  util::BitVector busy(w);
+  if (channel.model().perfect()) {
+    for (std::size_t wi = 0; wi < busy.word_count(); ++wi) {
+      busy.set_word(wi, words[wi]);
+    }
+    return busy;
+  }
+  for (std::size_t wi = 0; wi < busy.word_count(); ++wi) {
+    const std::size_t begin = wi << 6;
+    const std::size_t end = std::min(w, begin + 64);
+    const std::uint64_t in = words[wi];
+    std::uint64_t packed = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t repliers =
+          ((in >> (i - begin)) & 1ULL) != 0 ? 2U : 0U;
+      if (is_busy(channel.observe(repliers, rng))) {
+        packed |= 1ULL << (i - begin);
+      }
+    }
+    busy.set_word(wi, packed);
+  }
+  return busy;
+}
+
+/// The sharded population walk: shard s owns the contiguous tag range
+/// [s·chunk, (s+1)·chunk) and renders every frame's decisions for its
+/// tags into a private word-packed bitmap; shards then merge with
+/// word-wide ORs. Every decision is a pure function of (frame base,
+/// global tag index), so the output is bit-identical for any shard
+/// count and any ISA. Returns the per-frame results in request order
+/// (channel observation consumes the caller's stream frame-major,
+/// exactly like the sequential paths).
+std::vector<FrameResult> run_sharded_frames(
+    const TagPopulation& tags, const Channel& channel,
+    const std::vector<const BloomFrameConfig*>& cfgs,
+    std::uint32_t shard_count, bool allow_simd, util::Xoshiro256ss& rng,
+    std::vector<std::uint64_t>& shard_bits,
+    std::vector<std::uint64_t>& shard_tx,
+    std::vector<std::uint16_t>& lane_scratch) {
+  const std::size_t m = cfgs.size();
+  std::vector<ShardedFrame> frames;
+  frames.reserve(m);
+  std::size_t words_stride = 0;
+  for (const BloomFrameConfig* cfg : cfgs) {
+    frames.push_back(hoist_sharded(*cfg, words_stride, rng));
+    words_stride += padded_words(cfg->w);
+  }
+
+  const auto& all_tags = tags.tags();
+  const std::size_t n_tags = all_tags.size();
+  if (shard_count < 1) shard_count = 1;
+  const std::size_t chunk = (n_tags + shard_count - 1) / shard_count;
+
+  shard_bits.assign(static_cast<std::size_t>(shard_count) * words_stride, 0);
+  shard_tx.assign(static_cast<std::size_t>(shard_count) * m, 0);
+  lane_scratch.resize(static_cast<std::size_t>(shard_count) *
+                      detail::kShardLaneCapacity);
+
+  util::parallel_for(
+      0, shard_count,
+      [&](std::size_t s) {
+        const std::size_t s_begin = s * chunk;
+        const std::size_t s_end = std::min(n_tags, s_begin + chunk);
+        std::uint64_t* const bits = shard_bits.data() + s * words_stride;
+        std::uint16_t* const lane =
+            lane_scratch.data() + s * detail::kShardLaneCapacity;
+        std::vector<std::uint64_t> tx(m, 0);
+        for (std::size_t t0 = s_begin; t0 < s_end;
+             t0 += detail::kShardTile) {
+          const std::size_t t1 = std::min(s_end, t0 + detail::kShardTile);
+          for (std::size_t f = 0; f < m; ++f) {
+            const ShardedFrame& fr = frames[f];
+            std::uint64_t* const fb = bits + fr.word_offset;
+            const std::uint32_t k = fr.k;
+            const std::uint32_t w = fr.w;
+            if (fr.lane_mask != 0) {
+              // Packed kernel: dense responder lane ids, one
+              // well-predicted drain loop.
+              const std::size_t nresp = detail::bloom_decide_tile(
+                  fr.base, t0, t1, fr.threshold16, fr.lane_mask, allow_simd,
+                  lane);
+              if (fr.persistence == hash::PersistenceMode::kSharedDraw) {
+                for (std::size_t i = 0; i < nresp; ++i) {
+                  const Tag& tag = all_tags[t0 + (lane[i] >> 2)];
+                  for (std::uint32_t j = 0; j < k; ++j) {
+                    const std::uint32_t slot = fr.hashes.slot(tag, j, w);
+                    fb[slot >> 6] |= 1ULL << (slot & 63U);
+                  }
+                }
+                tx[f] += nresp * k;
+              } else {
+                for (std::size_t i = 0; i < nresp; ++i) {
+                  const std::uint32_t id = lane[i];
+                  const Tag& tag = all_tags[t0 + (id >> 2)];
+                  const std::uint32_t slot =
+                      fr.hashes.slot(tag, id & 3U, w);
+                  fb[slot >> 6] |= 1ULL << (slot & 63U);
+                }
+                tx[f] += nresp;
+              }
+            } else {
+              switch (fr.persistence) {
+                case hash::PersistenceMode::kIdealBernoulli:
+                  // Off the 1/65536 grid (or k > 4): one
+                  // counter-addressed unit double per (tag, hash).
+                  for (std::size_t t = t0; t < t1; ++t) {
+                    const Tag& tag = all_tags[t];
+                    for (std::uint32_t j = 0; j < k; ++j) {
+                      const std::uint64_t z = util::splitmix_at(
+                          fr.base,
+                          t * static_cast<std::uint64_t>(k) + j);
+                      if (static_cast<double>(z >> 11) * 0x1.0p-53 <
+                          fr.p) {
+                        const std::uint32_t slot =
+                            fr.hashes.slot(tag, j, w);
+                        fb[slot >> 6] |= 1ULL << (slot & 63U);
+                        ++tx[f];
+                      }
+                    }
+                  }
+                  break;
+                case hash::PersistenceMode::kSharedDraw:
+                  for (std::size_t t = t0; t < t1; ++t) {
+                    const std::uint64_t z = util::splitmix_at(fr.base, t);
+                    if (static_cast<double>(z >> 11) * 0x1.0p-53 < fr.p) {
+                      const Tag& tag = all_tags[t];
+                      for (std::uint32_t j = 0; j < k; ++j) {
+                        const std::uint32_t slot =
+                            fr.hashes.slot(tag, j, w);
+                        fb[slot >> 6] |= 1ULL << (slot & 63U);
+                      }
+                      tx[f] += k;
+                    }
+                  }
+                  break;
+                case hash::PersistenceMode::kRnBits:
+                  // Deterministic tag-side decisions: no RNG on any
+                  // walk, so this stays bit-identical to the
+                  // sequential executor as well.
+                  for (std::size_t t = t0; t < t1; ++t) {
+                    const Tag& tag = all_tags[t];
+                    for (std::uint32_t j = 0; j < k; ++j) {
+                      const std::uint32_t slot = fr.hashes.slot(tag, j, w);
+                      if (hash::rn_bits_respond(tag.rn, slot,
+                                                fr.seeds32[j], fr.p_n)) {
+                        fb[slot >> 6] |= 1ULL << (slot & 63U);
+                        ++tx[f];
+                      }
+                    }
+                  }
+                  break;
+                default:
+                  break;
+              }
+            }
+          }
+        }
+        for (std::size_t f = 0; f < m; ++f) shard_tx[s * m + f] = tx[f];
+      },
+      shard_count);
+
+  // Merge shard bitmaps into shard 0's slice with word-wide ORs, then
+  // observe each frame through the channel in request order.
+  std::vector<FrameResult> results;
+  results.reserve(m);
+  for (std::size_t f = 0; f < m; ++f) {
+    const ShardedFrame& fr = frames[f];
+    std::uint64_t* const merged = shard_bits.data() + fr.word_offset;
+    const std::size_t words = (static_cast<std::size_t>(fr.w) + 63) / 64;
+    for (std::uint32_t s = 1; s < shard_count; ++s) {
+      const std::uint64_t* const src =
+          shard_bits.data() + s * words_stride + fr.word_offset;
+      for (std::size_t i = 0; i < words; ++i) merged[i] |= src[i];
+    }
+    std::uint64_t tx = 0;
+    for (std::uint32_t s = 0; s < shard_count; ++s) {
+      tx += shard_tx[s * m + f];
+    }
+    FrameResult res;
+    res.shape = FrameShape::kBloom;
+    res.tx = tx;
+    res.busy = bitmap_to_busy(channel, merged, fr.w, rng);
+    results.push_back(std::move(res));
+  }
+  return results;
+}
+
 }  // namespace
 
 const char* to_cstring(FrameShape shape) noexcept {
@@ -90,9 +356,29 @@ const char* to_cstring(FrameShape shape) noexcept {
 util::BitVector FrameEngine::counts_to_busy(const std::uint32_t* counts,
                                             std::size_t w,
                                             util::Xoshiro256ss& rng) const {
+  // Word-at-a-time packing: 64 slot observations accumulate in a
+  // register, one store per word, instead of 64 read-modify-write
+  // BitVector::set calls. The slot-major observation order (and with it
+  // the channel's RNG stream) is unchanged.
   util::BitVector busy(w);
-  for (std::size_t i = 0; i < w; ++i) {
-    if (is_busy(channel_.observe(counts[i], rng))) busy.set(i);
+  const bool perfect = channel_.model().perfect();
+  for (std::size_t wi = 0; wi < busy.word_count(); ++wi) {
+    const std::size_t begin = wi << 6;
+    const std::size_t end = std::min(w, begin + 64);
+    std::uint64_t packed = 0;
+    if (perfect) {
+      // Perfect channel: busy ⇔ any replier, no RNG — branchless.
+      for (std::size_t i = begin; i < end; ++i) {
+        packed |= static_cast<std::uint64_t>(counts[i] != 0) << (i - begin);
+      }
+    } else {
+      for (std::size_t i = begin; i < end; ++i) {
+        if (is_busy(channel_.observe(counts[i], rng))) {
+          packed |= 1ULL << (i - begin);
+        }
+      }
+    }
+    busy.set_word(wi, packed);
   }
   return busy;
 }
@@ -108,7 +394,11 @@ FrameResult FrameEngine::execute(const FrameRequest& request,
       const auto& cfg = std::get<BloomFrameConfig>(request.config);
       slots = cfg.w;
       if (mode_ == FrameMode::kExact) {
-        exact_bloom(cfg, rng, out);
+        if (policy_.is_sharded() && tags_ != nullptr) {
+          exact_bloom_sharded(cfg, rng, out);
+        } else {
+          exact_bloom(cfg, rng, out);
+        }
       } else {
         sampled_bloom(cfg, rng, out);
       }
@@ -163,9 +453,13 @@ std::vector<FrameResult> FrameEngine::execute_batch(
       break;
     }
   }
-  if (all_bloom && requests.size() >= 2 && mode_ == FrameMode::kExact &&
-      tags_ != nullptr) {
-    return execute_bloom_batch_blocked(requests, rng);
+  if (all_bloom && mode_ == FrameMode::kExact && tags_ != nullptr) {
+    if (policy_.is_sharded()) {
+      return execute_bloom_batch_sharded(requests, rng);
+    }
+    if (requests.size() >= 2) {
+      return execute_bloom_batch_blocked(requests, rng);
+    }
   }
   std::vector<FrameResult> results;
   results.reserve(requests.size());
@@ -504,6 +798,54 @@ std::vector<FrameResult> FrameEngine::execute_bloom_batch_blocked(
     results.push_back(std::move(res));
   }
   counters_.of(FrameShape::kBloom).wall_us += elapsed_us(start);
+  return results;
+}
+
+// ---- sharded path ----------------------------------------------------
+
+std::uint32_t FrameEngine::effective_shards() const noexcept {
+  std::uint32_t count =
+      policy_.shards != 0 ? policy_.shards : util::default_thread_count();
+  if (count < 1) count = 1;
+  const std::size_t per_shard =
+      policy_.min_tags_per_shard > 0 ? policy_.min_tags_per_shard : 1;
+  const std::size_t justified = n_ / per_shard;
+  if (justified < count) {
+    count = static_cast<std::uint32_t>(justified < 1 ? 1 : justified);
+  }
+  return count;
+}
+
+void FrameEngine::exact_bloom_sharded(const BloomFrameConfig& cfg,
+                                      util::Xoshiro256ss& rng,
+                                      FrameResult& out) {
+  assert(tags_ != nullptr);
+  ++counters_.sharded_walks;
+  std::vector<FrameResult> results = run_sharded_frames(
+      *tags_, channel_, {&cfg}, effective_shards(), policy_.allow_simd, rng,
+      shard_bits_, shard_tx_, lane_scratch_);
+  out = std::move(results.front());
+}
+
+std::vector<FrameResult> FrameEngine::execute_bloom_batch_sharded(
+    const std::vector<FrameRequest>& requests, util::Xoshiro256ss& rng) {
+  const auto start = Clock::now();
+  ++counters_.sharded_walks;
+  std::vector<const BloomFrameConfig*> cfgs;
+  cfgs.reserve(requests.size());
+  for (const FrameRequest& r : requests) {
+    cfgs.push_back(&std::get<BloomFrameConfig>(r.config));
+  }
+  std::vector<FrameResult> results = run_sharded_frames(
+      *tags_, channel_, cfgs, effective_shards(), policy_.allow_simd, rng,
+      shard_bits_, shard_tx_, lane_scratch_);
+  ShapeCounters& c = counters_.of(FrameShape::kBloom);
+  for (std::size_t f = 0; f < results.size(); ++f) {
+    c.frames += 1;
+    c.slots += cfgs[f]->w;
+    c.tag_tx += results[f].tx;
+  }
+  c.wall_us += elapsed_us(start);
   return results;
 }
 

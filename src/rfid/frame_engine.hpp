@@ -30,6 +30,10 @@
 //    execution only when the tag-side responses draw no RNG
 //    (PersistenceMode::kRnBits). For the stochastic persistence modes it
 //    realises the same law (tests verify by two-sample KS).
+//  * The opt-in sharded walk (ExecutionPolicy) extends the same contract
+//    to intra-frame parallelism: per-tag randomness is counter-addressed
+//    by the global tag index, so results are bit-identical for ANY shard
+//    count — and, for kRnBits, bit-identical to the sequential walk too.
 //
 // The legacy free functions in frame.hpp survive as thin wrappers over a
 // transient engine, so untouched estimators keep working unchanged.
@@ -117,6 +121,53 @@ struct FrameResult {
   std::uint64_t tx = 0;
 };
 
+/// Opt-in intra-frame parallelism for exact-mode Bloom frames.
+///
+/// The sharded walk splits the population into contiguous tag ranges,
+/// one per shard; each shard decides and hashes its own tags into a
+/// private per-frame busy bitmap (word-packed, cache-line padded) and
+/// the shards merge with word-wide ORs. Per-tag persistence randomness
+/// is counter-addressed — util::splitmix_at(frame base, tag index), the
+/// base derived via util::SeedMixer from one caller-RNG draw and the
+/// frame's broadcast seeds — so the result is a pure function of the
+/// seed and bit-identical for ANY shard count (tests assert 1/4/8, and
+/// tools/lint_determinism.py keeps the walk free of ambient entropy).
+///
+/// Contract relative to the sequential walk: stochastic persistence
+/// modes (kIdealBernoulli, kSharedDraw) realise the same law with
+/// different bits, exactly like the blocked batch path; kRnBits frames
+/// draw no RNG on either walk and stay bit-identical to sequential
+/// execution. Channel observation stays slot-major on the caller's
+/// stream in both cases.
+struct ExecutionPolicy {
+  /// Walk selection. kSequential preserves the legacy RNG-stream
+  /// contract; kSharded trades it for intra-frame parallelism plus the
+  /// vectorised decision kernel.
+  enum class Walk : std::uint8_t { kSequential = 0, kSharded = 1 };
+
+  Walk walk = Walk::kSequential;
+  /// Worker shards; 0 ⇒ util::default_thread_count() (BFCE_THREADS).
+  std::uint32_t shards = 0;
+  /// Populations smaller than shards·min_tags_per_shard run on fewer
+  /// shards — purely a scheduling decision, results do not change.
+  std::size_t min_tags_per_shard = 4096;
+  /// Gate for the AVX-512 decision kernel. Results are bit-identical
+  /// with it on or off (tests flip this to compare SIMD vs scalar).
+  bool allow_simd = true;
+
+  [[nodiscard]] constexpr bool is_sharded() const noexcept {
+    return walk == Walk::kSharded;
+  }
+
+  static constexpr ExecutionPolicy sequential() noexcept { return {}; }
+  static constexpr ExecutionPolicy sharded(std::uint32_t count = 0) noexcept {
+    ExecutionPolicy policy;
+    policy.walk = Walk::kSharded;
+    policy.shards = count;
+    return policy;
+  }
+};
+
 /// Execution counters for one frame shape.
 struct ShapeCounters {
   std::uint64_t frames = 0;   ///< frames executed
@@ -139,6 +190,7 @@ struct EngineCounters {
   std::array<ShapeCounters, kFrameShapeCount> by_shape{};
   std::uint64_t batches = 0;          ///< execute_batch calls
   std::uint64_t blocked_batches = 0;  ///< batches taken by the blocked path
+  std::uint64_t sharded_walks = 0;    ///< walks run by the sharded exact path
 
   ShapeCounters& of(FrameShape s) noexcept {
     return by_shape[static_cast<std::size_t>(s)];
@@ -160,6 +212,7 @@ struct EngineCounters {
     }
     batches += o.batches;
     blocked_batches += o.blocked_batches;
+    sharded_walks += o.sharded_walks;
     return *this;
   }
 };
@@ -170,8 +223,13 @@ struct EngineCounters {
 class FrameEngine {
  public:
   /// Engine over a concrete population; serves both modes.
-  FrameEngine(const TagPopulation& tags, Channel channel, FrameMode mode)
-      : tags_(&tags), n_(tags.size()), channel_(channel), mode_(mode) {}
+  FrameEngine(const TagPopulation& tags, Channel channel, FrameMode mode,
+              ExecutionPolicy policy = {})
+      : tags_(&tags),
+        n_(tags.size()),
+        channel_(channel),
+        mode_(mode),
+        policy_(policy) {}
 
   /// Sampled-only engine over an abstract cardinality `n` (no per-tag
   /// state exists, so kExact requests are invalid).
@@ -181,6 +239,10 @@ class FrameEngine {
   [[nodiscard]] FrameMode mode() const noexcept { return mode_; }
   [[nodiscard]] const Channel& channel() const noexcept { return channel_; }
   [[nodiscard]] std::size_t population_size() const noexcept { return n_; }
+
+  /// The intra-frame parallelism policy (see ExecutionPolicy).
+  [[nodiscard]] const ExecutionPolicy& policy() const noexcept { return policy_; }
+  void set_policy(ExecutionPolicy policy) noexcept { policy_ = policy; }
 
   /// Executes one frame in the engine's mode. Consumes `rng` exactly as
   /// the legacy executor for (shape, mode) did — bit-identical results.
@@ -219,6 +281,16 @@ class FrameEngine {
   std::vector<FrameResult> execute_bloom_batch_blocked(
       const std::vector<FrameRequest>& requests, util::Xoshiro256ss& rng);
 
+  /// Sharded exact-mode Bloom frame / batch (ExecutionPolicy::kSharded):
+  /// counter-addressed decisions, shard-private bitmaps, word-wide merge.
+  void exact_bloom_sharded(const BloomFrameConfig& cfg,
+                           util::Xoshiro256ss& rng, FrameResult& out);
+  std::vector<FrameResult> execute_bloom_batch_sharded(
+      const std::vector<FrameRequest>& requests, util::Xoshiro256ss& rng);
+
+  /// Shard count the policy resolves to for this population.
+  [[nodiscard]] std::uint32_t effective_shards() const noexcept;
+
   /// counts_[0..w) → busy bitmap through the channel (frame-major RNG).
   util::BitVector counts_to_busy(const std::uint32_t* counts, std::size_t w,
                                  util::Xoshiro256ss& rng) const;
@@ -227,9 +299,13 @@ class FrameEngine {
   std::size_t n_;
   Channel channel_;
   FrameMode mode_;
+  ExecutionPolicy policy_;
   EngineCounters counters_;
   std::vector<std::uint32_t> counts_;        ///< per-frame scratch
   std::vector<std::uint32_t> batch_counts_;  ///< blocked-path scratch
+  std::vector<std::uint64_t> shard_bits_;    ///< sharded-path bitmaps
+  std::vector<std::uint64_t> shard_tx_;      ///< sharded-path tx tallies
+  std::vector<std::uint16_t> lane_scratch_;  ///< sharded-path lane ids
 };
 
 }  // namespace bfce::rfid

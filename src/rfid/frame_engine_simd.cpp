@@ -1,0 +1,147 @@
+#include "rfid/frame_engine_simd.hpp"
+
+#include "util/rng.hpp"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define BFCE_HAVE_AVX512_KERNEL 1
+#include <immintrin.h>
+// GCC's AVX-512 intrinsic headers model "undefined" source operands as
+// self-initialised locals (_mm512_undefined_epi32), which trips
+// -Wmaybe-uninitialized when inlined under -O2. Silence only that
+// diagnostic for this translation unit; the kernel reads no
+// uninitialised data of its own.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#else
+#define BFCE_HAVE_AVX512_KERNEL 0
+#endif
+
+namespace bfce::rfid::detail {
+
+namespace {
+
+/// Scalar decision span: tags [first, first + count) emitting lane ids
+/// ((local0 + i) << 2) | j. Shared by the pure-scalar path and the
+/// AVX-512 path's sub-8-tag tail, which both must produce the ids the
+/// vector body would have.
+std::size_t decide_span_scalar(std::uint64_t base, std::size_t first,
+                               std::size_t count, std::size_t local0,
+                               std::uint32_t threshold16,
+                               std::uint32_t lane_mask,
+                               std::uint16_t* out) noexcept {
+  std::uint16_t* cursor = out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t z = util::splitmix_at(base, first + i);
+    const std::uint32_t local = static_cast<std::uint32_t>((local0 + i) << 2);
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      if (((lane_mask >> j) & 1U) == 0U) continue;
+      if (static_cast<std::uint32_t>((z >> (16U * j)) & 0xFFFFU) <
+          threshold16) {
+        *cursor++ = static_cast<std::uint16_t>(local | j);
+      }
+    }
+  }
+  return static_cast<std::size_t>(cursor - out);
+}
+
+#if BFCE_HAVE_AVX512_KERNEL
+
+constexpr std::uint64_t kGoldenGamma = 0x9E3779B97F4A7C15ULL;
+
+/// 8 tags per iteration: each 64-bit lane holds splitmix_at(base, t) for
+/// one tag (the splitmix finaliser is three xor-shift-multiply steps —
+/// fully data-parallel once the state is counter-addressed); the 32
+/// 16-bit slices are the tags' decision bits, compared against the
+/// broadcast threshold in one instruction and compressed to dense lane
+/// ids with vpcompressw.
+__attribute__((target("avx512f,avx512bw,avx512dq,avx512vbmi2"))) std::size_t
+decide_tile_avx512(std::uint64_t base, std::size_t t0, std::size_t t1,
+                   std::uint32_t threshold16, std::uint32_t lane_mask,
+                   std::uint16_t* out) noexcept {
+  const __m512i gamma8 =
+      _mm512_set1_epi64(static_cast<long long>(8 * kGoldenGamma));
+  const __m512i mul1 =
+      _mm512_set1_epi64(static_cast<long long>(0xBF58476D1CE4E5B9ULL));
+  const __m512i mul2 =
+      _mm512_set1_epi64(static_cast<long long>(0x94D049BB133111EBULL));
+  const __m512i thr = _mm512_set1_epi16(
+      static_cast<short>(static_cast<std::uint16_t>(threshold16)));
+  const __m512i lane_step = _mm512_set1_epi16(32);
+  const __m512i lane_iota =
+      _mm512_set_epi16(31, 30, 29, 28, 27, 26, 25, 24, 23, 22, 21, 20, 19, 18,
+                       17, 16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2,
+                       1, 0);
+  // State lanes: base + (t + 1 .. t + 8)·γ for t = t0; wrap-around mod
+  // 2^64 matches splitmix_at exactly.
+  __m512i state = _mm512_add_epi64(
+      _mm512_set1_epi64(static_cast<long long>(base + t0 * kGoldenGamma)),
+      _mm512_mullo_epi64(_mm512_set_epi64(8, 7, 6, 5, 4, 3, 2, 1),
+                         _mm512_set1_epi64(static_cast<long long>(
+                             kGoldenGamma))));
+  __m512i lanes = lane_iota;
+  std::uint16_t* cursor = out;
+  std::size_t t = t0;
+  for (; t + 8 <= t1; t += 8) {
+    __m512i z = state;
+    z = _mm512_xor_epi64(z, _mm512_srli_epi64(z, 30));
+    z = _mm512_mullo_epi64(z, mul1);
+    z = _mm512_xor_epi64(z, _mm512_srli_epi64(z, 27));
+    z = _mm512_mullo_epi64(z, mul2);
+    z = _mm512_xor_epi64(z, _mm512_srli_epi64(z, 31));
+    const __mmask32 hit = _mm512_cmplt_epu16_mask(z, thr) &
+                          static_cast<__mmask32>(lane_mask);
+    _mm512_mask_compressstoreu_epi16(cursor, hit, lanes);
+    cursor += __builtin_popcount(static_cast<std::uint32_t>(hit));
+    state = _mm512_add_epi64(state, gamma8);
+    lanes = _mm512_add_epi16(lanes, lane_step);
+  }
+  cursor += decide_span_scalar(base, t, t1 - t, t - t0, threshold16,
+                               lane_mask, cursor);
+  return static_cast<std::size_t>(cursor - out);
+}
+
+#endif  // BFCE_HAVE_AVX512_KERNEL
+
+}  // namespace
+
+bool simd_supported() noexcept {
+#if BFCE_HAVE_AVX512_KERNEL
+  static const bool supported =
+      __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vbmi2");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+std::size_t bloom_decide_tile(std::uint64_t base, std::size_t t0,
+                              std::size_t t1, std::uint32_t threshold16,
+                              std::uint32_t lane_mask, bool allow_simd,
+                              std::uint16_t* out) noexcept {
+  if (threshold16 == 0 || lane_mask == 0 || t1 <= t0) return 0;
+  if (threshold16 >= 65536) {
+    // p = 1: every masked lane responds; no comparison needed.
+    std::uint16_t* cursor = out;
+    for (std::size_t t = t0; t < t1; ++t) {
+      const std::uint32_t local = static_cast<std::uint32_t>((t - t0) << 2);
+      for (std::uint32_t j = 0; j < 4; ++j) {
+        if ((lane_mask >> j) & 1U) {
+          *cursor++ = static_cast<std::uint16_t>(local | j);
+        }
+      }
+    }
+    return static_cast<std::size_t>(cursor - out);
+  }
+#if BFCE_HAVE_AVX512_KERNEL
+  if (allow_simd && simd_supported()) {
+    return decide_tile_avx512(base, t0, t1, threshold16, lane_mask, out);
+  }
+#else
+  (void)allow_simd;
+#endif
+  return decide_span_scalar(base, t0, t1 - t0, 0, threshold16, lane_mask,
+                            out);
+}
+
+}  // namespace bfce::rfid::detail

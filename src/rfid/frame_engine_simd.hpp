@@ -1,0 +1,59 @@
+#pragma once
+// Internal: the counter-addressed Bernoulli decision kernel of the
+// sharded exact-mode Bloom walk (ExecutionPolicy in frame_engine.hpp).
+//
+// The kernel answers, for every (tag t, hash j) pair of one tile, "does
+// the pair respond?" — where decision j of tag t is the j-th 16-bit
+// slice of util::splitmix_at(base, t) compared against a Bernoulli
+// threshold on the 1/65536 grid. Because each decision is a pure
+// function of (base, t), it can be evaluated in any order, on any
+// shard, by any instruction set: the AVX-512 path (8 tags × 4 decision
+// slices per vector, responders packed densely with vpcompressw) and
+// the scalar path emit the exact same lane ids in the exact same order,
+// so results never depend on the host ISA.
+//
+// Responders come out as dense 16-bit lane ids instead of a per-group
+// bitmask on purpose: at the paper's p ≈ 1/16 a mask-and-ctz drain
+// mispredicts its way through mostly-empty groups, while a dense list
+// gives the slot-hash/bitmap stage one well-predicted loop (measured
+// ~3x on the drain alone).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bfce::rfid::detail {
+
+/// Tile granularity of the sharded walk: small enough that one frame's
+/// shard-local bitmap plus the lane buffer stay cache-resident while a
+/// tile is walked, large enough to amortise per-(tile, frame) setup.
+inline constexpr std::size_t kShardTile = 4096;
+
+/// A tile emits at most 4 responder records per tag; lane ids are
+/// ((t - t0) << 2) | j with j < 4, so they fit 16 bits by construction.
+inline constexpr std::size_t kShardLaneCapacity = kShardTile * 4;
+
+/// Decision-slice mask for k hashes: bits j < k set in every tag nibble
+/// (k = 3 → 0x77777777, the paper's configuration).
+constexpr std::uint32_t lane_mask_for(std::uint32_t k) noexcept {
+  return 0x11111111U * ((1U << k) - 1U);
+}
+
+/// True when the AVX-512 kernel is compiled in and the CPU reports the
+/// required extensions (F, BW, DQ, VBMI2).
+bool simd_supported() noexcept;
+
+/// Writes one lane id ((t - t0) << 2 | j, ascending) per responding
+/// (tag, hash) pair for global tag indices [t0, t1) and returns the
+/// count. A pair responds when the j-th 16-bit slice of
+/// splitmix_at(base, t) is < threshold16 and bit j of lane_mask is set
+/// (threshold16 == 65536 means p = 1: every masked lane responds).
+///
+/// Preconditions: t1 - t0 <= kShardTile, threshold16 <= 65536,
+/// `out` holds kShardLaneCapacity entries. `allow_simd = false` forces
+/// the scalar path; output is bit-identical either way.
+std::size_t bloom_decide_tile(std::uint64_t base, std::size_t t0,
+                              std::size_t t1, std::uint32_t threshold16,
+                              std::uint32_t lane_mask, bool allow_simd,
+                              std::uint16_t* out) noexcept;
+
+}  // namespace bfce::rfid::detail

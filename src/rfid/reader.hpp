@@ -32,10 +32,11 @@ class ReaderContext {
   ReaderContext(const TagPopulation& tags, std::uint64_t seed,
                 FrameMode mode = FrameMode::kExact,
                 ChannelModel channel_model = {},
-                TimingModel timing_model = {})
+                TimingModel timing_model = {},
+                ExecutionPolicy engine_policy = {})
       : tags_(&tags),
         timing_(timing_model),
-        engine_(tags, Channel(channel_model), mode),
+        engine_(tags, Channel(channel_model), mode, engine_policy),
         rng_(util::derive_seed(seed, 0x5EEDED5EEDED5EEDULL)) {}
 
   [[nodiscard]] const TagPopulation& tags() const noexcept { return *tags_; }

@@ -169,12 +169,14 @@ std::string service_metrics_json(const ServiceMetrics& m) {
   const rfid::ShapeCounters total = m.engine.total();
   std::snprintf(buf, sizeof(buf),
                 "  \"engine\": {\"frames\": %llu, \"slots\": %llu, "
-                "\"tag_tx\": %llu, \"wall_ms\": %.3f, \"batches\": %llu}\n",
+                "\"tag_tx\": %llu, \"wall_ms\": %.3f, \"batches\": %llu, "
+                "\"sharded_walks\": %llu}\n",
                 static_cast<unsigned long long>(total.frames),
                 static_cast<unsigned long long>(total.slots),
                 static_cast<unsigned long long>(total.tag_tx),
                 total.wall_us / 1000.0,
-                static_cast<unsigned long long>(m.engine.batches));
+                static_cast<unsigned long long>(m.engine.batches),
+                static_cast<unsigned long long>(m.engine.sharded_walks));
   out += buf;
 
   out += "}\n";

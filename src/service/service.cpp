@@ -318,7 +318,8 @@ JobResult EstimationService::execute_job(const JobSpec& spec,
     }
     rfid::ReaderContext ctx(*spec.population,
                             util::derive_seed(spec.seed, attempt),
-                            config_.mode, config_.channel, config_.timing);
+                            config_.mode, config_.channel, config_.timing,
+                            config_.engine_policy);
     r.outcome = estimator->estimate(ctx, spec.req);
     r.counters += ctx.engine().counters();
     r.attempts = attempt + 1;

@@ -47,6 +47,7 @@
 #include "core/planner.hpp"
 #include "rfid/channel.hpp"
 #include "rfid/frame.hpp"
+#include "rfid/frame_engine.hpp"
 #include "rfid/timing.hpp"
 #include "service/job.hpp"
 #include "service/metrics.hpp"
@@ -63,6 +64,10 @@ struct ServiceConfig {
   rfid::FrameMode mode = rfid::FrameMode::kSampled;
   rfid::ChannelModel channel{};
   rfid::TimingModel timing{};
+  /// FrameEngine policy for every job's reader context. Sharding the
+  /// exact-mode walk is safe under worker-level parallelism: results are
+  /// a pure function of the job seed for any shard count.
+  rfid::ExecutionPolicy engine_policy{};
 
   /// Shared Theorem-4 planner for BFCE jobs (non-owning; must outlive
   /// the service). Null ⇒ every estimate runs the plain search.

@@ -18,7 +18,8 @@ std::vector<TrialRecord> run_experiment(const rfid::TagPopulation& population,
       [&](std::size_t t) {
         rfid::ReaderContext ctx(population,
                                 util::derive_seed(config.seed, t),
-                                config.mode, config.channel, config.timing);
+                                config.mode, config.channel, config.timing,
+                                config.engine_policy);
         const auto estimator = factory();
         const estimators::EstimateOutcome outcome =
             estimator->estimate(ctx, config.req);

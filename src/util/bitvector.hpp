@@ -66,7 +66,38 @@ class BitVector {
   /// Raw word storage (little-endian bit order within each word).
   [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept { return words_; }
 
+  /// Number of 64-bit storage words ((size + 63) / 64).
+  [[nodiscard]] std::size_t word_count() const noexcept { return words_.size(); }
+
+  /// Reads storage word `wi`. Precondition: wi < word_count().
+  [[nodiscard]] std::uint64_t word(std::size_t wi) const noexcept {
+    return words_[wi];
+  }
+
+  /// Overwrites storage word `wi` (64 slots at a time). Bits beyond
+  /// size() are masked off, so the final partial word can never hold
+  /// ghost ones — count_ones and first_zero depend on that invariant.
+  /// Precondition: wi < word_count().
+  void set_word(std::size_t wi, std::uint64_t value) noexcept {
+    words_[wi] = value & tail_mask(wi);
+  }
+
+  /// ORs `value` into storage word `wi` (tail-masked like set_word) —
+  /// the word-wide merge primitive for shard-local busy bitmaps.
+  /// Precondition: wi < word_count().
+  void or_word(std::size_t wi, std::uint64_t value) noexcept {
+    words_[wi] |= value & tail_mask(wi);
+  }
+
  private:
+  /// All-ones for full words, the partial mask for the final word of a
+  /// size that is not a multiple of 64.
+  [[nodiscard]] std::uint64_t tail_mask(std::size_t wi) const noexcept {
+    const std::size_t rem = size_ & 63;
+    return (rem != 0 && wi + 1 == words_.size()) ? (1ULL << rem) - 1
+                                                 : ~0ULL;
+  }
+
   std::size_t size_ = 0;
   std::vector<std::uint64_t> words_;
 };

@@ -95,6 +95,25 @@ class Xoshiro256ss {
   std::uint64_t state_[4];
 };
 
+/// Value of the SplitMix64 stream seeded with `base` at zero-based
+/// position `index`, computed directly instead of by generating the
+/// prefix: `splitmix_at(base, i)` equals the (i+1)-th output of
+/// `SplitMix64(base)`.
+///
+/// This is counter-addressed randomness: because the value depends only
+/// on (base, index), it can be evaluated in any order, by any thread,
+/// for any partition of the index range — the property the FrameEngine's
+/// sharded exact walk builds its shard-count-invariance on (per-tag
+/// decisions are indexed by the global tag index, never by a stream
+/// position that depends on who walked first).
+constexpr std::uint64_t splitmix_at(std::uint64_t base,
+                                    std::uint64_t index) noexcept {
+  std::uint64_t z = base + (index + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 /// Derives the seed for child stream `index` from `master`.
 ///
 /// Child streams produced from distinct indices are statistically

@@ -98,5 +98,93 @@ TEST(BitVector, WordsExposeStorage) {
   EXPECT_EQ(v.words()[0], (1ULL << 63) | 1ULL);
 }
 
+// ---- word-level writers and tail-word edges ---------------------------
+
+TEST(BitVector, SetWordAndOrWord) {
+  BitVector v(192);
+  ASSERT_EQ(v.word_count(), 3u);
+  v.set_word(1, 0xF0F0F0F0F0F0F0F0ULL);
+  EXPECT_EQ(v.word(1), 0xF0F0F0F0F0F0F0F0ULL);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_TRUE(v.get(68));
+  EXPECT_EQ(v.count_ones(), 32u);
+
+  v.or_word(1, 0x0F0F0F0F0F0F0F0FULL);
+  EXPECT_EQ(v.word(1), ~0ULL);
+  EXPECT_EQ(v.count_ones(), 64u);
+
+  // set_word replaces; or_word accumulates.
+  v.set_word(1, 1ULL);
+  EXPECT_EQ(v.word(1), 1ULL);
+  v.or_word(1, 2ULL);
+  EXPECT_EQ(v.word(1), 3ULL);
+}
+
+TEST(BitVector, WordWritersMaskTailPadding) {
+  // 70 bits: the final word holds 6 live bits; writers must never leak
+  // ones into the padding (count_ones and first_zero would misreport).
+  BitVector v(70);
+  ASSERT_EQ(v.word_count(), 2u);
+  v.set_word(1, ~0ULL);
+  EXPECT_EQ(v.word(1), 0x3FULL);
+  EXPECT_EQ(v.count_ones(), 6u);
+  EXPECT_EQ(v.first_zero(), 0u);
+
+  v.clear();
+  v.or_word(1, ~0ULL);
+  EXPECT_EQ(v.word(1), 0x3FULL);
+  EXPECT_EQ(v.count_ones(), 6u);
+
+  // A full first word stays unmasked.
+  v.set_word(0, ~0ULL);
+  EXPECT_EQ(v.word(0), ~0ULL);
+  EXPECT_EQ(v.count_ones(), 70u);
+  EXPECT_EQ(v.first_zero(), 70u);
+}
+
+TEST(BitVector, ExactMultipleOf64HasNoTailMask) {
+  BitVector v(128);
+  v.set_word(1, ~0ULL);
+  EXPECT_EQ(v.word(1), ~0ULL);
+  EXPECT_EQ(v.count_ones(), 64u);
+}
+
+TEST(BitVector, CountOnesPrefixAtOddBoundaries) {
+  // 197 bits (3 words, 5 live bits in the tail), every third bit set.
+  BitVector v(197);
+  for (std::size_t i = 0; i < 197; i += 3) v.set(i);
+  const auto expected = [](std::size_t prefix) {
+    return (prefix + 2) / 3;
+  };
+  for (const std::size_t prefix :
+       {std::size_t{0}, std::size_t{1}, std::size_t{63}, std::size_t{64},
+        std::size_t{65}, std::size_t{126}, std::size_t{127},
+        std::size_t{128}, std::size_t{129}, std::size_t{191},
+        std::size_t{192}, std::size_t{195}, std::size_t{196},
+        std::size_t{197}}) {
+    EXPECT_EQ(v.count_ones_prefix(prefix), expected(prefix))
+        << "prefix " << prefix;
+  }
+  // Clamped past the tail word.
+  EXPECT_EQ(v.count_ones_prefix(198), expected(197));
+  EXPECT_EQ(v.count_ones_prefix(250), expected(197));
+}
+
+TEST(BitVector, FirstZeroFirstOneInPartialFinalWord) {
+  // 67 bits: the scan must stop at the live tail, not the word edge.
+  BitVector v(67);
+  for (std::size_t i = 0; i < 66; ++i) v.set(i);
+  EXPECT_EQ(v.first_zero(), 66u);
+  v.set(66);
+  EXPECT_EQ(v.first_zero(), 67u);  // all live bits set ⇒ size()
+
+  BitVector w(67);
+  EXPECT_EQ(w.first_one(), 67u);
+  w.set(66);  // only the last live bit
+  EXPECT_EQ(w.first_one(), 66u);
+  w.set(64);
+  EXPECT_EQ(w.first_one(), 64u);
+}
+
 }  // namespace
 }  // namespace bfce::util

@@ -17,6 +17,8 @@
 
 #include <gtest/gtest.h>
 
+#include "rfid/frame_engine_simd.hpp"
+
 #include <cassert>
 #include <cmath>
 #include <random>
@@ -463,6 +465,240 @@ TEST(FrameEngineBatch, MixedShapesFallBackToSequential) {
   expect_same_rng(batch_rng, seq_rng);
   EXPECT_EQ(batched.counters().blocked_batches, 0u);
   EXPECT_EQ(batched.counters().batches, 1u);
+}
+
+// ---- sharded execution (ExecutionPolicy) ------------------------------
+
+/// Sharded policy with the size floor disabled so small test populations
+/// actually split into the requested number of shards.
+ExecutionPolicy sharded_policy(std::uint32_t shards) {
+  ExecutionPolicy policy = ExecutionPolicy::sharded(shards);
+  policy.min_tags_per_shard = 1;
+  return policy;
+}
+
+// The headline determinism promise: the sharded walk is a pure function
+// of the seed — bit-identical busy maps, transmission counts, and RNG
+// stream position for ANY shard count, across every persistence mode
+// and with an imperfect channel in the loop.
+TEST(FrameEngineSharded, BitIdenticalForAnyShardCount) {
+  const TagPopulation pop = test_pop(3000);
+  for (const Channel ch : {Channel{}, Channel{ChannelModel{0.05, 0.02}}}) {
+    for (const auto mode : {hash::PersistenceMode::kIdealBernoulli,
+                            hash::PersistenceMode::kSharedDraw,
+                            hash::PersistenceMode::kRnBits}) {
+      const auto batch = bloom_batch(mode, 4, 300);
+      for (const std::uint32_t shards : {4u, 8u}) {
+        FrameEngine one(pop, ch, FrameMode::kExact, sharded_policy(1));
+        FrameEngine many(pop, ch, FrameMode::kExact,
+                         sharded_policy(shards));
+        util::Xoshiro256ss one_rng(11);
+        util::Xoshiro256ss many_rng(11);
+        const auto ref = one.execute_batch(batch, one_rng);
+        const auto res = many.execute_batch(batch, many_rng);
+        ASSERT_EQ(res.size(), ref.size());
+        for (std::size_t i = 0; i < res.size(); ++i) {
+          EXPECT_EQ(ref[i].busy.words(), res[i].busy.words())
+              << "mode " << static_cast<int>(mode) << " shards " << shards
+              << " frame " << i;
+          EXPECT_EQ(ref[i].tx, res[i].tx);
+        }
+        expect_same_rng(one_rng, many_rng);
+      }
+    }
+  }
+}
+
+// kRnBits tag decisions draw no RNG on either walk and the channel
+// replay preserves the sequential draw order, so the sharded path is
+// bit-identical to the plain sequential engine — RNG stream included.
+TEST(FrameEngineSharded, RnBitsMatchesSequentialEngineExactly) {
+  const TagPopulation pop = test_pop(3000);
+  for (const Channel ch : {Channel{}, Channel{ChannelModel{0.05, 0.02}}}) {
+    const auto cfg = bloom_cfg(hash::PersistenceMode::kRnBits);
+    FrameEngine seq(pop, ch, FrameMode::kExact);
+    FrameEngine shd(pop, ch, FrameMode::kExact, sharded_policy(4));
+    util::Xoshiro256ss seq_rng(5);
+    util::Xoshiro256ss shd_rng(5);
+    const FrameResult a = seq.execute(FrameRequest::bloom(cfg), seq_rng);
+    const FrameResult b = shd.execute(FrameRequest::bloom(cfg), shd_rng);
+    EXPECT_EQ(a.busy.words(), b.busy.words());
+    EXPECT_EQ(a.tx, b.tx);
+    expect_same_rng(seq_rng, shd_rng);
+    EXPECT_EQ(shd.counters().sharded_walks, 1u);
+  }
+}
+
+// Flipping allow_simd must not change a single bit: the AVX-512 kernel
+// and the scalar kernel emit the same decisions in the same order.
+TEST(FrameEngineSharded, SimdAndScalarBitIdentical) {
+  const TagPopulation pop = test_pop(5000);
+  const Channel ch;
+  const auto batch =
+      bloom_batch(hash::PersistenceMode::kIdealBernoulli, 4, 700);
+  ExecutionPolicy simd = sharded_policy(4);
+  ExecutionPolicy scalar = sharded_policy(4);
+  scalar.allow_simd = false;
+  FrameEngine a(pop, ch, FrameMode::kExact, simd);
+  FrameEngine b(pop, ch, FrameMode::kExact, scalar);
+  util::Xoshiro256ss a_rng(23);
+  util::Xoshiro256ss b_rng(23);
+  const auto ra = a.execute_batch(batch, a_rng);
+  const auto rb = b.execute_batch(batch, b_rng);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].busy.words(), rb[i].busy.words());
+    EXPECT_EQ(ra[i].tx, rb[i].tx);
+  }
+  expect_same_rng(a_rng, b_rng);
+}
+
+// Direct kernel check: vector and scalar decision tiles agree on count
+// and content for awkward spans (sub-vector tails, tiny tiles, extreme
+// thresholds, every lane-mask width).
+TEST(FrameEngineSharded, DecideTileSimdMatchesScalar) {
+  if (!detail::simd_supported()) {
+    GTEST_SKIP() << "AVX-512 kernel not available on this host";
+  }
+  std::vector<std::uint16_t> va(detail::kShardLaneCapacity);
+  std::vector<std::uint16_t> vb(detail::kShardLaneCapacity);
+  const std::uint64_t base = 0x0123456789ABCDEFULL;
+  const std::size_t spans[][2] = {
+      {0, 1},    {0, 7},     {0, 8},         {0, 4096},
+      {5, 4093}, {100, 163}, {70000, 74096},
+  };
+  for (const auto& span : spans) {
+    for (const std::uint32_t thr : {1u, 4096u, 16384u, 65535u}) {
+      for (std::uint32_t k = 1; k <= 4; ++k) {
+        const std::uint32_t mask = detail::lane_mask_for(k);
+        const std::size_t na = detail::bloom_decide_tile(
+            base, span[0], span[1], thr, mask, true, va.data());
+        const std::size_t nb = detail::bloom_decide_tile(
+            base, span[0], span[1], thr, mask, false, vb.data());
+        ASSERT_EQ(na, nb) << "span [" << span[0] << ", " << span[1]
+                          << ") thr " << thr << " k " << k;
+        for (std::size_t i = 0; i < na; ++i) {
+          ASSERT_EQ(va[i], vb[i]) << "lane " << i;
+        }
+      }
+    }
+  }
+}
+
+// Frames the packed kernel cannot take — p off the 1/65536 grid, k > 4,
+// and the p = 1 fast path — still honour shard-count invariance.
+TEST(FrameEngineSharded, EdgeCaseFramesShardInvariant) {
+  const TagPopulation pop = test_pop(3000);
+  const Channel ch;
+
+  auto off_grid = bloom_cfg(hash::PersistenceMode::kIdealBernoulli);
+  off_grid.p = 0.3;  // not representable as x/65536
+  auto wide = bloom_cfg(hash::PersistenceMode::kIdealBernoulli);
+  wide.k = 5;
+  wide.seeds = {11, 22, 33, 44, 55};
+  auto certain = bloom_cfg(hash::PersistenceMode::kIdealBernoulli,
+                           1024 /* p = 1 */);
+
+  std::vector<FrameRequest> batch;
+  batch.push_back(FrameRequest::bloom(off_grid));
+  batch.push_back(FrameRequest::bloom(wide));
+  batch.push_back(FrameRequest::bloom(certain));
+
+  for (const std::uint32_t shards : {4u, 8u}) {
+    FrameEngine one(pop, ch, FrameMode::kExact, sharded_policy(1));
+    FrameEngine many(pop, ch, FrameMode::kExact, sharded_policy(shards));
+    util::Xoshiro256ss one_rng(31);
+    util::Xoshiro256ss many_rng(31);
+    const auto ref = one.execute_batch(batch, one_rng);
+    const auto res = many.execute_batch(batch, many_rng);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(ref[i].busy.words(), res[i].busy.words()) << "frame " << i;
+      EXPECT_EQ(ref[i].tx, res[i].tx);
+    }
+    expect_same_rng(one_rng, many_rng);
+    // p = 1: all 3000 tags answer in all k slots, on every walk.
+    EXPECT_EQ(res[2].tx, 3000u * certain.k);
+  }
+}
+
+// A sharded batch under a perfect channel is bit-identical to issuing
+// the same frames one at a time on a sharded engine: each stochastic
+// frame consumes exactly one draw, in request order, on both paths.
+TEST(FrameEngineSharded, BatchMatchesPerFrameShardedPerfectChannel) {
+  const TagPopulation pop = test_pop(2500);
+  const Channel ch;
+  const auto batch =
+      bloom_batch(hash::PersistenceMode::kIdealBernoulli, 4, 900);
+  FrameEngine batched(pop, ch, FrameMode::kExact, sharded_policy(4));
+  FrameEngine single(pop, ch, FrameMode::kExact, sharded_policy(4));
+  util::Xoshiro256ss batch_rng(41);
+  util::Xoshiro256ss single_rng(41);
+  const auto batch_res = batched.execute_batch(batch, batch_rng);
+  std::vector<FrameResult> single_res;
+  for (const FrameRequest& r : batch) {
+    single_res.push_back(single.execute(r, single_rng));
+  }
+  for (std::size_t i = 0; i < batch_res.size(); ++i) {
+    EXPECT_EQ(batch_res[i].busy.words(), single_res[i].busy.words());
+    EXPECT_EQ(batch_res[i].tx, single_res[i].tx);
+  }
+  expect_same_rng(batch_rng, single_rng);
+}
+
+// The stochastic modes repack the tag-side draws into counter-addressed
+// streams, so sharded-vs-sequential promises the same law, not the same
+// bits: two-sample KS on per-frame busy counts.
+TEST(FrameEngineSharded, StochasticModesMatchSequentialLaw) {
+  const TagPopulation pop = test_pop(1500);
+  const Channel ch;
+  for (const auto mode : {hash::PersistenceMode::kIdealBernoulli,
+                          hash::PersistenceMode::kSharedDraw}) {
+    std::vector<double> sharded_counts;
+    std::vector<double> sequential_counts;
+    for (std::uint64_t trial = 0; trial < 120; ++trial) {
+      const auto batch = bloom_batch(mode, 4, 2000 + 97 * trial);
+      FrameEngine sharded(pop, ch, FrameMode::kExact, sharded_policy(4));
+      util::Xoshiro256ss shd_rng(700 + trial);
+      for (const FrameResult& r : sharded.execute_batch(batch, shd_rng)) {
+        sharded_counts.push_back(static_cast<double>(r.busy.count_ones()));
+      }
+      FrameEngine sequential(pop, ch, FrameMode::kExact);
+      util::Xoshiro256ss seq_rng(9500 + trial);
+      for (const FrameRequest& r : batch) {
+        sequential_counts.push_back(static_cast<double>(
+            sequential.execute(r, seq_rng).busy.count_ones()));
+      }
+    }
+    const double d = math::ks_statistic(sharded_counts, sequential_counts);
+    const double p =
+        math::ks_pvalue(d, sharded_counts.size(), sequential_counts.size());
+    EXPECT_GT(p, 1e-3) << "mode " << static_cast<int>(mode)
+                       << ": KS D=" << d;
+  }
+}
+
+TEST(FrameEngineSharded, CountsShardedWalks) {
+  const TagPopulation pop = test_pop(2000);
+  const Channel ch;
+  FrameEngine engine(pop, ch, FrameMode::kExact, sharded_policy(4));
+  util::Xoshiro256ss rng(1);
+  const auto cfg = bloom_cfg(hash::PersistenceMode::kRnBits);
+  engine.execute(FrameRequest::bloom(cfg), rng);
+  EXPECT_EQ(engine.counters().sharded_walks, 1u);
+  engine.execute_batch(bloom_batch(hash::PersistenceMode::kRnBits, 4, 50),
+                       rng);
+  EXPECT_EQ(engine.counters().sharded_walks, 2u);
+  EXPECT_EQ(engine.counters().batches, 1u);
+  EXPECT_EQ(engine.counters().blocked_batches, 0u);
+
+  engine.set_policy(ExecutionPolicy::sequential());
+  engine.execute(FrameRequest::bloom(cfg), rng);
+  EXPECT_EQ(engine.counters().sharded_walks, 2u);
+
+  EngineCounters sum;
+  sum += engine.counters();
+  sum += engine.counters();
+  EXPECT_EQ(sum.sharded_walks, 4u);
 }
 
 // ---- counters ---------------------------------------------------------

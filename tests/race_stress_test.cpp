@@ -13,6 +13,9 @@
 //   * metrics() / queue_depth() / poll() snapshots during the storm
 //   * concurrent shutdown() callers (double-join on the pool)
 //   * PersistencePlanner::choose / stats / clear from many threads
+//   * the sharded exact-mode FrameEngine walk: every worker spins up
+//     its own parallel_for shard team; scratch must stay private and
+//     duplicate-seed jobs bit-identical
 #include <gtest/gtest.h>
 
 #include <array>
@@ -23,7 +26,10 @@
 #include <vector>
 
 #include "core/planner.hpp"
+#include "hash/persistence.hpp"
+#include "rfid/frame.hpp"
 #include "rfid/population.hpp"
+#include "rfid/reader.hpp"
 #include "service/service.hpp"
 #include "util/rng.hpp"
 
@@ -190,6 +196,78 @@ TEST(RaceStress, ConcurrentShutdownCallersAllObserveTheJoin) {
     // Post-shutdown the service must refuse admissions, not crash.
     EXPECT_EQ(svc.submit(noop_spec(99)), kInvalidJob);
   }
+}
+
+/// Runs a 4-frame exact Bloom batch through the context's engine — the
+/// sharded walk when the service config asks for one — and folds busy
+/// maps and transmission counts into a deterministic pseudo-estimate so
+/// duplicate-seed jobs can be compared bit for bit.
+class ShardedBloomEstimator final : public estimators::CardinalityEstimator {
+ public:
+  std::string name() const override { return "sharded-bloom-stress"; }
+  estimators::EstimateOutcome estimate(
+      rfid::ReaderContext& ctx, const estimators::Requirement&) override {
+    std::vector<rfid::FrameRequest> batch;
+    for (int f = 0; f < 4; ++f) {
+      rfid::BloomFrameConfig cfg;
+      cfg.w = 1024;
+      cfg.set_p_numerator(256);
+      cfg.persistence = hash::PersistenceMode::kIdealBernoulli;
+      cfg.seeds = {ctx.next_seed(), ctx.next_seed(), ctx.next_seed()};
+      batch.push_back(rfid::FrameRequest::bloom(cfg));
+    }
+    double acc = 0.0;
+    for (const rfid::FrameResult& r : ctx.run_batch(batch)) {
+      acc += static_cast<double>(r.busy.count_ones()) +
+             1e-3 * static_cast<double>(r.tx);
+    }
+    estimators::EstimateOutcome out;
+    out.n_hat = acc;
+    out.met_by_design = true;
+    return out;
+  }
+};
+
+// The sharded exact walk inside the service worker pool: every worker's
+// engine runs its own parallel_for shard team concurrently with the
+// other workers'. TSan checks the shard scratch really is private; the
+// assertions check the determinism contract end to end — duplicate-seed
+// jobs must agree bit for bit no matter which worker ran them or how
+// the shard teams interleaved.
+TEST(RaceStress, ShardedWalkUnderServiceWorkers) {
+  ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.mode = rfid::FrameMode::kExact;
+  rfid::ExecutionPolicy policy = rfid::ExecutionPolicy::sharded(4);
+  policy.min_tags_per_shard = 1;  // the 5000-tag pool really splits 4 ways
+  cfg.engine_policy = policy;
+  EstimationService svc(cfg);
+
+  constexpr std::uint64_t kDistinctSeeds = 8;
+  constexpr std::uint64_t kReplicas = 4;
+  std::vector<JobId> ids;
+  for (std::uint64_t i = 0; i < kDistinctSeeds * kReplicas; ++i) {
+    JobSpec spec;
+    spec.population = &stress_pop();
+    spec.factory = [] { return std::make_unique<ShardedBloomEstimator>(); };
+    spec.seed = 100 + i % kDistinctSeeds;
+    ids.push_back(svc.submit(spec));
+  }
+
+  std::array<double, kDistinctSeeds> first{};
+  std::array<bool, kDistinctSeeds> seen{};
+  for (std::uint64_t i = 0; i < ids.size(); ++i) {
+    const JobResult r = svc.wait(ids[i]);
+    ASSERT_EQ(r.status, JobStatus::kDone);
+    const std::size_t group = i % kDistinctSeeds;
+    if (!seen[group]) {
+      seen[group] = true;
+      first[group] = r.outcome.n_hat;
+    } else {
+      EXPECT_EQ(r.outcome.n_hat, first[group]) << "seed group " << group;
+    }
+  }
+  EXPECT_EQ(svc.metrics().engine.sharded_walks, kDistinctSeeds * kReplicas);
 }
 
 TEST(RaceStress, PlannerChooseStatsClearStorm) {

@@ -6,6 +6,7 @@
 #   tools/ci.sh asan tsan       # lints + just the named presets
 #   tools/ci.sh --no-lint tsan  # skip the lint stage (debugging builds)
 #   tools/ci.sh --conformance   # + the statistical (ε, δ) contract tier
+#   tools/ci.sh --perf-smoke    # + frame-throughput regression gate
 #
 # Stages:
 #   1. tools/lint_determinism.py — bans nondeterminism sources and raw
@@ -24,20 +25,28 @@
 #      build — the seeded Clopper–Pearson sweep of tests/
 #      conformance_test.cpp. Also works against a tsan build dir:
 #      `ctest --test-dir build-tsan -L conformance`.
+#   5. Opt-in (--perf-smoke): reruns `micro_frame --baseline` in the
+#      release build and fails if engine_tags_per_s at any n regresses
+#      more than 30% against the committed BENCH_frame.json. The gate
+#      compares the sequential engine column only — it exists on every
+#      host, whereas the sharded column's absolute numbers depend on
+#      core count and AVX-512 availability.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=0
 lint=1
 conformance=0
+perf_smoke=0
 presets=()
 for arg in "$@"; do
   case "${arg}" in
     --quick) quick=1 ;;
     --no-lint) lint=0 ;;
     --conformance) conformance=1 ;;
+    --perf-smoke) perf_smoke=1 ;;
     --help|-h)
-      sed -n '2,27p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,33p' "$0" | sed 's/^# \{0,1\}//'
       exit 0 ;;
     *) presets+=("${arg}") ;;
   esac
@@ -66,6 +75,15 @@ for preset in "${presets[@]}"; do
   ctest --preset "${preset}"
   if [ "${preset}" = "release" ]; then
     echo "==== tracking smoke (release) =============================="
+    # The smoke run needs the committed tracking baseline to compare
+    # against; a missing file means the baseline was never regenerated
+    # after a tracking change, so fail fast rather than skip silently.
+    if [ ! -f BENCH_tracking.json ]; then
+      echo "FAIL: BENCH_tracking.json is missing from the repo root." >&2
+      echo "Regenerate it: (cd build-release && ./bench/tracking_bench)" >&2
+      echo "then commit the refreshed baseline." >&2
+      exit 1
+    fi
     # Bounded: the smoke workload finishes in seconds; the timeout is a
     # hang guard, and the binary's own exit code asserts tracked RMSE
     # beats raw on the ramp and step scenarios.
@@ -80,5 +98,53 @@ if [ "${conformance}" -eq 1 ]; then
     cmake --build --preset release -j "${jobs}"
   fi
   ctest --test-dir build-release -L conformance --output-on-failure
+fi
+
+if [ "${perf_smoke}" -eq 1 ]; then
+  echo "==== perf smoke: frame throughput =========================="
+  if [ ! -f BENCH_frame.json ]; then
+    echo "FAIL: BENCH_frame.json is missing from the repo root." >&2
+    echo "Regenerate it: (cd build-release && ./bench/micro_frame --baseline)" >&2
+    echo "then commit the refreshed baseline." >&2
+    exit 1
+  fi
+  if [ ! -d build-release ]; then
+    cmake --preset release
+    cmake --build --preset release -j "${jobs}"
+  fi
+  cmake --build --preset release -j "${jobs}" --target micro_frame
+  (cd "build-release" && timeout 300 ./bench/micro_frame --baseline)
+  # Gate on the sequential engine column: fresh throughput must stay
+  # within 30% of the committed baseline at every n. (The sharded and
+  # legacy columns are informational — their ratios shift with core
+  # count and ISA, and legacy only regresses if the reference does.)
+  python3 - BENCH_frame.json build-release/BENCH_frame.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    committed = {p["n"]: p for p in json.load(f)["points"]}
+with open(sys.argv[2]) as f:
+    fresh = {p["n"]: p for p in json.load(f)["points"]}
+
+failed = False
+for n, base in sorted(committed.items()):
+    if n not in fresh:
+        print(f"FAIL: fresh baseline has no point for n={n}")
+        failed = True
+        continue
+    old = base["engine_tags_per_s"]
+    new = fresh[n]["engine_tags_per_s"]
+    ratio = new / old if old > 0 else float("inf")
+    status = "ok" if ratio >= 0.7 else "REGRESSION"
+    print(f"n={n:>9,}: engine {old:.3e} -> {new:.3e} tags/s "
+          f"({ratio:.2f}x) {status}")
+    if ratio < 0.7:
+        failed = True
+if failed:
+    print("FAIL: engine_tags_per_s regressed more than 30% "
+          "against the committed BENCH_frame.json")
+    sys.exit(1)
+print("perf smoke: engine throughput within 30% of baseline")
+EOF
 fi
 echo "==== all stages green ======================================"
