@@ -30,6 +30,8 @@ inline rfid::EngineCounters& comparison_counters() {
 /// One comparison point: protocol × (n, ε, δ) on T2. The per-point seed
 /// absorbs every sweep coordinate through util::SeedMixer, so nearby
 /// (n, ε, δ) points and distinct protocols get uncorrelated streams.
+/// `--shards=N` routes every trial's frames through the sharded
+/// pipeline (exact walk / batched sampler; 0 ⇒ default thread count).
 inline sim::ExperimentSummary comparison_point(
     PopulationCache& pops, const std::string& protocol, std::size_t n,
     double eps, double delta, const util::Cli& cli, std::size_t trials) {
@@ -37,6 +39,11 @@ inline sim::ExperimentSummary comparison_point(
   cfg.trials = trials;
   cfg.req = {eps, delta};
   cfg.mode = mode_from(cli);
+  const std::int64_t shards = cli.get_int("shards", -1);
+  if (shards >= 0) {
+    cfg.engine_policy =
+        rfid::ExecutionPolicy::sharded(static_cast<std::uint32_t>(shards));
+  }
   cfg.seed = util::SeedMixer(cli.seed())
                  .absorb(static_cast<std::uint64_t>(n))
                  .absorb(eps)

@@ -6,6 +6,10 @@
 // between with visible variance; BFCE is flat at < 0.19 s (plus a few ms
 // of probe cost our ledger includes). Headline averages: BFCE ~30× faster
 // than ZOE, ~2× faster than SRC.
+//
+// Flags: [--trials=15] [--exact] [--shards=N] — --shards routes every
+// trial through the sharded engine pipeline (reported protocol times are
+// simulated airtime, so only host wall-clock changes).
 
 #include <iostream>
 
@@ -67,7 +71,7 @@ void sweep(const char* title, bench::PopulationCache& pops,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"trials", "exact"});
+  const util::Cli cli(argc, argv, {"trials", "exact", "shards"});
   const auto trials = static_cast<std::size_t>(cli.get_int("trials", 15));
   bench::PopulationCache pops(cli.seed());
   SpeedupAccumulator acc;

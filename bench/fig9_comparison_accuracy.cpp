@@ -7,6 +7,10 @@
 // Paper shape: all three usually meet the requirement, but ZOE and SRC
 // show occasional violations (their accuracy depends on the luck of the
 // rough-estimation phase); BFCE meets it in every run.
+//
+// Flags: [--trials=15] [--exact] [--shards=N] — --shards routes every
+// trial through the sharded engine pipeline (results are a pure
+// function of the per-point seed for any shard count).
 
 #include <iostream>
 
@@ -46,7 +50,7 @@ void sweep(const char* title, bench::PopulationCache& pops,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"trials", "exact"});
+  const util::Cli cli(argc, argv, {"trials", "exact", "shards"});
   const auto trials = static_cast<std::size_t>(cli.get_int("trials", 15));
   bench::PopulationCache pops(cli.seed());
 

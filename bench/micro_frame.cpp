@@ -6,9 +6,12 @@
 // Two entry points:
 //   * default — the usual google-benchmark driver (filters, repetitions,
 //     --benchmark_* flags all work);
-//   * `--baseline` — a self-timed legacy-vs-engine comparison of a
-//     16-frame Bloom batch at n ∈ {1e4, 1e5, 1e6}, written as
-//     machine-readable JSON to BENCH_frame.json (and echoed to stdout).
+//   * `--baseline` — a self-timed comparison at n ∈ {1e4, 1e5, 1e6},
+//     written as machine-readable JSON to BENCH_frame.json (and echoed
+//     to stdout): the 16-frame exact Bloom batch through the pre-engine
+//     executor / execute_batch / the sharded walk, the same batch in
+//     sampled mode (legacy executors vs the batched sampler), and a
+//     16-frame exact ALOHA batch (sequential vs sharded).
 
 #include <benchmark/benchmark.h>
 
@@ -260,13 +263,27 @@ double best_seconds(F&& body) {
   return best;
 }
 
+/// 16 exact ALOHA frames (f = 1024, p = 1) at distinct seeds — the
+/// non-Bloom probe of the sharded plan/render/reduce walk. p = 1 draws
+/// no tag-side RNG, so the sharded result is bit-identical to the
+/// sequential one.
+std::vector<rfid::FrameRequest> aloha_batch() {
+  std::vector<rfid::FrameRequest> batch;
+  batch.reserve(kBatchFrames);
+  for (std::size_t i = 0; i < kBatchFrames; ++i) {
+    batch.push_back(rfid::FrameRequest::aloha(1024, 1.0, 100 + i));
+  }
+  return batch;
+}
+
 int run_baseline() {
   const std::vector<std::size_t> ns = {10000, 100000, 1000000};
   const auto batch = bloom_batch();
+  const auto exact_aloha = aloha_batch();
   const auto cfg = bloom_cfg();
 
   std::string json;
-  char buf[512];
+  char buf[1024];
   std::snprintf(buf, sizeof(buf),
                 "{\n  \"bench\": \"micro_frame\",\n"
                 "  \"batch_frames\": %zu,\n"
@@ -276,9 +293,13 @@ int run_baseline() {
   json += buf;
 
   std::printf("16-frame exact Bloom batch, pre-engine executor vs "
-              "FrameEngine::execute_batch vs the sharded walk\n");
-  std::printf("%10s %15s %15s %15s %8s %8s\n", "n", "legacy_tags/s",
-              "engine_tags/s", "sharded_tags/s", "eng_x", "shard_x");
+              "FrameEngine::execute_batch vs the sharded walk;\n"
+              "plus the same batch in sampled mode (batched sampler) and "
+              "a 16-frame exact ALOHA batch (f=1024, p=1)\n");
+  std::printf("%10s %15s %15s %15s %8s %8s %15s %8s %15s %8s\n", "n",
+              "legacy_tags/s", "engine_tags/s", "sharded_tags/s", "eng_x",
+              "shard_x", "sampled_tags/s", "samp_x", "aloha_tags/s",
+              "aloha_x");
 
   bool first = true;
   for (const std::size_t n : ns) {
@@ -307,15 +328,58 @@ int run_baseline() {
       benchmark::DoNotOptimize(sharded.execute_batch(batch, sharded_rng));
     });
 
+    // Sampled mode: the same 16-frame Bloom batch as aggregate response
+    // draws — legacy per-frame executors vs the batched sampler.
+    rfid::FrameEngine sampled_seq(n, ch);
+    util::Xoshiro256ss sampled_seq_rng(7);
+    const double sampled_s = best_seconds([&] {
+      benchmark::DoNotOptimize(
+          sampled_seq.execute_batch(batch, sampled_seq_rng));
+    });
+
+    rfid::FrameEngine sampled_shd(n, ch);
+    sampled_shd.set_policy(rfid::ExecutionPolicy::sharded());
+    util::Xoshiro256ss sampled_shd_rng(7);
+    const double sampled_sharded_s = best_seconds([&] {
+      benchmark::DoNotOptimize(
+          sampled_shd.execute_batch(batch, sampled_shd_rng));
+    });
+
+    // Exact ALOHA: sequential per-frame walk vs the sharded walk.
+    rfid::FrameEngine aloha_seq(pop, ch, rfid::FrameMode::kExact);
+    util::Xoshiro256ss aloha_seq_rng(7);
+    const double aloha_s = best_seconds([&] {
+      benchmark::DoNotOptimize(
+          aloha_seq.execute_batch(exact_aloha, aloha_seq_rng));
+    });
+
+    rfid::FrameEngine aloha_shd(pop, ch, rfid::FrameMode::kExact,
+                                rfid::ExecutionPolicy::sharded());
+    util::Xoshiro256ss aloha_shd_rng(7);
+    const double aloha_sharded_s = best_seconds([&] {
+      benchmark::DoNotOptimize(
+          aloha_shd.execute_batch(exact_aloha, aloha_shd_rng));
+    });
+
     const double tags = static_cast<double>(n * kBatchFrames);
     const double legacy_tps = tags / legacy_s;
     const double engine_tps = tags / engine_s;
     const double sharded_tps = tags / sharded_s;
+    const double sampled_tps = tags / sampled_s;
+    const double sampled_sharded_tps = tags / sampled_sharded_s;
+    const double aloha_tps = tags / aloha_s;
+    const double aloha_sharded_tps = tags / aloha_sharded_s;
     const double speedup = legacy_s / engine_s;
     const double sharded_speedup = engine_s / sharded_s;
+    const double sampled_speedup = sampled_s / sampled_sharded_s;
+    const double aloha_speedup = aloha_s / aloha_sharded_s;
 
-    std::printf("%10zu %15.3e %15.3e %15.3e %7.2fx %7.2fx\n", n, legacy_tps,
-                engine_tps, sharded_tps, speedup, sharded_speedup);
+    std::printf(
+        "%10zu %15.3e %15.3e %15.3e %7.2fx %7.2fx %15.3e %7.2fx %15.3e "
+        "%7.2fx\n",
+        n, legacy_tps, engine_tps, sharded_tps, speedup, sharded_speedup,
+        sampled_sharded_tps, sampled_speedup, aloha_sharded_tps,
+        aloha_speedup);
 
     std::snprintf(buf, sizeof(buf),
                   "%s\n    {\"n\": %zu, \"legacy_s\": %.6f, "
@@ -323,10 +387,21 @@ int run_baseline() {
                   "\"legacy_tags_per_s\": %.1f, "
                   "\"engine_tags_per_s\": %.1f, "
                   "\"sharded_tags_per_s\": %.1f, \"speedup\": %.3f, "
-                  "\"sharded_speedup\": %.3f}",
+                  "\"sharded_speedup\": %.3f,\n"
+                  "     \"sampled_s\": %.6f, \"sampled_sharded_s\": %.6f, "
+                  "\"sampled_tags_per_s\": %.1f, "
+                  "\"sampled_sharded_tags_per_s\": %.1f, "
+                  "\"sampled_speedup\": %.3f,\n"
+                  "     \"aloha_s\": %.6f, \"aloha_sharded_s\": %.6f, "
+                  "\"aloha_tags_per_s\": %.1f, "
+                  "\"aloha_sharded_tags_per_s\": %.1f, "
+                  "\"aloha_speedup\": %.3f}",
                   first ? "" : ",", n, legacy_s, engine_s, sharded_s,
                   legacy_tps, engine_tps, sharded_tps, speedup,
-                  sharded_speedup);
+                  sharded_speedup, sampled_s, sampled_sharded_s, sampled_tps,
+                  sampled_sharded_tps, sampled_speedup, aloha_s,
+                  aloha_sharded_s, aloha_tps, aloha_sharded_tps,
+                  aloha_speedup);
     json += buf;
     first = false;
   }

@@ -9,7 +9,12 @@
 // (the PR's acceptance criterion, so CI can hold the line).
 //
 //   $ tracking_bench [--rounds=60] [--n0=20000] [--q=0.02] [--seed=...]
-//                    [--exact] [--csv] [--smoke]
+//                    [--exact] [--csv] [--smoke] [--shards=N]
+//
+// --shards=N routes every round's frames through the sharded
+// plan/render/reduce pipeline (0 ⇒ default thread count). Trajectories
+// are a pure function of the seed for any shard count, so this only
+// changes wall-clock, never the tracked numbers.
 //
 // --smoke shrinks the run (small population, few rounds) so the CI
 // smoke stage finishes in seconds while still exercising every path.
@@ -99,7 +104,7 @@ void append_scenario_json(std::string& json, const ScenarioRecord& rec,
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv, {"rounds", "n0", "q", "seed", "exact",
-                                   "csv", "smoke"});
+                                   "csv", "smoke", "shards"});
   const bool smoke = cli.has("smoke");
   const auto rounds =
       static_cast<std::size_t>(cli.get_int("rounds", smoke ? 12 : 60));
@@ -113,6 +118,11 @@ int main(int argc, char** argv) {
   cfg.req = {0.05, 0.05};
   cfg.mode = bench::mode_from(cli);
   cfg.seed = cli.seed();
+  const std::int64_t shards = cli.get_int("shards", -1);
+  if (shards >= 0) {
+    cfg.policy =
+        rfid::ExecutionPolicy::sharded(static_cast<std::uint32_t>(shards));
+  }
 
   std::vector<ScenarioRecord> records;
   records.push_back(

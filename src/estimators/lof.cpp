@@ -1,6 +1,7 @@
 #include "estimators/lof.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "util/bitvector.hpp"
 
@@ -15,10 +16,17 @@ EstimateOutcome LofEstimator::estimate(rfid::ReaderContext& ctx,
                                        const Requirement& /*req*/) {
   EstimateOutcome out;
   double index_sum = 0.0;
+  // All rounds submitted as one batch: a sharded engine runs them
+  // through one plan/render/reduce walk (or one batched-sampler pass);
+  // a sequential engine executes them per frame in the same order, so
+  // results are unchanged there.
+  std::vector<rfid::FrameRequest> requests;
+  requests.reserve(params_.rounds);
   for (std::uint32_t r = 0; r < params_.rounds; ++r) {
-    const std::uint64_t seed = ctx.next_seed();
-    rfid::FrameResult frame = ctx.run_frame(
-        rfid::FrameRequest::lottery(params_.frame_size, seed));
+    requests.push_back(
+        rfid::FrameRequest::lottery(params_.frame_size, ctx.next_seed()));
+  }
+  for (const rfid::FrameResult& frame : ctx.run_batch(requests)) {
     out.airtime.tag_tx_bits += frame.tx;
     const util::BitVector& busy = frame.busy;
     out.airtime.add_reader_broadcast(params_.seed_bits);

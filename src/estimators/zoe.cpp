@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "math/erf.hpp"
 
@@ -46,32 +47,46 @@ EstimateOutcome ZoeEstimator::estimate(rfid::ReaderContext& ctx,
     std::uint64_t done = 0;
     std::uint64_t target = m;
     const std::uint64_t cap = 8 * m;  // give up past 8× the plan
+    // Frames are submitted in bounded batches so a sharded engine can
+    // run each chunk through one batched-sampler pass / sharded walk
+    // instead of thousands of single-frame dispatches. The chunk never
+    // overruns the current target, so the adaptive re-plan below fires
+    // at exactly the frame index it would have fired at frame-by-frame.
+    constexpr std::uint64_t kChunkFrames = 4096;
+    std::vector<rfid::FrameRequest> requests;
     while (done < target) {
-      const std::uint64_t seed = ctx.next_seed();
-      const rfid::FrameResult frame =
-          ctx.run_frame(rfid::FrameRequest::single_slot(q, seed));
-      out.airtime.tag_tx_bits += frame.tx;
-      const rfid::SlotState s = frame.single;
-      if (!rfid::is_busy(s)) ++idle;
-      out.airtime.add_reader_broadcast(params_.seed_bits);
-      out.airtime.add_tag_slots(1);
-      ctx.log_frame(rfid::FrameKind::kSingleSlot, 1, q,
-                    rfid::is_busy(s) ? 1 : 0,
-                    static_cast<double>(params_.seed_bits) *
-                            ctx.timing().reader_bit_us +
-                        ctx.timing().tag_bit_us +
-                        2.0 * ctx.timing().interval_us);
-      ++done;
-      if (done == target && target < cap) {
-        const double rho_so_far = std::clamp(
-            static_cast<double>(idle) / static_cast<double>(done),
-            1.0 / static_cast<double>(2 * done),
-            1.0 - 1.0 / static_cast<double>(2 * done));
-        const double lambda_hat = -std::log(rho_so_far);
-        target = std::min<std::uint64_t>(
-            cap, std::max<std::uint64_t>(
-                     m, required_frames(req.epsilon, req.delta, lambda_hat,
-                                        params_.sigma_max)));
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(kChunkFrames, target - done);
+      requests.clear();
+      requests.reserve(static_cast<std::size_t>(chunk));
+      for (std::uint64_t i = 0; i < chunk; ++i) {
+        requests.push_back(
+            rfid::FrameRequest::single_slot(q, ctx.next_seed()));
+      }
+      for (const rfid::FrameResult& frame : ctx.run_batch(requests)) {
+        out.airtime.tag_tx_bits += frame.tx;
+        const rfid::SlotState s = frame.single;
+        if (!rfid::is_busy(s)) ++idle;
+        out.airtime.add_reader_broadcast(params_.seed_bits);
+        out.airtime.add_tag_slots(1);
+        ctx.log_frame(rfid::FrameKind::kSingleSlot, 1, q,
+                      rfid::is_busy(s) ? 1 : 0,
+                      static_cast<double>(params_.seed_bits) *
+                              ctx.timing().reader_bit_us +
+                          ctx.timing().tag_bit_us +
+                          2.0 * ctx.timing().interval_us);
+        ++done;
+        if (done == target && target < cap) {
+          const double rho_so_far = std::clamp(
+              static_cast<double>(idle) / static_cast<double>(done),
+              1.0 / static_cast<double>(2 * done),
+              1.0 - 1.0 / static_cast<double>(2 * done));
+          const double lambda_hat = -std::log(rho_so_far);
+          target = std::min<std::uint64_t>(
+              cap, std::max<std::uint64_t>(
+                       m, required_frames(req.epsilon, req.delta, lambda_hat,
+                                          params_.sigma_max)));
+        }
       }
     }
     out.rounds += static_cast<std::uint32_t>(done);

@@ -49,6 +49,8 @@ std::uint32_t packed16_threshold(double p) {
 
 /// The slot choices of one Bloom frame, premixed once per frame.
 struct HoistedBloomHashes {
+  HoistedBloomHashes() = default;
+
   bool lightweight = false;
   std::array<hash::IdealSlotHash, kMaxHashes> ideal{
       hash::IdealSlotHash(0), hash::IdealSlotHash(0), hash::IdealSlotHash(0),
@@ -74,7 +76,16 @@ struct HoistedBloomHashes {
   }
 };
 
-// ---- sharded exact-mode walk (ExecutionPolicy::kSharded) --------------
+// ---- sharded plan/render/reduce pipeline (ExecutionPolicy::kSharded) --
+//
+// Every exact-mode frame shape is hoisted into one FramePlan: the slot
+// geometry plus a per-tag decision rule. The render stage walks the
+// population once per shard, writing shard-private word-packed planes
+// (no atomics, no false sharing); the reduce stage merges the planes
+// and observes through the channel on the caller's stream in request
+// order. Stochastic decisions are counter-addressed by the global tag
+// index, so the output is a pure function of the hoisted plan — i.e.
+// bit-identical for any shard count.
 
 /// Bitmap words for a w-slot frame, padded to a 64-byte multiple so
 /// adjacent shard slices never share a cache line (the parallel walk
@@ -83,58 +94,123 @@ std::size_t padded_words(std::uint32_t w) noexcept {
   return ((static_cast<std::size_t>(w) + 63) / 64 + 7) & ~std::size_t{7};
 }
 
-/// One Bloom frame hoisted for the sharded walk.
-struct ShardedFrame {
-  HoistedBloomHashes hashes;
-  std::size_t word_offset = 0;  ///< into each shard's bitmap slice
-  std::uint64_t base = 0;       ///< counter base (stochastic modes only)
+/// One frame hoisted for the sharded walk: geometry + decision rule.
+/// Planes per shape — Bloom/lottery: one busy bitmap at word_offset;
+/// ALOHA: an occupancy pair (plane one = "≥ 1 responder", plane two =
+/// "≥ 2 responders") at word_offset/word_offset2, enough to reproduce
+/// the channel's idle/single/collision categories exactly; single-slot:
+/// no plane at all, the per-shard responder tally carries the state.
+struct FramePlan {
+  FrameShape shape = FrameShape::kBloom;
+  HoistedBloomHashes hashes;            ///< Bloom slot choices
+  std::size_t word_offset = 0;          ///< plane one, into a shard slice
+  std::size_t word_offset2 = 0;         ///< plane two (ALOHA only)
+  std::uint64_t base = 0;               ///< counter base (stochastic only)
   double p = 1.0;
+  bool stochastic = false;              ///< counter-addressed decisions?
   std::uint32_t k = 0;
-  std::uint32_t w = 0;
+  std::uint32_t w = 0;                  ///< slot count (w / f / 1)
   std::uint32_t p_n = 0;
   std::uint32_t threshold16 = 0;
-  std::uint32_t lane_mask = 0;  ///< nonzero ⇔ the packed kernel applies
+  std::uint32_t lane_mask = 0;          ///< nonzero ⇔ packed kernel applies
   std::array<std::uint32_t, kMaxHashes> seeds32{};
   hash::PersistenceMode persistence = hash::PersistenceMode::kRnBits;
+  hash::IdealSlotHash slot_hash{0};     ///< ALOHA slot choice
+  hash::GeometricSlotHash geo_hash{0};  ///< lottery slot choice
+  std::uint64_t premixed = 0;           ///< single-slot participation hash
+  std::uint64_t threshold64 = 0;        ///< single-slot participation bar
 };
 
-ShardedFrame hoist_sharded(const BloomFrameConfig& cfg,
-                           std::size_t word_offset,
-                           util::Xoshiro256ss& rng) {
-  assert(cfg.k >= 1 && cfg.k <= kMaxHashes);
-  assert(cfg.hash != HashScheme::kLightweight || (cfg.w & (cfg.w - 1)) == 0);
-  ShardedFrame fr{HoistedBloomHashes(cfg),
-                  word_offset,
-                  0,
-                  cfg.p,
-                  cfg.k,
-                  cfg.w,
-                  cfg.p_n,
-                  packed16_threshold(cfg.p),
-                  0,
-                  {},
-                  cfg.persistence};
-  for (std::uint32_t j = 0; j < cfg.k; ++j) {
-    fr.seeds32[j] = static_cast<std::uint32_t>(cfg.seeds[j]);
+/// Plane words this plan needs per shard slice.
+std::size_t plan_words(const FramePlan& fr) noexcept {
+  switch (fr.shape) {
+    case FrameShape::kAloha:
+      return 2 * padded_words(fr.w);
+    case FrameShape::kSingleSlot:
+      return 0;
+    default:
+      return padded_words(fr.w);
   }
-  if (cfg.persistence == hash::PersistenceMode::kIdealBernoulli ||
-      cfg.persistence == hash::PersistenceMode::kSharedDraw) {
-    // One draw of the caller's stream, mixed with the frame's broadcast
-    // parameters: the walk itself is then RNG-free (which is what makes
-    // it shard-count invariant), repeated identical configs still get
-    // independent decision streams, and everything remains a pure
-    // function of the context seed.
-    util::SeedMixer mix(rng());
-    mix.absorb(static_cast<std::uint64_t>(cfg.w));
-    mix.absorb(static_cast<std::uint64_t>(cfg.k));
-    for (std::uint32_t j = 0; j < cfg.k; ++j) mix.absorb(cfg.seeds[j]);
-    fr.base = mix.value();
-    if (fr.threshold16 != kNoPack16) {
-      if (cfg.persistence == hash::PersistenceMode::kSharedDraw) {
-        fr.lane_mask = detail::lane_mask_for(1);  // one decision per tag
-      } else if (cfg.k <= 4) {
-        fr.lane_mask = detail::lane_mask_for(cfg.k);
+}
+
+FramePlan hoist_plan(const FrameRequest& request, std::size_t word_offset,
+                     util::Xoshiro256ss& rng) {
+  FramePlan fr;
+  fr.shape = request.shape();
+  fr.word_offset = word_offset;
+  switch (fr.shape) {
+    case FrameShape::kBloom: {
+      const auto& cfg = std::get<BloomFrameConfig>(request.config);
+      assert(cfg.k >= 1 && cfg.k <= kMaxHashes);
+      assert(cfg.hash != HashScheme::kLightweight ||
+             (cfg.w & (cfg.w - 1)) == 0);
+      fr.hashes = HoistedBloomHashes(cfg);
+      fr.p = cfg.p;
+      fr.k = cfg.k;
+      fr.w = cfg.w;
+      fr.p_n = cfg.p_n;
+      fr.threshold16 = packed16_threshold(cfg.p);
+      fr.persistence = cfg.persistence;
+      for (std::uint32_t j = 0; j < cfg.k; ++j) {
+        fr.seeds32[j] = static_cast<std::uint32_t>(cfg.seeds[j]);
       }
+      if (cfg.persistence == hash::PersistenceMode::kIdealBernoulli ||
+          cfg.persistence == hash::PersistenceMode::kSharedDraw) {
+        // One draw of the caller's stream, mixed with the frame's
+        // broadcast parameters: the walk itself is then RNG-free (which
+        // is what makes it shard-count invariant), repeated identical
+        // configs still get independent decision streams, and everything
+        // remains a pure function of the context seed.
+        fr.stochastic = true;
+        util::SeedMixer mix(rng());
+        mix.absorb(static_cast<std::uint64_t>(cfg.w));
+        mix.absorb(static_cast<std::uint64_t>(cfg.k));
+        for (std::uint32_t j = 0; j < cfg.k; ++j) mix.absorb(cfg.seeds[j]);
+        fr.base = mix.value();
+        if (fr.threshold16 != kNoPack16) {
+          if (cfg.persistence == hash::PersistenceMode::kSharedDraw) {
+            fr.lane_mask = detail::lane_mask_for(1);  // one decision per tag
+          } else if (cfg.k <= 4) {
+            fr.lane_mask = detail::lane_mask_for(cfg.k);
+          }
+        }
+      }
+      break;
+    }
+    case FrameShape::kAloha: {
+      const auto& cfg = std::get<AlohaFrameConfig>(request.config);
+      fr.w = cfg.f;
+      fr.p = cfg.p;
+      fr.slot_hash = hash::IdealSlotHash(cfg.seed);
+      fr.word_offset2 = word_offset + padded_words(cfg.f);
+      if (cfg.p < 1.0) {
+        // Same one-draw discipline as stochastic Bloom persistence: the
+        // per-tag participation draws come from a counter-addressed
+        // stream, not the caller's generator.
+        fr.stochastic = true;
+        util::SeedMixer mix(rng());
+        mix.absorb(static_cast<std::uint64_t>(cfg.f));
+        mix.absorb(cfg.p);
+        mix.absorb(cfg.seed);
+        fr.base = mix.value();
+      }
+      break;
+    }
+    case FrameShape::kSingleSlot: {
+      const auto& cfg = std::get<SingleSlotConfig>(request.config);
+      fr.w = 1;
+      fr.threshold64 =
+          cfg.q >= 1.0 ? ~0ULL
+                       : static_cast<std::uint64_t>(
+                             cfg.q * 18446744073709551616.0 /* 2^64 */);
+      fr.premixed = hash::premix_seed(cfg.seed);
+      break;
+    }
+    case FrameShape::kLottery: {
+      const auto& cfg = std::get<LotteryFrameConfig>(request.config);
+      fr.w = cfg.f;
+      fr.geo_hash = hash::GeometricSlotHash(cfg.seed);
+      break;
     }
   }
   return fr;
@@ -174,28 +250,30 @@ util::BitVector bitmap_to_busy(const Channel& channel,
   return busy;
 }
 
-/// The sharded population walk: shard s owns the contiguous tag range
-/// [s·chunk, (s+1)·chunk) and renders every frame's decisions for its
-/// tags into a private word-packed bitmap; shards then merge with
-/// word-wide ORs. Every decision is a pure function of (frame base,
-/// global tag index), so the output is bit-identical for any shard
-/// count and any ISA. Returns the per-frame results in request order
-/// (channel observation consumes the caller's stream frame-major,
+/// The sharded population walk — the render + reduce stages over
+/// hoisted FramePlans of any shape mix: shard s owns the contiguous tag
+/// range [s·chunk, (s+1)·chunk) and renders every frame's decisions for
+/// its tags into private word-packed planes; shards then merge with
+/// word-wide ORs (plus the cross-shard ≥2 term for ALOHA and responder
+/// sums for single-slot). Every decision is a pure function of (frame
+/// base, global tag index), so the output is bit-identical for any
+/// shard count and any ISA. Returns the per-frame results in request
+/// order (channel observation consumes the caller's stream frame-major,
 /// exactly like the sequential paths).
 std::vector<FrameResult> run_sharded_frames(
     const TagPopulation& tags, const Channel& channel,
-    const std::vector<const BloomFrameConfig*>& cfgs,
+    const std::vector<const FrameRequest*>& reqs,
     std::uint32_t shard_count, bool allow_simd, util::Xoshiro256ss& rng,
     std::vector<std::uint64_t>& shard_bits,
     std::vector<std::uint64_t>& shard_tx,
     std::vector<std::uint16_t>& lane_scratch) {
-  const std::size_t m = cfgs.size();
-  std::vector<ShardedFrame> frames;
+  const std::size_t m = reqs.size();
+  std::vector<FramePlan> frames;
   frames.reserve(m);
   std::size_t words_stride = 0;
-  for (const BloomFrameConfig* cfg : cfgs) {
-    frames.push_back(hoist_sharded(*cfg, words_stride, rng));
-    words_stride += padded_words(cfg->w);
+  for (const FrameRequest* req : reqs) {
+    frames.push_back(hoist_plan(*req, words_stride, rng));
+    words_stride += plan_words(frames.back());
   }
 
   const auto& all_tags = tags.tags();
@@ -221,11 +299,54 @@ std::vector<FrameResult> run_sharded_frames(
              t0 += detail::kShardTile) {
           const std::size_t t1 = std::min(s_end, t0 + detail::kShardTile);
           for (std::size_t f = 0; f < m; ++f) {
-            const ShardedFrame& fr = frames[f];
+            const FramePlan& fr = frames[f];
             std::uint64_t* const fb = bits + fr.word_offset;
             const std::uint32_t k = fr.k;
             const std::uint32_t w = fr.w;
-            if (fr.lane_mask != 0) {
+            if (fr.shape == FrameShape::kAloha) {
+              // Occupancy pair: the second-or-later responder of a slot
+              // raises its ≥2 bit. Participation (p < 1) is decided by
+              // the counter-addressed stream, one decision per global
+              // tag index.
+              std::uint64_t* const two = bits + fr.word_offset2;
+              const bool stochastic = fr.stochastic;
+              const double p = fr.p;
+              const std::uint64_t base = fr.base;
+              std::uint64_t responders = 0;
+              for (std::size_t t = t0; t < t1; ++t) {
+                if (stochastic) {
+                  const std::uint64_t z = util::splitmix_at(base, t);
+                  if (static_cast<double>(z >> 11) * 0x1.0p-53 >= p) {
+                    continue;
+                  }
+                }
+                const std::uint32_t slot =
+                    fr.slot_hash.slot(all_tags[t].id, w);
+                const std::uint64_t bit = 1ULL << (slot & 63U);
+                two[slot >> 6] |= fb[slot >> 6] & bit;
+                fb[slot >> 6] |= bit;
+                ++responders;
+              }
+              tx[f] += responders;
+            } else if (fr.shape == FrameShape::kSingleSlot) {
+              // No plane: the shard's responder tally IS the state.
+              const std::uint64_t bar = fr.threshold64;
+              const std::uint64_t premixed = fr.premixed;
+              std::uint64_t responders = 0;
+              for (std::size_t t = t0; t < t1; ++t) {
+                if (hash::fmix64(all_tags[t].id ^ premixed) < bar) {
+                  ++responders;
+                }
+              }
+              tx[f] += responders;
+            } else if (fr.shape == FrameShape::kLottery) {
+              for (std::size_t t = t0; t < t1; ++t) {
+                const std::uint32_t slot =
+                    fr.geo_hash.slot(all_tags[t].id, w);
+                fb[slot >> 6] |= 1ULL << (slot & 63U);
+              }
+              tx[f] += t1 - t0;  // every tag transmits in a lottery frame
+            } else if (fr.lane_mask != 0) {
               // Packed kernel: dense responder lane ids, one
               // well-predicted drain loop.
               const std::size_t nresp = detail::bloom_decide_tile(
@@ -311,27 +432,70 @@ std::vector<FrameResult> run_sharded_frames(
       },
       shard_count);
 
-  // Merge shard bitmaps into shard 0's slice with word-wide ORs, then
-  // observe each frame through the channel in request order.
+  // Reduce: merge shard planes into shard 0's slice, then observe each
+  // frame through the channel in request order.
   std::vector<FrameResult> results;
   results.reserve(m);
   for (std::size_t f = 0; f < m; ++f) {
-    const ShardedFrame& fr = frames[f];
-    std::uint64_t* const merged = shard_bits.data() + fr.word_offset;
+    const FramePlan& fr = frames[f];
     const std::size_t words = (static_cast<std::size_t>(fr.w) + 63) / 64;
-    for (std::uint32_t s = 1; s < shard_count; ++s) {
-      const std::uint64_t* const src =
-          shard_bits.data() + s * words_stride + fr.word_offset;
-      for (std::size_t i = 0; i < words; ++i) merged[i] |= src[i];
-    }
     std::uint64_t tx = 0;
     for (std::uint32_t s = 0; s < shard_count; ++s) {
       tx += shard_tx[s * m + f];
     }
     FrameResult res;
-    res.shape = FrameShape::kBloom;
+    res.shape = fr.shape;
     res.tx = tx;
-    res.busy = bitmap_to_busy(channel, merged, fr.w, rng);
+    switch (fr.shape) {
+      case FrameShape::kSingleSlot: {
+        // The summed responder tally is the whole frame state.
+        res.single = channel.observe(
+            static_cast<std::uint32_t>(
+                tx > 0xFFFFFFFFULL ? 0xFFFFFFFFULL : tx),
+            rng);
+        break;
+      }
+      case FrameShape::kAloha: {
+        std::uint64_t* const one = shard_bits.data() + fr.word_offset;
+        std::uint64_t* const two = shard_bits.data() + fr.word_offset2;
+        for (std::uint32_t s = 1; s < shard_count; ++s) {
+          const std::uint64_t* const one_s =
+              shard_bits.data() + s * words_stride + fr.word_offset;
+          const std::uint64_t* const two_s =
+              shard_bits.data() + s * words_stride + fr.word_offset2;
+          for (std::size_t i = 0; i < words; ++i) {
+            // A slot collides if any shard saw ≥ 2 responders, or two
+            // different shards each saw ≥ 1.
+            const std::uint64_t os = one_s[i];
+            two[i] |= two_s[i] | (one[i] & os);
+            one[i] |= os;
+          }
+        }
+        // Slot-major observation with the exact occupancy category
+        // (0 / 1 / ≥2) — draw-for-draw identical to observing the true
+        // per-slot counts.
+        res.states.resize(fr.w);
+        for (std::uint32_t i = 0; i < fr.w; ++i) {
+          const std::uint32_t category =
+              ((two[i >> 6] >> (i & 63U)) & 1ULL) != 0
+                  ? 2U
+                  : static_cast<std::uint32_t>(
+                        (one[i >> 6] >> (i & 63U)) & 1ULL);
+          res.states[i] = channel.observe(category, rng);
+        }
+        break;
+      }
+      default: {  // Bloom and lottery share the one-bitmap reduce.
+        std::uint64_t* const merged = shard_bits.data() + fr.word_offset;
+        for (std::uint32_t s = 1; s < shard_count; ++s) {
+          const std::uint64_t* const src =
+              shard_bits.data() + s * words_stride + fr.word_offset;
+          for (std::size_t i = 0; i < words; ++i) merged[i] |= src[i];
+        }
+        res.busy = bitmap_to_busy(channel, merged, fr.w, rng);
+        break;
+      }
+    }
     results.push_back(std::move(res));
   }
   return results;
@@ -385,17 +549,28 @@ util::BitVector FrameEngine::counts_to_busy(const std::uint32_t* counts,
 
 FrameResult FrameEngine::execute(const FrameRequest& request,
                                  util::Xoshiro256ss& rng) {
+  if (mode_ == FrameMode::kSampled && policy_.is_sharded()) {
+    // Sharded sampled engines route every frame through the batched
+    // sampler (which does its own counter accounting). A one-frame
+    // batch draws the caller's stream exactly like the legacy executor
+    // for the non-scatter shapes (single-slot, lottery).
+    std::vector<FrameRequest> one{request};
+    std::vector<FrameResult> res = execute_sampled_batch(one, rng);
+    return std::move(res.front());
+  }
   const auto start = Clock::now();
   FrameResult out;
   out.shape = request.shape();
+  const bool sharded_exact =
+      mode_ == FrameMode::kExact && policy_.is_sharded() && tags_ != nullptr;
   std::uint64_t slots = 0;
   switch (out.shape) {
     case FrameShape::kBloom: {
       const auto& cfg = std::get<BloomFrameConfig>(request.config);
       slots = cfg.w;
       if (mode_ == FrameMode::kExact) {
-        if (policy_.is_sharded() && tags_ != nullptr) {
-          exact_bloom_sharded(cfg, rng, out);
+        if (sharded_exact) {
+          exact_sharded(request, rng, out);
         } else {
           exact_bloom(cfg, rng, out);
         }
@@ -408,7 +583,11 @@ FrameResult FrameEngine::execute(const FrameRequest& request,
       const auto& cfg = std::get<AlohaFrameConfig>(request.config);
       slots = cfg.f;
       if (mode_ == FrameMode::kExact) {
-        exact_aloha(cfg, rng, out);
+        if (sharded_exact) {
+          exact_sharded(request, rng, out);
+        } else {
+          exact_aloha(cfg, rng, out);
+        }
       } else {
         sampled_aloha(cfg, rng, out);
       }
@@ -418,7 +597,11 @@ FrameResult FrameEngine::execute(const FrameRequest& request,
       const auto& cfg = std::get<SingleSlotConfig>(request.config);
       slots = 1;
       if (mode_ == FrameMode::kExact) {
-        exact_single(cfg, rng, out);
+        if (sharded_exact) {
+          exact_sharded(request, rng, out);
+        } else {
+          exact_single(cfg, rng, out);
+        }
       } else {
         sampled_single(cfg, rng, out);
       }
@@ -428,7 +611,11 @@ FrameResult FrameEngine::execute(const FrameRequest& request,
       const auto& cfg = std::get<LotteryFrameConfig>(request.config);
       slots = cfg.f;
       if (mode_ == FrameMode::kExact) {
-        exact_lottery(cfg, rng, out);
+        if (sharded_exact) {
+          exact_sharded(request, rng, out);
+        } else {
+          exact_lottery(cfg, rng, out);
+        }
       } else {
         sampled_lottery(cfg, rng, out);
       }
@@ -446,6 +633,15 @@ FrameResult FrameEngine::execute(const FrameRequest& request,
 std::vector<FrameResult> FrameEngine::execute_batch(
     const std::vector<FrameRequest>& requests, util::Xoshiro256ss& rng) {
   ++counters_.batches;
+  if (policy_.is_sharded() && !requests.empty()) {
+    // One unified pipeline per mode, any shape mix.
+    if (mode_ == FrameMode::kExact && tags_ != nullptr) {
+      return execute_batch_sharded(requests, rng);
+    }
+    if (mode_ == FrameMode::kSampled) {
+      return execute_sampled_batch(requests, rng);
+    }
+  }
   bool all_bloom = !requests.empty();
   for (const FrameRequest& r : requests) {
     if (r.shape() != FrameShape::kBloom) {
@@ -453,13 +649,9 @@ std::vector<FrameResult> FrameEngine::execute_batch(
       break;
     }
   }
-  if (all_bloom && mode_ == FrameMode::kExact && tags_ != nullptr) {
-    if (policy_.is_sharded()) {
-      return execute_bloom_batch_sharded(requests, rng);
-    }
-    if (requests.size() >= 2) {
-      return execute_bloom_batch_blocked(requests, rng);
-    }
+  if (all_bloom && mode_ == FrameMode::kExact && tags_ != nullptr &&
+      requests.size() >= 2) {
+    return execute_bloom_batch_blocked(requests, rng);
   }
   std::vector<FrameResult> results;
   results.reserve(requests.size());
@@ -468,6 +660,12 @@ std::vector<FrameResult> FrameEngine::execute_batch(
 }
 
 // ---- scalar paths (bit-identical to the legacy free executors) --------
+//
+// These are the sequential-policy executors and the law reference the
+// equivalence suite tests the sharded pipeline against. Under a sharded
+// policy the exact_* bodies are bypassed by the plan/render/reduce walk
+// and the sampled_* bodies by the batched sampler; they remain the
+// binding definition of the caller-RNG stream contract.
 
 void FrameEngine::exact_bloom(const BloomFrameConfig& cfg,
                               util::Xoshiro256ss& rng, FrameResult& out) {
@@ -801,51 +999,283 @@ std::vector<FrameResult> FrameEngine::execute_bloom_batch_blocked(
   return results;
 }
 
-// ---- sharded path ----------------------------------------------------
+// ---- sharded exact path ----------------------------------------------
 
-std::uint32_t FrameEngine::effective_shards() const noexcept {
+std::uint32_t FrameEngine::effective_shards(std::size_t work) const noexcept {
   std::uint32_t count =
       policy_.shards != 0 ? policy_.shards : util::default_thread_count();
   if (count < 1) count = 1;
   const std::size_t per_shard =
       policy_.min_tags_per_shard > 0 ? policy_.min_tags_per_shard : 1;
-  const std::size_t justified = n_ / per_shard;
+  const std::size_t justified = work / per_shard;
   if (justified < count) {
     count = static_cast<std::uint32_t>(justified < 1 ? 1 : justified);
   }
   return count;
 }
 
-void FrameEngine::exact_bloom_sharded(const BloomFrameConfig& cfg,
-                                      util::Xoshiro256ss& rng,
-                                      FrameResult& out) {
+void FrameEngine::exact_sharded(const FrameRequest& request,
+                                util::Xoshiro256ss& rng, FrameResult& out) {
   assert(tags_ != nullptr);
   ++counters_.sharded_walks;
   std::vector<FrameResult> results = run_sharded_frames(
-      *tags_, channel_, {&cfg}, effective_shards(), policy_.allow_simd, rng,
-      shard_bits_, shard_tx_, lane_scratch_);
+      *tags_, channel_, {&request}, effective_shards(n_), policy_.allow_simd,
+      rng, shard_bits_, shard_tx_, lane_scratch_);
   out = std::move(results.front());
 }
 
-std::vector<FrameResult> FrameEngine::execute_bloom_batch_sharded(
+std::vector<FrameResult> FrameEngine::execute_batch_sharded(
     const std::vector<FrameRequest>& requests, util::Xoshiro256ss& rng) {
   const auto start = Clock::now();
   ++counters_.sharded_walks;
-  std::vector<const BloomFrameConfig*> cfgs;
-  cfgs.reserve(requests.size());
-  for (const FrameRequest& r : requests) {
-    cfgs.push_back(&std::get<BloomFrameConfig>(r.config));
-  }
+  std::vector<const FrameRequest*> reqs;
+  reqs.reserve(requests.size());
+  for (const FrameRequest& r : requests) reqs.push_back(&r);
   std::vector<FrameResult> results = run_sharded_frames(
-      *tags_, channel_, cfgs, effective_shards(), policy_.allow_simd, rng,
+      *tags_, channel_, reqs, effective_shards(n_), policy_.allow_simd, rng,
       shard_bits_, shard_tx_, lane_scratch_);
-  ShapeCounters& c = counters_.of(FrameShape::kBloom);
   for (std::size_t f = 0; f < results.size(); ++f) {
+    ShapeCounters& c = counters_.of(results[f].shape);
     c.frames += 1;
-    c.slots += cfgs[f]->w;
+    c.slots += results[f].shape == FrameShape::kSingleSlot
+                   ? 1
+                   : results[f].shape == FrameShape::kAloha
+                         ? static_cast<std::uint64_t>(results[f].states.size())
+                         : static_cast<std::uint64_t>(results[f].busy.size());
     c.tag_tx += results[f].tx;
   }
-  c.wall_us += elapsed_us(start);
+  // Wall time is attributed to the first request's shape — the walk is
+  // one fused pass, there is no per-shape split to measure.
+  counters_.of(requests.front().shape()).wall_us += elapsed_us(start);
+  return results;
+}
+
+// ---- batched sampler (sampled mode under a sharded policy) ------------
+
+std::vector<FrameResult> FrameEngine::execute_sampled_batch(
+    const std::vector<FrameRequest>& requests, util::Xoshiro256ss& rng) {
+  const auto start = Clock::now();
+  ++counters_.sharded_walks;
+  ++counters_.sampled_batches;
+  const std::size_t m = requests.size();
+
+  /// One sampled frame's plan. Bloom and ALOHA scatter `draws` uniform
+  /// responses; single-slot needs only its responder count; lottery's
+  /// dependent multinomial is drawn straight into the merged counts in
+  /// phase 1 (its draws must stay on the caller's stream in request
+  /// order — they cannot be counter-addressed without changing the law).
+  struct SampledPlan {
+    FrameShape shape = FrameShape::kBloom;
+    std::uint32_t w = 1;                ///< slot count (w / f / 1)
+    std::size_t offset = 0;             ///< into merged batch_counts_
+    std::size_t scatter_offset = 0;     ///< into each shard's count plane
+    std::uint64_t draws = 0;            ///< uniform slot-scatter draws
+    std::uint64_t base = 0;             ///< counter base for the scatter
+    std::uint64_t responders = 0;       ///< single-slot responder count
+  };
+
+  // Layout pass (no RNG): merged slot counts for every slotted frame,
+  // cache-line-padded per-shard planes for the scatter shapes.
+  std::vector<SampledPlan> plans(m);
+  std::size_t total_slots = 0;
+  std::size_t scatter_stride = 0;
+  // Count-plane slots padded to a 64-byte multiple: adjacent shard
+  // slices never share a cache line (same rationale as padded_words).
+  const auto padded_counts = [](std::uint32_t w) {
+    return ((static_cast<std::size_t>(w) + 15) / 16) * 16;
+  };
+  for (std::size_t f = 0; f < m; ++f) {
+    SampledPlan& pl = plans[f];
+    pl.shape = requests[f].shape();
+    switch (pl.shape) {
+      case FrameShape::kBloom:
+        pl.w = std::get<BloomFrameConfig>(requests[f].config).w;
+        break;
+      case FrameShape::kAloha:
+        pl.w = std::get<AlohaFrameConfig>(requests[f].config).f;
+        break;
+      case FrameShape::kSingleSlot:
+        pl.w = 1;
+        break;
+      case FrameShape::kLottery:
+        pl.w = std::get<LotteryFrameConfig>(requests[f].config).f;
+        break;
+    }
+    if (pl.shape != FrameShape::kSingleSlot) {
+      pl.offset = total_slots;
+      total_slots += pl.w;
+    }
+    if (pl.shape == FrameShape::kBloom || pl.shape == FrameShape::kAloha) {
+      pl.scatter_offset = scatter_stride;
+      scatter_stride += padded_counts(pl.w);
+    }
+  }
+  batch_counts_.assign(total_slots, 0);
+
+  // Phase 1 — plan: every binomial on the caller's stream, in request
+  // order (util::draw_binomial keeps the serialised construction that
+  // makes this safe under concurrent workers). Scatter shapes also
+  // derive their counter base from exactly one caller draw, so the
+  // stream position after the batch depends only on the request list.
+  std::uint64_t total_draws = 0;
+  for (std::size_t f = 0; f < m; ++f) {
+    SampledPlan& pl = plans[f];
+    switch (pl.shape) {
+      case FrameShape::kBloom: {
+        const auto& cfg = std::get<BloomFrameConfig>(requests[f].config);
+        assert(cfg.k >= 1 && cfg.k <= kMaxHashes);
+        pl.draws = draw_binomial(
+            static_cast<std::uint64_t>(n_) * cfg.k, cfg.p, rng);
+        break;
+      }
+      case FrameShape::kAloha: {
+        const auto& cfg = std::get<AlohaFrameConfig>(requests[f].config);
+        pl.draws = draw_binomial(n_, cfg.p, rng);
+        break;
+      }
+      case FrameShape::kSingleSlot: {
+        const auto& cfg = std::get<SingleSlotConfig>(requests[f].config);
+        pl.responders = draw_binomial(n_, cfg.q, rng);
+        break;
+      }
+      case FrameShape::kLottery: {
+        // Sequential multinomial, exactly the legacy sampled_lottery
+        // draws, written straight into the merged counts.
+        std::uint32_t* const counts = batch_counts_.data() + pl.offset;
+        std::uint64_t remaining = n_;
+        double mass_remaining = 1.0;
+        for (std::uint32_t j = 0; j + 1 < pl.w && remaining > 0; ++j) {
+          const double pj = std::ldexp(1.0, -static_cast<int>(j) - 1);
+          const double cond = pj / mass_remaining;
+          const std::uint64_t c =
+              draw_binomial(remaining, cond > 1.0 ? 1.0 : cond, rng);
+          counts[j] = static_cast<std::uint32_t>(
+              c > 0xFFFFFFFFULL ? 0xFFFFFFFFULL : c);
+          remaining -= c;
+          mass_remaining -= pj;
+          if (mass_remaining <= 0.0) break;
+        }
+        counts[pl.w - 1] += static_cast<std::uint32_t>(
+            remaining > 0xFFFFFFFFULL ? 0xFFFFFFFFULL : remaining);
+        break;
+      }
+    }
+    if (pl.shape == FrameShape::kBloom || pl.shape == FrameShape::kAloha) {
+      util::SeedMixer mix(rng());
+      mix.absorb(static_cast<std::uint64_t>(pl.w));
+      pl.base = mix.value();
+      total_draws += pl.draws;
+    }
+  }
+
+  // Phase 2 — render: scatter all response draws. Shard s owns the
+  // contiguous draw range [s·chunk, (s+1)·chunk) of EVERY frame and
+  // tallies into a private count plane; slot r of a frame is
+  // counter-addressed (splitmix_at(base, r) reduced by multiply-shift),
+  // so the planes — and, counts being a commutative sum, the merged
+  // result — are bit-identical for any shard count.
+  const std::uint32_t shard_count =
+      total_draws > 0
+          ? effective_shards(static_cast<std::size_t>(std::min<std::uint64_t>(
+                total_draws, static_cast<std::uint64_t>(~std::size_t{0}))))
+          : 1;
+  if (total_draws > 0) {
+    shard_counts_.assign(
+        static_cast<std::size_t>(shard_count) * scatter_stride, 0);
+    slot_scratch_.resize(static_cast<std::size_t>(shard_count) *
+                         detail::kScatterTile);
+    const bool allow_simd = policy_.allow_simd;
+    util::parallel_for(
+        0, shard_count,
+        [&](std::size_t s) {
+          std::uint32_t* const plane = shard_counts_.data() + s * scatter_stride;
+          std::uint32_t* const slots =
+              slot_scratch_.data() + s * detail::kScatterTile;
+          for (const SampledPlan& pl : plans) {
+            if ((pl.shape != FrameShape::kBloom &&
+                 pl.shape != FrameShape::kAloha) ||
+                pl.draws == 0) {
+              continue;
+            }
+            const std::uint64_t chunk =
+                (pl.draws + shard_count - 1) / shard_count;
+            const std::uint64_t r0 = std::min<std::uint64_t>(
+                pl.draws, static_cast<std::uint64_t>(s) * chunk);
+            const std::uint64_t r1 = std::min<std::uint64_t>(
+                pl.draws, r0 + chunk);
+            std::uint32_t* const counts = plane + pl.scatter_offset;
+            for (std::uint64_t t0 = r0; t0 < r1;
+                 t0 += detail::kScatterTile) {
+              const std::uint64_t t1 =
+                  std::min<std::uint64_t>(r1, t0 + detail::kScatterTile);
+              detail::sampled_scatter_tile(pl.base, t0, t1, pl.w,
+                                           allow_simd, slots);
+              const std::size_t count = static_cast<std::size_t>(t1 - t0);
+              for (std::size_t i = 0; i < count; ++i) ++counts[slots[i]];
+            }
+          }
+        },
+        shard_count);
+    // Merge: sum the shard planes into the batch counts (addition is
+    // commutative, so the shard order cannot matter).
+    for (const SampledPlan& pl : plans) {
+      if ((pl.shape != FrameShape::kBloom &&
+           pl.shape != FrameShape::kAloha) ||
+          pl.draws == 0) {
+        continue;
+      }
+      std::uint32_t* const dst = batch_counts_.data() + pl.offset;
+      for (std::uint32_t s = 0; s < shard_count; ++s) {
+        const std::uint32_t* const src =
+            shard_counts_.data() + s * scatter_stride + pl.scatter_offset;
+        for (std::uint32_t i = 0; i < pl.w; ++i) dst[i] += src[i];
+      }
+    }
+  }
+
+  // Phase 3 — reduce: channel observation per frame, in request order,
+  // on the caller's stream — the same frame-major order every other
+  // path uses.
+  std::vector<FrameResult> results;
+  results.reserve(m);
+  for (const SampledPlan& pl : plans) {
+    FrameResult res;
+    res.shape = pl.shape;
+    const std::uint32_t* const counts = batch_counts_.data() + pl.offset;
+    switch (pl.shape) {
+      case FrameShape::kBloom:
+        res.tx = pl.draws;
+        res.busy = counts_to_busy(counts, pl.w, rng);
+        break;
+      case FrameShape::kAloha:
+        res.tx = pl.draws;
+        res.states.resize(pl.w);
+        for (std::uint32_t i = 0; i < pl.w; ++i) {
+          res.states[i] = channel_.observe(counts[i], rng);
+        }
+        break;
+      case FrameShape::kSingleSlot:
+        res.tx = pl.responders;
+        res.single = channel_.observe(
+            static_cast<std::uint32_t>(pl.responders > 0xFFFFFFFFULL
+                                           ? 0xFFFFFFFFULL
+                                           : pl.responders),
+            rng);
+        break;
+      case FrameShape::kLottery:
+        res.tx = n_;
+        res.busy = counts_to_busy(counts, pl.w, rng);
+        break;
+    }
+    ShapeCounters& c = counters_.of(pl.shape);
+    c.frames += 1;
+    c.slots += pl.shape == FrameShape::kSingleSlot ? 1 : pl.w;
+    c.tag_tx += res.tx;
+    results.push_back(std::move(res));
+  }
+  // Same attribution rule as the sharded exact batch: one fused pass,
+  // charged to the first request's shape.
+  counters_.of(plans.front().shape).wall_us += elapsed_us(start);
   return results;
 }
 

@@ -30,10 +30,20 @@
 //    execution only when the tag-side responses draw no RNG
 //    (PersistenceMode::kRnBits). For the stochastic persistence modes it
 //    realises the same law (tests verify by two-sample KS).
-//  * The opt-in sharded walk (ExecutionPolicy) extends the same contract
-//    to intra-frame parallelism: per-tag randomness is counter-addressed
-//    by the global tag index, so results are bit-identical for ANY shard
-//    count — and, for kRnBits, bit-identical to the sequential walk too.
+//  * The opt-in sharded pipeline (ExecutionPolicy) extends the same
+//    contract to intra-frame parallelism for EVERY shape × mode through
+//    one plan/render/reduce decomposition: each frame is hoisted into a
+//    small plan (slot geometry + a per-tag or per-draw decision rule),
+//    the render stage walks the population (exact) or the response
+//    draws (sampled) across shards with counter-addressed randomness —
+//    util::splitmix_at over a per-frame SeedMixer base, exactly one
+//    caller-RNG draw per stochastic frame — and the reduce stage merges
+//    shard-private planes and observes through the channel in request
+//    order. Results are bit-identical for ANY shard count; frames whose
+//    tag-side decisions draw no RNG (kRnBits Bloom, p = 1 ALOHA,
+//    single-slot, lottery) are bit-identical to the sequential walk
+//    too, and sampled mode additionally batches all binomial responder
+//    draws through one pass (the batched sampler).
 //
 // The legacy free functions in frame.hpp survive as thin wrappers over a
 // transient engine, so untouched estimators keep working unchanged.
@@ -121,38 +131,51 @@ struct FrameResult {
   std::uint64_t tx = 0;
 };
 
-/// Opt-in intra-frame parallelism for exact-mode Bloom frames.
+/// Opt-in intra-frame parallelism for every frame shape × mode.
 ///
-/// The sharded walk splits the population into contiguous tag ranges,
-/// one per shard; each shard decides and hashes its own tags into a
-/// private per-frame busy bitmap (word-packed, cache-line padded) and
-/// the shards merge with word-wide ORs. Per-tag persistence randomness
-/// is counter-addressed — util::splitmix_at(frame base, tag index), the
+/// Exact mode: the sharded walk splits the population into contiguous
+/// tag ranges, one per shard; each shard decides and hashes its own
+/// tags into private per-frame planes (word-packed bitmaps for
+/// Bloom/lottery, a two-plane ≥1/≥2 bitmap for ALOHA, responder tallies
+/// for single-slot; all cache-line padded) and the shards merge with
+/// word-wide ORs / sums. Per-tag stochastic decisions are
+/// counter-addressed — util::splitmix_at(frame base, tag index), the
 /// base derived via util::SeedMixer from one caller-RNG draw and the
-/// frame's broadcast seeds — so the result is a pure function of the
-/// seed and bit-identical for ANY shard count (tests assert 1/4/8, and
-/// tools/lint_determinism.py keeps the walk free of ambient entropy).
+/// frame's broadcast parameters — so the result is a pure function of
+/// the seed and bit-identical for ANY shard count (tests assert 1/4/8,
+/// and tools/lint_determinism.py keeps the walk free of ambient
+/// entropy).
 ///
-/// Contract relative to the sequential walk: stochastic persistence
-/// modes (kIdealBernoulli, kSharedDraw) realise the same law with
-/// different bits, exactly like the blocked batch path; kRnBits frames
-/// draw no RNG on either walk and stay bit-identical to sequential
-/// execution. Channel observation stays slot-major on the caller's
-/// stream in both cases.
+/// Sampled mode: the batched sampler draws every frame's binomial
+/// responder count on the caller's stream in request order (phase 1),
+/// scatters all response draws into shard-private count planes with
+/// counter-addressed slots (phase 2, the only parallel stage), then
+/// sums the planes and observes through the channel in request order
+/// (phase 3) — equally shard-count invariant.
+///
+/// Contract relative to the sequential paths: frames whose tag-side
+/// decisions draw no RNG (kRnBits Bloom, p = 1 ALOHA, single-slot,
+/// lottery) are bit-identical to sequential execution, RNG position
+/// included; stochastic persistence and the sampled scatter realise the
+/// same law with different bits (tests verify by two-sample KS).
+/// Channel observation stays slot-major on the caller's stream in every
+/// case.
 struct ExecutionPolicy {
   /// Walk selection. kSequential preserves the legacy RNG-stream
   /// contract; kSharded trades it for intra-frame parallelism plus the
-  /// vectorised decision kernel.
+  /// vectorised decision/scatter kernels.
   enum class Walk : std::uint8_t { kSequential = 0, kSharded = 1 };
 
   Walk walk = Walk::kSequential;
   /// Worker shards; 0 ⇒ util::default_thread_count() (BFCE_THREADS).
   std::uint32_t shards = 0;
-  /// Populations smaller than shards·min_tags_per_shard run on fewer
-  /// shards — purely a scheduling decision, results do not change.
+  /// Work items (tags in exact mode, response draws in sampled mode)
+  /// below shards·min_tags_per_shard run on fewer shards — purely a
+  /// scheduling decision, results do not change.
   std::size_t min_tags_per_shard = 4096;
-  /// Gate for the AVX-512 decision kernel. Results are bit-identical
-  /// with it on or off (tests flip this to compare SIMD vs scalar).
+  /// Gate for the AVX-512 decision/scatter kernels. Results are
+  /// bit-identical with it on or off (tests flip this to compare SIMD
+  /// vs scalar).
   bool allow_simd = true;
 
   [[nodiscard]] constexpr bool is_sharded() const noexcept {
@@ -190,7 +213,8 @@ struct EngineCounters {
   std::array<ShapeCounters, kFrameShapeCount> by_shape{};
   std::uint64_t batches = 0;          ///< execute_batch calls
   std::uint64_t blocked_batches = 0;  ///< batches taken by the blocked path
-  std::uint64_t sharded_walks = 0;    ///< walks run by the sharded exact path
+  std::uint64_t sharded_walks = 0;    ///< sharded walks / batched-sampler runs
+  std::uint64_t sampled_batches = 0;  ///< batched-sampler runs (subset)
 
   ShapeCounters& of(FrameShape s) noexcept {
     return by_shape[static_cast<std::size_t>(s)];
@@ -213,6 +237,7 @@ struct EngineCounters {
     batches += o.batches;
     blocked_batches += o.blocked_batches;
     sharded_walks += o.sharded_walks;
+    sampled_batches += o.sampled_batches;
     return *this;
   }
 };
@@ -244,14 +269,20 @@ class FrameEngine {
   [[nodiscard]] const ExecutionPolicy& policy() const noexcept { return policy_; }
   void set_policy(ExecutionPolicy policy) noexcept { policy_ = policy; }
 
-  /// Executes one frame in the engine's mode. Consumes `rng` exactly as
-  /// the legacy executor for (shape, mode) did — bit-identical results.
+  /// Executes one frame in the engine's mode. Under a sequential policy
+  /// it consumes `rng` exactly as the legacy executor for (shape, mode)
+  /// did — bit-identical results; a sharded policy routes through the
+  /// plan/render/reduce walk (exact) or the batched sampler (sampled),
+  /// see the ExecutionPolicy contract.
   FrameResult execute(const FrameRequest& request, util::Xoshiro256ss& rng);
 
-  /// Executes a batch of frames. All-Bloom exact-mode batches of ≥ 2
-  /// frames take the blocked path (one population walk for the whole
-  /// batch); everything else runs the frames sequentially through
-  /// execute(). See the determinism contract above.
+  /// Executes a batch of frames. A sharded policy runs the whole batch
+  /// (any shape mix) through one plan/render/reduce walk (exact) or one
+  /// batched-sampler pass (sampled). Sequential policies keep the
+  /// legacy dispatch: all-Bloom exact-mode batches of ≥ 2 frames take
+  /// the blocked path (one population walk for the whole batch);
+  /// everything else runs the frames sequentially through execute().
+  /// See the determinism contract above.
   std::vector<FrameResult> execute_batch(
       const std::vector<FrameRequest>& requests, util::Xoshiro256ss& rng);
 
@@ -281,15 +312,24 @@ class FrameEngine {
   std::vector<FrameResult> execute_bloom_batch_blocked(
       const std::vector<FrameRequest>& requests, util::Xoshiro256ss& rng);
 
-  /// Sharded exact-mode Bloom frame / batch (ExecutionPolicy::kSharded):
-  /// counter-addressed decisions, shard-private bitmaps, word-wide merge.
-  void exact_bloom_sharded(const BloomFrameConfig& cfg,
-                           util::Xoshiro256ss& rng, FrameResult& out);
-  std::vector<FrameResult> execute_bloom_batch_sharded(
+  /// Universal sharded exact-mode frame / batch (any shape mix): the
+  /// plan/render/reduce walk with counter-addressed decisions,
+  /// shard-private planes and word-wide merge.
+  void exact_sharded(const FrameRequest& request, util::Xoshiro256ss& rng,
+                     FrameResult& out);
+  std::vector<FrameResult> execute_batch_sharded(
       const std::vector<FrameRequest>& requests, util::Xoshiro256ss& rng);
 
-  /// Shard count the policy resolves to for this population.
-  [[nodiscard]] std::uint32_t effective_shards() const noexcept;
+  /// Batched sampler: all sampled-mode frames of a batch planned in one
+  /// pass (binomials on the caller's stream, request order), response
+  /// draws scattered across shards, planes summed and observed in
+  /// request order. Used whenever the policy is sharded.
+  std::vector<FrameResult> execute_sampled_batch(
+      const std::vector<FrameRequest>& requests, util::Xoshiro256ss& rng);
+
+  /// Shard count the policy resolves to for `work` items (tags in exact
+  /// mode, response draws in sampled mode).
+  [[nodiscard]] std::uint32_t effective_shards(std::size_t work) const noexcept;
 
   /// counts_[0..w) → busy bitmap through the channel (frame-major RNG).
   util::BitVector counts_to_busy(const std::uint32_t* counts, std::size_t w,
@@ -302,10 +342,12 @@ class FrameEngine {
   ExecutionPolicy policy_;
   EngineCounters counters_;
   std::vector<std::uint32_t> counts_;        ///< per-frame scratch
-  std::vector<std::uint32_t> batch_counts_;  ///< blocked-path scratch
-  std::vector<std::uint64_t> shard_bits_;    ///< sharded-path bitmaps
+  std::vector<std::uint32_t> batch_counts_;  ///< blocked/sampler slot counts
+  std::vector<std::uint64_t> shard_bits_;    ///< sharded-path planes
   std::vector<std::uint64_t> shard_tx_;      ///< sharded-path tx tallies
   std::vector<std::uint16_t> lane_scratch_;  ///< sharded-path lane ids
+  std::vector<std::uint32_t> shard_counts_;  ///< sampler shard count planes
+  std::vector<std::uint32_t> slot_scratch_;  ///< sampler scatter slot ids
 };
 
 }  // namespace bfce::rfid

@@ -101,6 +101,60 @@ decide_tile_avx512(std::uint64_t base, std::size_t t0, std::size_t t1,
 
 #endif  // BFCE_HAVE_AVX512_KERNEL
 
+/// Scalar scatter span: draws [first, first + count) emitting one slot
+/// index each. Shared by the pure-scalar path and the AVX-512 path's
+/// sub-8-draw tail.
+void scatter_span_scalar(std::uint64_t base, std::uint64_t first,
+                         std::uint64_t count, std::uint32_t w,
+                         std::uint32_t* out) noexcept {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t z = util::splitmix_at(base, first + i);
+    out[i] = static_cast<std::uint32_t>(((z >> 32) * w) >> 32);
+  }
+}
+
+#if BFCE_HAVE_AVX512_KERNEL
+
+/// 8 draws per iteration: each 64-bit lane holds splitmix_at(base, r)
+/// for one draw; the slot is ((z >> 32) · w) >> 32 — shifts and a
+/// 64-bit low multiply only, because no 64×64 high-multiply exists in
+/// AVX-512 — then the 8 lanes truncate to 32 bits and store as one
+/// 256-bit write.
+__attribute__((target("avx512f,avx512bw,avx512dq,avx512vbmi2"))) void
+scatter_tile_avx512(std::uint64_t base, std::uint64_t r0, std::uint64_t r1,
+                    std::uint32_t w, std::uint32_t* out) noexcept {
+  const __m512i gamma8 =
+      _mm512_set1_epi64(static_cast<long long>(8 * kGoldenGamma));
+  const __m512i mul1 =
+      _mm512_set1_epi64(static_cast<long long>(0xBF58476D1CE4E5B9ULL));
+  const __m512i mul2 =
+      _mm512_set1_epi64(static_cast<long long>(0x94D049BB133111EBULL));
+  const __m512i w8 = _mm512_set1_epi64(static_cast<long long>(w));
+  __m512i state = _mm512_add_epi64(
+      _mm512_set1_epi64(static_cast<long long>(base + r0 * kGoldenGamma)),
+      _mm512_mullo_epi64(_mm512_set_epi64(8, 7, 6, 5, 4, 3, 2, 1),
+                         _mm512_set1_epi64(static_cast<long long>(
+                             kGoldenGamma))));
+  std::uint64_t r = r0;
+  std::uint32_t* cursor = out;
+  for (; r + 8 <= r1; r += 8, cursor += 8) {
+    __m512i z = state;
+    z = _mm512_xor_epi64(z, _mm512_srli_epi64(z, 30));
+    z = _mm512_mullo_epi64(z, mul1);
+    z = _mm512_xor_epi64(z, _mm512_srli_epi64(z, 27));
+    z = _mm512_mullo_epi64(z, mul2);
+    z = _mm512_xor_epi64(z, _mm512_srli_epi64(z, 31));
+    const __m512i slot = _mm512_srli_epi64(
+        _mm512_mullo_epi64(_mm512_srli_epi64(z, 32), w8), 32);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(cursor),
+                        _mm512_cvtepi64_epi32(slot));
+    state = _mm512_add_epi64(state, gamma8);
+  }
+  scatter_span_scalar(base, r, r1 - r, w, cursor);
+}
+
+#endif  // BFCE_HAVE_AVX512_KERNEL
+
 }  // namespace
 
 bool simd_supported() noexcept {
@@ -142,6 +196,21 @@ std::size_t bloom_decide_tile(std::uint64_t base, std::size_t t0,
 #endif
   return decide_span_scalar(base, t0, t1 - t0, 0, threshold16, lane_mask,
                             out);
+}
+
+void sampled_scatter_tile(std::uint64_t base, std::uint64_t r0,
+                          std::uint64_t r1, std::uint32_t w, bool allow_simd,
+                          std::uint32_t* out) noexcept {
+  if (r1 <= r0) return;
+#if BFCE_HAVE_AVX512_KERNEL
+  if (allow_simd && simd_supported()) {
+    scatter_tile_avx512(base, r0, r1, w, out);
+    return;
+  }
+#else
+  (void)allow_simd;
+#endif
+  scatter_span_scalar(base, r0, r1 - r0, w, out);
 }
 
 }  // namespace bfce::rfid::detail

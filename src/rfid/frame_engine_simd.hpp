@@ -1,16 +1,19 @@
 #pragma once
-// Internal: the counter-addressed Bernoulli decision kernel of the
-// sharded exact-mode Bloom walk (ExecutionPolicy in frame_engine.hpp).
+// Internal: the counter-addressed kernels of the sharded execution
+// pipeline (ExecutionPolicy in frame_engine.hpp).
 //
-// The kernel answers, for every (tag t, hash j) pair of one tile, "does
-// the pair respond?" — where decision j of tag t is the j-th 16-bit
-// slice of util::splitmix_at(base, t) compared against a Bernoulli
-// threshold on the 1/65536 grid. Because each decision is a pure
-// function of (base, t), it can be evaluated in any order, on any
-// shard, by any instruction set: the AVX-512 path (8 tags × 4 decision
-// slices per vector, responders packed densely with vpcompressw) and
-// the scalar path emit the exact same lane ids in the exact same order,
-// so results never depend on the host ISA.
+// bloom_decide_tile answers, for every (tag t, hash j) pair of one
+// tile, "does the pair respond?" — where decision j of tag t is the
+// j-th 16-bit slice of util::splitmix_at(base, t) compared against a
+// Bernoulli threshold on the 1/65536 grid. sampled_scatter_tile maps
+// one batched-sampler response draw r to its uniform slot — the high
+// 32 bits of util::splitmix_at(base, r) reduced by multiply-shift.
+// Because each decision is a pure function of (base, counter), it can
+// be evaluated in any order, on any shard, by any instruction set: the
+// AVX-512 paths (8 counters per vector; responders packed densely with
+// vpcompressw in the decide kernel) and the scalar paths emit the
+// exact same outputs in the exact same order, so results never depend
+// on the host ISA.
 //
 // Responders come out as dense 16-bit lane ids instead of a per-group
 // bitmask on purpose: at the paper's p ≈ 1/16 a mask-and-ctz drain
@@ -55,5 +58,23 @@ std::size_t bloom_decide_tile(std::uint64_t base, std::size_t t0,
                               std::size_t t1, std::uint32_t threshold16,
                               std::uint32_t lane_mask, bool allow_simd,
                               std::uint16_t* out) noexcept;
+
+/// Tile granularity of the batched sampler's slot scatter: one tile of
+/// slot ids (16 KiB) per shard stays cache-resident next to the shard's
+/// count plane.
+inline constexpr std::size_t kScatterTile = 4096;
+
+/// Writes the slot index of every response draw r in [r0, r1): slot(r)
+/// is the high 32 bits of splitmix_at(base, r) reduced to [0, w) by
+/// multiply-shift ((hi32 · w) >> 32 — an exact uniform map up to a
+/// ≤ 2⁻³² bias, far below anything a KS test resolves, and expressible
+/// with the vpmullq/shift pair AVX-512 actually has).
+///
+/// Preconditions: r1 - r0 <= kScatterTile, w >= 1, `out` holds
+/// kScatterTile entries. `allow_simd = false` forces the scalar path;
+/// output is bit-identical either way.
+void sampled_scatter_tile(std::uint64_t base, std::uint64_t r0,
+                          std::uint64_t r1, std::uint32_t w, bool allow_simd,
+                          std::uint32_t* out) noexcept;
 
 }  // namespace bfce::rfid::detail

@@ -355,6 +355,10 @@ JobResult EstimationService::execute_tracking(const JobSpec& spec,
     cfg.mode = config_.mode;
     cfg.channel = config_.channel;
     cfg.timing = config_.timing;
+    // The service-wide engine policy applies to tracking rounds exactly
+    // as it does to single-estimate jobs (it is shard-count invariant,
+    // so trajectories stay bit-identical across policies' shard knobs).
+    cfg.policy = config_.engine_policy;
     // Same stream contract as single-estimate jobs: attempt a derives
     // its whole session (timeline + every round) from (spec.seed, a).
     cfg.seed = util::derive_seed(spec.seed, attempt);

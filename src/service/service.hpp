@@ -64,9 +64,11 @@ struct ServiceConfig {
   rfid::FrameMode mode = rfid::FrameMode::kSampled;
   rfid::ChannelModel channel{};
   rfid::TimingModel timing{};
-  /// FrameEngine policy for every job's reader context. Sharding the
-  /// exact-mode walk is safe under worker-level parallelism: results are
-  /// a pure function of the job seed for any shard count.
+  /// FrameEngine policy for every job's reader context — single
+  /// estimates and tracking sessions alike. Sharding (the exact-mode
+  /// walk or the sampled-mode batched sampler) is safe under
+  /// worker-level parallelism: results are a pure function of the job
+  /// seed for any shard count.
   rfid::ExecutionPolicy engine_policy{};
 
   /// Shared Theorem-4 planner for BFCE jobs (non-owning; must outlive

@@ -74,7 +74,8 @@ TrackPoint TrackingSession::step(const sim::ChurnModel& model) {
   // can never change another round's estimate.
   rfid::ReaderContext ctx(timeline_.current(),
                           util::derive_seed(config_.seed, round_),
-                          config_.mode, config_.channel, config_.timing);
+                          config_.mode, config_.channel, config_.timing,
+                          config_.policy);
   core::BfceEstimator estimator(config_.params);
   core::BfceTrace trace;
   const estimators::EstimateOutcome outcome =

@@ -64,6 +64,10 @@ struct SessionConfig {
   rfid::FrameMode mode = rfid::FrameMode::kSampled;
   rfid::ChannelModel channel{};
   rfid::TimingModel timing{};
+  /// FrameEngine policy for every round's ReaderContext. The sharded
+  /// pipeline is bit-identical for any shard count, so trajectories
+  /// stay a pure function of (SessionConfig, schedule).
+  rfid::ExecutionPolicy policy{};
   std::uint64_t seed = 20150701;
 };
 

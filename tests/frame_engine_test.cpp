@@ -701,6 +701,240 @@ TEST(FrameEngineSharded, CountsShardedWalks) {
   EXPECT_EQ(sum.sharded_walks, 4u);
 }
 
+// ---- sharded execution: non-Bloom shapes ------------------------------
+
+std::size_t busy_states(const std::vector<SlotState>& states) {
+  std::size_t n = 0;
+  for (const SlotState s : states) {
+    if (is_busy(s)) ++n;
+  }
+  return n;
+}
+
+// Shapes whose tag-side decisions draw no RNG — p = 1 ALOHA, single-slot,
+// lottery — must come out of the sharded walk bit-identical to the plain
+// sequential engine, RNG stream position included, under both channels.
+TEST(FrameEngineShardedShapes, NoDrawShapesMatchSequentialExactly) {
+  const TagPopulation pop = test_pop(3000);
+  for (const Channel ch : {Channel{}, Channel{ChannelModel{0.05, 0.02}}}) {
+    FrameEngine seq(pop, ch, FrameMode::kExact);
+    FrameEngine shd(pop, ch, FrameMode::kExact, sharded_policy(4));
+    util::Xoshiro256ss seq_rng(19);
+    util::Xoshiro256ss shd_rng(19);
+
+    const FrameResult a1 =
+        seq.execute(FrameRequest::aloha(128, 1.0, 77), seq_rng);
+    const FrameResult a2 =
+        shd.execute(FrameRequest::aloha(128, 1.0, 77), shd_rng);
+    EXPECT_EQ(a1.states, a2.states);
+    EXPECT_EQ(a1.tx, a2.tx);
+
+    const FrameResult s1 =
+        seq.execute(FrameRequest::single_slot(0.001, 55), seq_rng);
+    const FrameResult s2 =
+        shd.execute(FrameRequest::single_slot(0.001, 55), shd_rng);
+    EXPECT_EQ(s1.single, s2.single);
+    EXPECT_EQ(s1.tx, s2.tx);
+
+    const FrameResult l1 =
+        seq.execute(FrameRequest::lottery(32, 66), seq_rng);
+    const FrameResult l2 =
+        shd.execute(FrameRequest::lottery(32, 66), shd_rng);
+    EXPECT_EQ(l1.busy.words(), l2.busy.words());
+    EXPECT_EQ(l1.tx, l2.tx);
+
+    expect_same_rng(seq_rng, shd_rng);
+    EXPECT_EQ(shd.counters().sharded_walks, 3u);
+  }
+}
+
+// Every non-Bloom shape — including stochastic-persistence ALOHA — is a
+// pure function of the seed under the sharded walk: bit-identical
+// results and caller-RNG stream position for 1, 4 and 8 shards, with
+// both a perfect and an imperfect channel in the loop.
+TEST(FrameEngineShardedShapes, ShardCountInvariance) {
+  const TagPopulation pop = test_pop(3000);
+  std::vector<FrameRequest> batch;
+  batch.push_back(FrameRequest::aloha(128, 0.4, 81));
+  batch.push_back(FrameRequest::aloha(64, 1.0, 82));
+  batch.push_back(FrameRequest::single_slot(0.01, 83));
+  batch.push_back(FrameRequest::lottery(32, 84));
+  for (const Channel ch : {Channel{}, Channel{ChannelModel{0.05, 0.02}}}) {
+    for (const std::uint32_t shards : {4u, 8u}) {
+      FrameEngine one(pop, ch, FrameMode::kExact, sharded_policy(1));
+      FrameEngine many(pop, ch, FrameMode::kExact, sharded_policy(shards));
+      util::Xoshiro256ss one_rng(29);
+      util::Xoshiro256ss many_rng(29);
+      const auto ref = one.execute_batch(batch, one_rng);
+      const auto res = many.execute_batch(batch, many_rng);
+      ASSERT_EQ(res.size(), ref.size());
+      for (std::size_t i = 0; i < res.size(); ++i) {
+        EXPECT_EQ(ref[i].states, res[i].states) << "frame " << i;
+        EXPECT_EQ(ref[i].busy.words(), res[i].busy.words()) << "frame " << i;
+        EXPECT_EQ(ref[i].single, res[i].single) << "frame " << i;
+        EXPECT_EQ(ref[i].tx, res[i].tx) << "frame " << i;
+      }
+      expect_same_rng(one_rng, many_rng);
+    }
+  }
+}
+
+// Stochastic-persistence ALOHA (p < 1) repacks its per-tag draws into the
+// counter-addressed stream, so sharded-vs-sequential promises the same
+// law: two-sample KS on per-frame busy-slot counts.
+TEST(FrameEngineShardedShapes, AlohaStochasticMatchesSequentialLaw) {
+  const TagPopulation pop = test_pop(1500);
+  const Channel ch;
+  std::vector<double> sharded_counts;
+  std::vector<double> sequential_counts;
+  for (std::uint64_t trial = 0; trial < 200; ++trial) {
+    FrameEngine sharded(pop, ch, FrameMode::kExact, sharded_policy(4));
+    util::Xoshiro256ss shd_rng(1200 + trial);
+    sharded_counts.push_back(static_cast<double>(busy_states(
+        sharded.execute(FrameRequest::aloha(128, 0.35, 10 + trial), shd_rng)
+            .states)));
+    FrameEngine sequential(pop, ch, FrameMode::kExact);
+    util::Xoshiro256ss seq_rng(8200 + trial);
+    sequential_counts.push_back(static_cast<double>(busy_states(
+        sequential.execute(FrameRequest::aloha(128, 0.35, 10 + trial), seq_rng)
+            .states)));
+  }
+  const double d = math::ks_statistic(sharded_counts, sequential_counts);
+  const double p =
+      math::ks_pvalue(d, sharded_counts.size(), sequential_counts.size());
+  EXPECT_GT(p, 1e-3) << "KS D=" << d;
+}
+
+// ---- the batched sampler (sampled mode, sharded policy) ---------------
+
+std::vector<FrameRequest> sampled_mix_batch(std::uint64_t seed_base) {
+  std::vector<FrameRequest> batch;
+  auto cfg = bloom_cfg(hash::PersistenceMode::kIdealBernoulli);
+  cfg.seeds = {seed_base, seed_base + 1, seed_base + 2};
+  batch.push_back(FrameRequest::bloom(cfg));
+  batch.push_back(FrameRequest::aloha(256, 0.01, seed_base + 3));
+  batch.push_back(FrameRequest::single_slot(3e-5, seed_base + 4));
+  batch.push_back(FrameRequest::lottery(32, seed_base + 5));
+  return batch;
+}
+
+// The batched sampler is a pure function of the seed: bit-identical
+// results and caller-RNG position for 1/4/8 shards and with the SIMD
+// scatter kernel on or off, under both channels.
+TEST(FrameEngineSampledSharded, ShardCountAndSimdInvariance) {
+  const std::size_t n = 200000;
+  const auto batch = sampled_mix_batch(400);
+  for (const Channel ch : {Channel{}, Channel{ChannelModel{0.05, 0.02}}}) {
+    FrameEngine one(n, ch);
+    one.set_policy(sharded_policy(1));
+    util::Xoshiro256ss one_rng(37);
+    const auto ref = one.execute_batch(batch, one_rng);
+    for (const std::uint32_t shards : {4u, 8u}) {
+      for (const bool simd : {true, false}) {
+        FrameEngine many(n, ch);
+        ExecutionPolicy policy = sharded_policy(shards);
+        policy.allow_simd = simd;
+        many.set_policy(policy);
+        util::Xoshiro256ss many_rng(37);
+        const auto res = many.execute_batch(batch, many_rng);
+        ASSERT_EQ(res.size(), ref.size());
+        for (std::size_t i = 0; i < res.size(); ++i) {
+          EXPECT_EQ(ref[i].busy.words(), res[i].busy.words())
+              << "shards " << shards << " simd " << simd << " frame " << i;
+          EXPECT_EQ(ref[i].states, res[i].states) << "frame " << i;
+          EXPECT_EQ(ref[i].single, res[i].single) << "frame " << i;
+          EXPECT_EQ(ref[i].tx, res[i].tx) << "frame " << i;
+        }
+        util::Xoshiro256ss probe(37);
+        one.execute_batch(batch, probe);  // advance a twin stream
+        expect_same_rng(probe, many_rng);
+      }
+    }
+  }
+}
+
+// Single-slot and lottery draw no scatter stream — the sampler makes the
+// exact same caller-RNG draws in the same order as the legacy sampled
+// executors, so a single-frame request is bit-identical, RNG included.
+TEST(FrameEngineSampledSharded, NonScatterShapesBitIdenticalToLegacy) {
+  const std::size_t n = 50000;
+  for (const Channel ch : {Channel{}, Channel{ChannelModel{0.05, 0.02}}}) {
+    util::Xoshiro256ss ref_rng(43);
+    util::Xoshiro256ss eng_rng(43);
+    FrameEngine engine(n, ch);
+    engine.set_policy(sharded_policy(4));
+
+    const SlotState ref_single = ref_sampled_single_slot(n, 3e-5, ch, ref_rng);
+    EXPECT_EQ(ref_single,
+              engine.execute(FrameRequest::single_slot(3e-5, 0), eng_rng)
+                  .single);
+
+    const util::BitVector ref_lottery =
+        ref_sampled_lottery_frame(n, 32, ch, ref_rng);
+    EXPECT_EQ(ref_lottery.words(),
+              engine.execute(FrameRequest::lottery(32, 0), eng_rng)
+                  .busy.words());
+
+    expect_same_rng(ref_rng, eng_rng);
+    EXPECT_EQ(engine.counters().sampled_batches, 2u);
+  }
+}
+
+// Bloom and ALOHA responses scatter through the counter-addressed stream
+// instead of rng.below(), so the sampler promises the legacy law, not
+// the legacy bits: two-sample KS on per-frame busy counts.
+TEST(FrameEngineSampledSharded, ScatterShapesMatchLegacyLaw) {
+  const std::size_t n = 20000;
+  const Channel ch;
+  // p = 4/1024: ~234 responses over 512 slots — well short of
+  // saturation, so the busy counts actually vary trial to trial.
+  const auto cfg = bloom_cfg(hash::PersistenceMode::kIdealBernoulli, 4);
+  std::vector<double> sampler_bloom, legacy_bloom;
+  std::vector<double> sampler_aloha, legacy_aloha;
+  for (std::uint64_t trial = 0; trial < 200; ++trial) {
+    FrameEngine engine(n, ch);
+    engine.set_policy(sharded_policy(4));
+    util::Xoshiro256ss eng_rng(2200 + trial);
+    sampler_bloom.push_back(static_cast<double>(
+        engine.execute(FrameRequest::bloom(cfg), eng_rng)
+            .busy.count_ones()));
+    sampler_aloha.push_back(static_cast<double>(busy_states(
+        engine.execute(FrameRequest::aloha(256, 0.01, 0), eng_rng)
+            .states)));
+    util::Xoshiro256ss ref_rng(7200 + trial);
+    legacy_bloom.push_back(static_cast<double>(
+        ref_sampled_bloom_frame(n, cfg, ch, ref_rng).count_ones()));
+    legacy_aloha.push_back(static_cast<double>(
+        busy_states(ref_sampled_aloha_frame(n, 256, 0.01, ch, ref_rng))));
+  }
+  const double db = math::ks_statistic(sampler_bloom, legacy_bloom);
+  EXPECT_GT(math::ks_pvalue(db, sampler_bloom.size(), legacy_bloom.size()),
+            1e-3)
+      << "bloom KS D=" << db;
+  const double da = math::ks_statistic(sampler_aloha, legacy_aloha);
+  EXPECT_GT(math::ks_pvalue(da, sampler_aloha.size(), legacy_aloha.size()),
+            1e-3)
+      << "aloha KS D=" << da;
+}
+
+TEST(FrameEngineSampledSharded, CountsSampledBatches) {
+  FrameEngine engine(10000, Channel{});
+  engine.set_policy(sharded_policy(4));
+  util::Xoshiro256ss rng(1);
+  engine.execute_batch(sampled_mix_batch(600), rng);
+  EXPECT_EQ(engine.counters().sampled_batches, 1u);
+  EXPECT_EQ(engine.counters().sharded_walks, 1u);
+  EXPECT_EQ(engine.counters().batches, 1u);
+  engine.execute(FrameRequest::single_slot(0.001, 7), rng);
+  EXPECT_EQ(engine.counters().sampled_batches, 2u);
+  EXPECT_EQ(engine.counters().sharded_walks, 2u);
+
+  EngineCounters sum;
+  sum += engine.counters();
+  sum += engine.counters();
+  EXPECT_EQ(sum.sampled_batches, 4u);
+}
+
 // ---- counters ---------------------------------------------------------
 
 TEST(FrameEngineCounters, CountFramesSlotsAndTransmissions) {

@@ -164,6 +164,66 @@ TEST(SeedMixer, StringsHashByContent) {
             SeedMixer(7).value());
 }
 
+// draw_binomial backs the sampled-mode batched sampler, where a frame
+// over n = 10^6 tags with k = 4 hashes draws Binomial(4e6, p); the
+// planner can also push trials toward 2^40 for fleet-scale sweeps. The
+// extremes must stay exact (degenerate p), sane (within the CLT
+// envelope) and fast (no per-trial loop for large np).
+TEST(DrawBinomial, DegenerateProbabilitiesAreExact) {
+  Xoshiro256ss rng(3);
+  const std::uint64_t huge = 1ULL << 40;
+  EXPECT_EQ(draw_binomial(huge, 0.0, rng), 0u);
+  EXPECT_EQ(draw_binomial(huge, -0.5, rng), 0u);
+  EXPECT_EQ(draw_binomial(huge, 1.0, rng), huge);
+  EXPECT_EQ(draw_binomial(huge, 1.5, rng), huge);
+  EXPECT_EQ(draw_binomial(0, 0.5, rng), 0u);
+}
+
+TEST(DrawBinomial, HugeTrialCountStaysInTheCltEnvelope) {
+  Xoshiro256ss rng(5);
+  const std::uint64_t trials = 1ULL << 40;
+  // p = 1/2: mean 2^39, sd 2^19 — allow 6 sigma.
+  const double mean = 0.5 * static_cast<double>(trials);
+  const double sd = std::sqrt(0.25 * static_cast<double>(trials));
+  for (int i = 0; i < 8; ++i) {
+    const double x = static_cast<double>(draw_binomial(trials, 0.5, rng));
+    EXPECT_NEAR(x, mean, 6.0 * sd);
+  }
+}
+
+TEST(DrawBinomial, ExtremeTailProbabilitiesBehave) {
+  Xoshiro256ss rng(7);
+  const std::uint64_t trials = 1ULL << 40;
+  // p = 2^-40: mean 1 — tiny counts, never anywhere near trials.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_LT(draw_binomial(trials, std::ldexp(1.0, -40), rng), 64u);
+  }
+  // p = 1 − 2^-40: mean trials − 1 — hugs the ceiling from below.
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t x =
+        draw_binomial(trials, 1.0 - std::ldexp(1.0, -40), rng);
+    EXPECT_LE(x, trials);
+    EXPECT_GT(x, trials - 64u);
+  }
+}
+
+TEST(DrawBinomial, PersistenceGridProbabilitiesAreDeterministic) {
+  // Bloom persistence lives on the 1/65536 grid (BloomFrameConfig's
+  // p_numerator); every grid point must reproduce bit-identically from
+  // the same stream — draw_binomial may serialise internally but the
+  // result is a pure function of (trials, p, rng state).
+  for (const std::uint32_t p_n : {1u, 3u, 256u, 32768u, 65535u}) {
+    const double p = static_cast<double>(p_n) / 65536.0;
+    Xoshiro256ss a(11);
+    Xoshiro256ss b(11);
+    for (int i = 0; i < 4; ++i) {
+      const std::uint64_t trials = 1ULL << (10 + 10 * i);  // 2^10 … 2^40
+      EXPECT_EQ(draw_binomial(trials, p, a), draw_binomial(trials, p, b))
+          << "p_n " << p_n << " trials 2^" << (10 + 10 * i);
+    }
+  }
+}
+
 TEST(DeriveSeed, AdjacentStreamsAreDecorrelated) {
   // Generators seeded from adjacent indices should not produce equal
   // leading outputs.

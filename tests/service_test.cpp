@@ -526,6 +526,37 @@ TEST(EstimationService, TrackingJobsSurfacePerReaderMetrics) {
   }
 }
 
+// Regression: ServiceConfig::engine_policy must reach the tracking
+// path. execute_tracking forwards it into SessionConfig, the session
+// into every round's ReaderContext — so a sharded service config makes
+// tracking jobs produce sharded walks; and because the sharded pipeline
+// is shard-count invariant, the trajectories are a pure function of the
+// job seed — bit-identical across shard counts.
+TEST(EstimationService, TrackingJobsHonourShardedEnginePolicy) {
+  const auto specs = tracking_jobs();
+
+  EstimationService sequential(ServiceConfig{.workers = 2});
+  run_all(sequential, specs);
+  EXPECT_EQ(sequential.metrics().engine.sharded_walks, 0u);
+
+  std::vector<std::vector<JobResult>> per_shard_count;
+  for (const std::uint32_t shards : {4u, 8u}) {
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    rfid::ExecutionPolicy policy = rfid::ExecutionPolicy::sharded(shards);
+    policy.min_tags_per_shard = 1;
+    cfg.engine_policy = policy;
+    EstimationService sharded(cfg);
+    per_shard_count.push_back(run_all(sharded, specs));
+    EXPECT_GT(sharded.metrics().engine.sharded_walks, 0u)
+        << "shards=" << shards;
+    for (const JobResult& r : per_shard_count.back()) {
+      EXPECT_EQ(r.status, JobStatus::kDone);
+    }
+  }
+  expect_same_trajectories(per_shard_count[0], per_shard_count[1]);
+}
+
 TEST(EstimationService, NonTrackingMetricsStayEmpty) {
   EstimationService svc({.workers = 1});
   JobSpec spec;

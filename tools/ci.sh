@@ -26,11 +26,12 @@
 #      conformance_test.cpp. Also works against a tsan build dir:
 #      `ctest --test-dir build-tsan -L conformance`.
 #   5. Opt-in (--perf-smoke): reruns `micro_frame --baseline` in the
-#      release build and fails if engine_tags_per_s at any n regresses
-#      more than 30% against the committed BENCH_frame.json. The gate
-#      compares the sequential engine column only — it exists on every
-#      host, whereas the sharded column's absolute numbers depend on
-#      core count and AVX-512 availability.
+#      release build and fails if engine_tags_per_s or
+#      sampled_tags_per_s at any n regresses more than 30% against the
+#      committed BENCH_frame.json. The gate compares the sequential
+#      columns only — they exist on every host, whereas the sharded
+#      columns' absolute numbers depend on core count and AVX-512
+#      availability.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -114,10 +115,11 @@ if [ "${perf_smoke}" -eq 1 ]; then
   fi
   cmake --build --preset release -j "${jobs}" --target micro_frame
   (cd "build-release" && timeout 300 ./bench/micro_frame --baseline)
-  # Gate on the sequential engine column: fresh throughput must stay
-  # within 30% of the committed baseline at every n. (The sharded and
-  # legacy columns are informational — their ratios shift with core
-  # count and ISA, and legacy only regresses if the reference does.)
+  # Gate on the sequential columns: the exact-mode engine walk and the
+  # sampled-mode executors must each stay within 30% of the committed
+  # baseline at every n. (The sharded and legacy columns are
+  # informational — their ratios shift with core count and ISA, and
+  # legacy only regresses if the reference does.)
   python3 - BENCH_frame.json build-release/BENCH_frame.json <<'EOF'
 import json, sys
 
@@ -126,25 +128,31 @@ with open(sys.argv[1]) as f:
 with open(sys.argv[2]) as f:
     fresh = {p["n"]: p for p in json.load(f)["points"]}
 
+GATED = ("engine_tags_per_s", "sampled_tags_per_s")
 failed = False
 for n, base in sorted(committed.items()):
     if n not in fresh:
         print(f"FAIL: fresh baseline has no point for n={n}")
         failed = True
         continue
-    old = base["engine_tags_per_s"]
-    new = fresh[n]["engine_tags_per_s"]
-    ratio = new / old if old > 0 else float("inf")
-    status = "ok" if ratio >= 0.7 else "REGRESSION"
-    print(f"n={n:>9,}: engine {old:.3e} -> {new:.3e} tags/s "
-          f"({ratio:.2f}x) {status}")
-    if ratio < 0.7:
-        failed = True
+    for column in GATED:
+        if column not in base:
+            # An older committed baseline predates the column; the next
+            # recommit picks it up.
+            continue
+        old = base[column]
+        new = fresh[n][column]
+        ratio = new / old if old > 0 else float("inf")
+        status = "ok" if ratio >= 0.7 else "REGRESSION"
+        print(f"n={n:>9,}: {column} {old:.3e} -> {new:.3e} tags/s "
+              f"({ratio:.2f}x) {status}")
+        if ratio < 0.7:
+            failed = True
 if failed:
-    print("FAIL: engine_tags_per_s regressed more than 30% "
+    print("FAIL: a gated throughput column regressed more than 30% "
           "against the committed BENCH_frame.json")
     sys.exit(1)
-print("perf smoke: engine throughput within 30% of baseline")
+print("perf smoke: engine and sampled throughput within 30% of baseline")
 EOF
 fi
 echo "==== all stages green ======================================"
