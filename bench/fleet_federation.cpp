@@ -1,0 +1,294 @@
+// Fleet-federation bench: the federation layer at deployment scale.
+//
+// Sweeps simulated reader fleets (1k and 10k readers by default) over a
+// millions-of-tags floor at nominal coverage overlaps {0, 0.25, 0.5}.
+// Each cell runs one federated union estimate AND the naive baseline —
+// every reader independently estimating its own coverage with plain
+// BFCE, summed — through the same EstimationService, then compares both
+// against the ground-truth union cardinality. A determinism matrix
+// re-runs federated jobs across service worker counts {1, 4, 8} and
+// aggregation-tree fanouts {2, 8} and checks the trajectories are
+// bit-identical.
+//
+//   $ fleet_federation [--readers=10000] [--tags=2000000] [--workers=0]
+//                      [--seed=...] [--exact] [--csv]
+//
+// Writes the whole record to BENCH_federation.json. Exit status is
+// non-zero unless (a) the overlap-corrected union estimate beats the
+// naive summed estimate at every overlap fraction > 0 and (b) the
+// determinism matrix is bit-identical across all worker × fanout cells.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "federation/federated_bfce.hpp"
+#include "federation/fleet.hpp"
+#include "federation/geometry.hpp"
+#include "rfid/multireader.hpp"
+#include "service/service.hpp"
+#include "util/rng.hpp"
+
+using namespace bfce;
+
+namespace {
+
+struct CellRecord {
+  std::size_t readers = 0;
+  double frac_target = 0.0;
+  double frac_realised = 0.0;
+  std::size_t union_n = 0;
+  std::uint32_t schedule_rounds = 0;
+  double fed_n_hat = 0.0;
+  double fed_err = 0.0;
+  double naive_n_hat = 0.0;
+  double naive_err = 0.0;
+  double correction_g = 0.0;
+  double fleet_airtime_s = 0.0;
+  std::uint64_t merges = 0;
+  std::uint64_t word_ors = 0;
+  double wall_s = 0.0;
+};
+
+double wall_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One sweep cell: federated job + the naive per-reader job fan-out,
+/// both through the same service so the ServiceMetrics federation row
+/// and the plain-job counters accumulate side by side.
+CellRecord run_cell(const federation::Fleet& fleet, double frac_target,
+                    const service::ServiceConfig& scfg, std::uint64_t seed) {
+  CellRecord rec;
+  rec.readers = fleet.reader_count();
+  rec.frac_target = frac_target;
+  rec.frac_realised = fleet.profile().overlap_fraction();
+  rec.union_n = fleet.union_size();
+  rec.schedule_rounds = fleet.schedule_rounds();
+  const double union_n = static_cast<double>(rec.union_n);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  service::EstimationService svc(scfg);
+
+  service::JobSpec fed_spec;
+  fed_spec.estimator = "BFCE-federated";
+  fed_spec.seed = seed;
+  fed_spec.federation = service::FederationJobSpec{
+      &fleet, federation::SessionCorrelation::kIndependent, 8};
+  const service::JobId fed_id = svc.submit(fed_spec);
+
+  std::vector<service::JobId> naive_ids;
+  naive_ids.reserve(fleet.reader_count());
+  for (std::size_t r = 0; r < fleet.reader_count(); ++r) {
+    service::JobSpec spec;
+    spec.population = &fleet.system().reader_population(r);
+    spec.seed = util::derive_seed(seed, r + 1);
+    naive_ids.push_back(svc.submit(spec));
+  }
+  svc.drain();
+
+  const service::JobResult fed = svc.wait(fed_id);
+  rec.fed_n_hat = fed.outcome.n_hat;
+  rec.fed_err = fed.outcome.relative_error(union_n);
+  if (fed.federation.has_value()) {
+    rec.correction_g = fed.federation->correction_g;
+    rec.fleet_airtime_s = fed.federation->fleet_airtime_s;
+    rec.merges = fed.federation->merge.merges;
+    rec.word_ors = fed.federation->merge.word_ors;
+  }
+  for (const service::JobId id : naive_ids) {
+    rec.naive_n_hat += svc.wait(id).outcome.n_hat;
+  }
+  rec.naive_err = std::fabs(rec.naive_n_hat - union_n) / union_n;
+  rec.wall_s = wall_since(t0);
+  return rec;
+}
+
+struct Trajectory {
+  double n_hat, ci_low, ci_high, g, airtime_s;
+  std::uint64_t fp;
+
+  bool operator==(const Trajectory& o) const {
+    return n_hat == o.n_hat && ci_low == o.ci_low && ci_high == o.ci_high &&
+           g == o.g && airtime_s == o.airtime_s && fp == o.fp;
+  }
+};
+
+/// Federated jobs re-run across worker counts and fanouts; any
+/// divergence is a determinism bug, not a tuning matter.
+bool determinism_matrix(const federation::Fleet& fleet,
+                        const service::ServiceConfig& base,
+                        std::uint64_t seed) {
+  std::vector<std::vector<Trajectory>> runs;
+  for (const unsigned workers : {1u, 4u, 8u}) {
+    for (const std::uint32_t fanout : {2u, 8u}) {
+      service::ServiceConfig scfg = base;
+      scfg.workers = workers;
+      service::EstimationService svc(scfg);
+      std::vector<service::JobId> ids;
+      for (std::uint64_t j = 0; j < 3; ++j) {
+        service::JobSpec spec;
+        spec.seed = util::derive_seed(seed, 0xD0 + j);
+        spec.federation = service::FederationJobSpec{
+            &fleet, federation::SessionCorrelation::kIndependent, fanout};
+        ids.push_back(svc.submit(spec));
+      }
+      std::vector<Trajectory> traj;
+      for (const service::JobId id : ids) {
+        const service::JobResult res = svc.wait(id);
+        if (res.status != service::JobStatus::kDone ||
+            !res.federation.has_value()) {
+          return false;
+        }
+        traj.push_back({res.outcome.n_hat, res.outcome.ci_low,
+                        res.outcome.ci_high, res.federation->correction_g,
+                        res.airtime_s, res.federation->rng_fingerprint});
+      }
+      runs.push_back(std::move(traj));
+    }
+  }
+  for (std::size_t c = 1; c < runs.size(); ++c) {
+    if (!(runs[c] == runs[0])) {
+      std::fprintf(stderr, "determinism matrix: config %zu diverged\n", c);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv,
+                      {"readers", "tags", "workers", "seed", "exact", "csv"});
+  const auto max_readers =
+      static_cast<std::size_t>(cli.get_int("readers", 10000));
+  const auto tags = static_cast<std::size_t>(cli.get_int("tags", 2000000));
+  const auto workers = static_cast<unsigned>(cli.get_int("workers", 0));
+
+  bench::PopulationCache pops(cli.seed());
+  const rfid::TagPopulation& pop =
+      pops.get(tags, rfid::TagIdDistribution::kT1Uniform);
+
+  service::ServiceConfig scfg;
+  scfg.workers = workers;
+  scfg.mode = bench::mode_from(cli);
+
+  std::vector<std::size_t> reader_counts;
+  if (max_readers > 1000) reader_counts.push_back(1000);
+  reader_counts.push_back(max_readers);
+  const double fracs[] = {0.0, 0.25, 0.5};
+
+  // Fleets are built once and shared between the sweep and the
+  // determinism matrix; the 1k-reader 0.25-overlap fleet doubles as the
+  // matrix target.
+  std::vector<CellRecord> cells;
+  const federation::Fleet* matrix_fleet = nullptr;
+  std::vector<std::unique_ptr<federation::Fleet>> fleets;
+  const auto t_total = std::chrono::steady_clock::now();
+  for (const std::size_t readers : reader_counts) {
+    for (const double frac : fracs) {
+      const double radius = federation::grid_radius_for_overlap(
+          readers, frac, readers >= 4096 ? 1024 : 2048);
+      fleets.push_back(std::make_unique<federation::Fleet>(
+          pop, rfid::MultiReaderSystem::grid(readers, radius)));
+      const federation::Fleet& fleet = *fleets.back();
+      if (matrix_fleet == nullptr && frac > 0.0) matrix_fleet = &fleet;
+      std::printf("cell: %zu readers, overlap target %.2f (realised %.3f), "
+                  "union %zu...\n",
+                  readers, frac, fleet.profile().overlap_fraction(),
+                  fleet.union_size());
+      std::fflush(stdout);
+      cells.push_back(run_cell(
+          fleet, frac, scfg,
+          util::SeedMixer(cli.seed())
+              .absorb(std::uint64_t{readers})
+              .absorb(std::uint64_t{static_cast<std::uint64_t>(frac * 100)})
+              .value()));
+    }
+  }
+
+  std::printf("determinism matrix: workers {1,4,8} x fanouts {2,8}...\n");
+  std::fflush(stdout);
+  const bool deterministic =
+      matrix_fleet != nullptr &&
+      determinism_matrix(*matrix_fleet, scfg, cli.seed());
+
+  bool union_beats_naive = true;
+  for (const CellRecord& c : cells) {
+    if (c.frac_target > 0.0 && c.fed_err >= c.naive_err) {
+      union_beats_naive = false;
+    }
+  }
+  const double total_wall_s = wall_since(t_total);
+
+  util::Table table({"readers", "overlap", "realised", "union", "rounds",
+                     "fed_err", "naive_err", "g", "fleet_s", "wall_s"});
+  for (const CellRecord& c : cells) {
+    table.add_row({std::to_string(c.readers), util::Table::num(c.frac_target),
+                   util::Table::num(c.frac_realised),
+                   std::to_string(c.union_n), std::to_string(c.schedule_rounds),
+                   util::Table::num(c.fed_err), util::Table::num(c.naive_err),
+                   util::Table::num(c.correction_g),
+                   util::Table::num(c.fleet_airtime_s),
+                   util::Table::num(c.wall_s)});
+  }
+  bench::emit(cli, "fleet_federation: union estimate vs naive summation",
+              table);
+  std::printf("union beats naive at every overlap > 0: %s\n",
+              union_beats_naive ? "yes" : "NO — BUG");
+  std::printf("bit-identical across workers x fanouts: %s\n",
+              deterministic ? "yes" : "NO — BUG");
+
+  // ---- BENCH_federation.json ---------------------------------------
+  std::string json = "{\n  \"bench\": \"fleet_federation\",\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"tags\": %zu,\n  \"max_readers\": %zu,\n"
+                "  \"workers\": %u,\n  \"mode\": \"%s\",\n"
+                "  \"seed\": %llu,\n  \"total_wall_s\": %.3f,\n"
+                "  \"union_beats_naive\": %s,\n  \"deterministic\": %s,\n"
+                "  \"cells\": [\n",
+                tags, max_readers, workers,
+                scfg.mode == rfid::FrameMode::kExact ? "exact" : "sampled",
+                static_cast<unsigned long long>(cli.seed()), total_wall_s,
+                union_beats_naive ? "true" : "false",
+                deterministic ? "true" : "false");
+  json += buf;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellRecord& c = cells[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"readers\": %zu, \"overlap_target\": %.2f, "
+        "\"overlap_realised\": %.4f, \"union\": %zu, "
+        "\"schedule_rounds\": %u, \"fed_n_hat\": %.1f, "
+        "\"fed_rel_err\": %.6f, \"naive_n_hat\": %.1f, "
+        "\"naive_rel_err\": %.6f, \"correction_g\": %.6f, "
+        "\"fleet_airtime_s\": %.4f, \"tree_merges\": %llu, "
+        "\"word_ors\": %llu, \"wall_s\": %.3f}%s\n",
+        c.readers, c.frac_target, c.frac_realised, c.union_n,
+        c.schedule_rounds, c.fed_n_hat, c.fed_err, c.naive_n_hat, c.naive_err,
+        c.correction_g, c.fleet_airtime_s,
+        static_cast<unsigned long long>(c.merges),
+        static_cast<unsigned long long>(c.word_ors), c.wall_s,
+        i + 1 == cells.size() ? "" : ",");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  const char* path = "BENCH_federation.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  } else {
+    std::fprintf(stderr, "could not open %s for writing\n", path);
+    return 1;
+  }
+  return (union_beats_naive && deterministic) ? 0 : 1;
+}

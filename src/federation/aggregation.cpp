@@ -1,0 +1,40 @@
+#include "federation/aggregation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace bfce::federation {
+
+util::BitVector merge_tree(std::vector<util::BitVector> leaves,
+                           std::uint32_t fanout, MergeStats* stats) {
+  if (leaves.empty()) return util::BitVector{};
+  const std::uint32_t arity = std::max<std::uint32_t>(fanout, 2);
+  MergeStats local;
+  while (leaves.size() > 1) {
+    ++local.levels;
+    std::vector<util::BitVector> parents;
+    parents.reserve((leaves.size() + arity - 1) / arity);
+    for (std::size_t group = 0; group < leaves.size(); group += arity) {
+      util::BitVector acc = std::move(leaves[group]);
+      const std::size_t end = std::min(leaves.size(),
+                                       group + static_cast<std::size_t>(arity));
+      for (std::size_t child = group + 1; child < end; ++child) {
+        const util::BitVector& map = leaves[child];
+        assert(map.size() == acc.size());
+        const std::size_t words = acc.word_count();
+        for (std::size_t wi = 0; wi < words; ++wi) {
+          acc.or_word(wi, map.word(wi));
+        }
+        ++local.merges;
+        local.word_ors += words;
+      }
+      parents.push_back(std::move(acc));
+    }
+    leaves = std::move(parents);
+  }
+  if (stats != nullptr) *stats += local;
+  return std::move(leaves.front());
+}
+
+}  // namespace bfce::federation

@@ -1,0 +1,41 @@
+#pragma once
+// Bitmap aggregation tree for reader fleets.
+//
+// Per-reader busy maps travel up a configurable-fanout tree to the
+// back-end coordinator; every internal node ORs its children word by
+// word (util::BitVector::or_word, the same primitive the sharded frame
+// walk merges shard planes with). OR is associative and commutative over
+// a fixed leaf order, so the merged bitmap is bit-identical for every
+// fanout — the tree shape only changes how much intermediate traffic a
+// real deployment would carry, which MergeStats records.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvector.hpp"
+
+namespace bfce::federation {
+
+/// Work accounting of one tree merge.
+struct MergeStats {
+  std::uint64_t merges = 0;    ///< child-into-parent bitmap ORs
+  std::uint64_t word_ors = 0;  ///< 64-bit word ORs performed
+  std::uint32_t levels = 0;    ///< tree height above the leaves
+
+  MergeStats& operator+=(const MergeStats& o) noexcept {
+    merges += o.merges;
+    word_ors += o.word_ors;
+    levels += o.levels;
+    return *this;
+  }
+};
+
+/// Merges `leaves` (all the same size) bottom-up with the given fanout
+/// and returns the root bitmap. The result is the plain OR of every
+/// leaf regardless of fanout (asserted by tests/federation_test.cpp); a
+/// fanout below 2 is clamped to 2 when more than one leaf needs
+/// merging. An empty leaf list returns an empty bitmap.
+util::BitVector merge_tree(std::vector<util::BitVector> leaves,
+                           std::uint32_t fanout, MergeStats* stats = nullptr);
+
+}  // namespace bfce::federation

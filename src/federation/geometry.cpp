@@ -1,0 +1,133 @@
+#include "federation/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bfce::federation {
+
+double CoverageProfile::saturating_persistence(double p) const noexcept {
+  if (covered_area <= 0.0) return 0.0;
+  const double q = 1.0 - p;
+  double mass = 0.0;
+  double q_pow = 1.0;  // q^c, advanced with c
+  for (std::size_t c = 1; c < area_by_multiplicity.size(); ++c) {
+    q_pow *= q;
+    mass += area_by_multiplicity[c] * (1.0 - q_pow);
+  }
+  return mass / covered_area;
+}
+
+CoverageProfile coverage_profile(
+    const std::vector<rfid::ReaderPlacement>& readers, std::uint32_t grid) {
+  grid = std::max<std::uint32_t>(grid, 8);
+  const std::size_t side = grid;
+  const double cell = 1.0 / static_cast<double>(side);
+  std::vector<std::uint32_t> counts(side * side, 0);
+
+  // Rasterise each disc over the cells its bounding box touches; a cell
+  // belongs to the disc when its midpoint does.
+  for (const rfid::ReaderPlacement& r : readers) {
+    if (r.radius <= 0.0) continue;
+    const double r2 = r.radius * r.radius;
+    const auto clamp_idx = [&](double v) {
+      return static_cast<std::size_t>(std::clamp(
+          v, 0.0, static_cast<double>(side - 1)));
+    };
+    const std::size_t x0 = clamp_idx(std::floor((r.x - r.radius) / cell));
+    const std::size_t x1 = clamp_idx(std::ceil((r.x + r.radius) / cell));
+    const std::size_t y0 = clamp_idx(std::floor((r.y - r.radius) / cell));
+    const std::size_t y1 = clamp_idx(std::ceil((r.y + r.radius) / cell));
+    for (std::size_t cy = y0; cy <= y1; ++cy) {
+      const double my = (static_cast<double>(cy) + 0.5) * cell;
+      const double dy = r.y - my;
+      for (std::size_t cx = x0; cx <= x1; ++cx) {
+        const double mx = (static_cast<double>(cx) + 0.5) * cell;
+        const double dx = r.x - mx;
+        if (dx * dx + dy * dy <= r2) ++counts[cy * side + cx];
+      }
+    }
+  }
+
+  std::uint32_t max_mult = 0;
+  for (const std::uint32_t c : counts) max_mult = std::max(max_mult, c);
+
+  CoverageProfile profile;
+  profile.area_by_multiplicity.assign(static_cast<std::size_t>(max_mult) + 1,
+                                      0.0);
+  const double cell_area = cell * cell;
+  for (const std::uint32_t c : counts) {
+    profile.area_by_multiplicity[c] += cell_area;
+  }
+  for (std::size_t c = 1; c < profile.area_by_multiplicity.size(); ++c) {
+    const double a = profile.area_by_multiplicity[c];
+    const double dc = static_cast<double>(c);
+    profile.covered_area += a;
+    profile.coverage_mass += dc * a;
+    profile.pair_mass += dc * (dc - 1.0) / 2.0 * a;
+    if (c >= 2) profile.multiple_area += a;
+  }
+  return profile;
+}
+
+namespace {
+
+/// Lens (intersection) area of two radius-r discs whose centres are d
+/// apart (0 for d ≥ 2r).
+double lens_area(double r, double d) {
+  if (d >= 2.0 * r) return 0.0;
+  if (d <= 0.0) return 3.14159265358979323846 * r * r;
+  const double half = d / 2.0;
+  return 2.0 * r * r * std::acos(half / r) -
+         half * std::sqrt(4.0 * r * r - d * d);
+}
+
+}  // namespace
+
+std::vector<rfid::ReaderPlacement> overlapping_pair(double radius,
+                                                    double frac) {
+  const double disc = 3.14159265358979323846 * radius * radius;
+  double d = 2.0 * radius;  // tangent: exactly disjoint
+  if (frac > 0.0) {
+    // overlap_fraction(d) = lens / (2·disc − lens), monotonically
+    // decreasing in d; bisect the centre distance.
+    double lo = 0.0;
+    double hi = 2.0 * radius;
+    for (int iter = 0; iter < 64; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      const double lens = lens_area(radius, mid);
+      const double fraction = lens / (2.0 * disc - lens);
+      if (fraction > frac) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    d = 0.5 * (lo + hi);
+  }
+  return {rfid::ReaderPlacement{0.5 - d / 2.0, 0.5, radius},
+          rfid::ReaderPlacement{0.5 + d / 2.0, 0.5, radius}};
+}
+
+double grid_radius_for_overlap(std::size_t count, double frac,
+                               std::uint32_t grid_cells) {
+  const auto side = static_cast<double>(static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(std::max<std::size_t>(count, 1))))));
+  const double disjoint = 0.45 / side;
+  if (frac <= 0.0 || count < 2) return disjoint;
+  double lo = 0.5 / side;
+  double hi = 1.25 / side;
+  for (int iter = 0; iter < 32; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const CoverageProfile profile =
+        coverage_profile(rfid::MultiReaderSystem::grid(count, mid),
+                         grid_cells);
+    if (profile.overlap_fraction() < frac) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace bfce::federation

@@ -1,0 +1,104 @@
+#pragma once
+// Coverage geometry for reader fleets.
+//
+// The federated union estimator needs to know how much of the covered
+// floor is seen by one reader, how much by two, three, ... — the
+// multiplicity histogram of the coverage map. A tag in a c-fold region
+// responds to c independent reader sessions, so the OR-merged fleet
+// bitmap behaves like a single Bloom frame whose *effective* persistence
+// is larger than the broadcast p; CoverageProfile carries exactly the
+// areas needed to compute that correction (federation/federated_bfce.hpp
+// turns them into the g(p) laws).
+//
+// Everything here is deterministic, closed-form or midpoint-lattice
+// quadrature — no RNG, so the same placements always produce the same
+// profile on every host (the determinism lint covers this directory).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rfid/multireader.hpp"
+
+namespace bfce::federation {
+
+/// Area of the unit floor by coverage multiplicity, from a midpoint
+/// lattice quadrature of the reader discs (grid² cells; a cell counts as
+/// multiplicity c when its midpoint lies inside exactly c discs).
+struct CoverageProfile {
+  /// area_by_multiplicity[c] = a_c, the floor area covered by exactly c
+  /// readers. Index 0 is the uncovered area; the vector always has at
+  /// least one entry and sums to 1.
+  std::vector<double> area_by_multiplicity{1.0};
+
+  double covered_area = 0.0;   ///< A_cov = Σ_{c≥1} a_c
+  double multiple_area = 0.0;  ///< Σ_{c≥2} a_c (the overlap mass)
+  double coverage_mass = 0.0;  ///< A₁ = Σ c·a_c (what naive summing integrates)
+  double pair_mass = 0.0;      ///< A₂ = Σ C(c,2)·a_c (pairwise intersections)
+
+  [[nodiscard]] bool has_overlap() const noexcept { return multiple_area > 0.0; }
+
+  /// A₁/A_cov: how many readers cover a uniformly placed *covered* tag
+  /// on average (1 exactly when there is no overlap).
+  [[nodiscard]] double mean_multiplicity() const noexcept {
+    return covered_area > 0.0 ? coverage_mass / covered_area : 0.0;
+  }
+
+  /// (A₁ − A_cov)/A_cov: the double-counting excess of naive per-reader
+  /// summation relative to the union (0 when coverage is disjoint).
+  [[nodiscard]] double overlap_fraction() const noexcept {
+    return covered_area > 0.0 ? (coverage_mass - covered_area) / covered_area
+                              : 0.0;
+  }
+
+  /// Saturating correction: E_c[1 − (1−p)^c] over a covered tag's
+  /// multiplicity law — the per-slot response probability when each of
+  /// the c covering readers draws its persistence *independently per
+  /// tag* (exact agent-level sessions). The pairwise inclusion–exclusion
+  /// truncation of this series is (p·A₁ − p²·A₂)/A_cov; the histogram
+  /// simply keeps every order.
+  [[nodiscard]] double saturating_persistence(double p) const noexcept;
+
+  /// Linear correction: p·A₁/A_cov — per-reader sessions whose *loads*
+  /// add (sampled aggregate-law frames, where each reader draws its own
+  /// binomial response counts with no per-tag coupling across readers).
+  [[nodiscard]] double linear_persistence(double p) const noexcept {
+    return p * mean_multiplicity();
+  }
+
+  /// Pairwise inclusion–exclusion truncation (p·A₁ − p²·A₂)/A_cov —
+  /// documented/tested as the 2nd-order approximation of the saturating
+  /// law; the estimator itself uses the full histogram.
+  [[nodiscard]] double pairwise_persistence(double p) const noexcept {
+    return covered_area > 0.0
+               ? (p * coverage_mass - p * p * pair_mass) / covered_area
+               : 0.0;
+  }
+};
+
+/// Rasterises every disc over a grid×grid midpoint lattice of the unit
+/// floor and histograms the per-cell multiplicities. Work is
+/// O(Σ bounding-box cells), not O(grid² × readers), so dense 10k-reader
+/// fleets profile in milliseconds.
+CoverageProfile coverage_profile(
+    const std::vector<rfid::ReaderPlacement>& readers,
+    std::uint32_t grid = 1024);
+
+/// Two radius-r readers placed symmetrically about the floor centre so
+/// that their lens-shaped intersection is `frac` of their union
+/// (closed-form lens area, bisection on the centre distance; frac ≤ 0
+/// returns the tangent pair, i.e. exactly disjoint discs). Keep
+/// radius ≤ 0.25 so both discs stay inside the unit floor at every
+/// separation the bisection can choose.
+std::vector<rfid::ReaderPlacement> overlapping_pair(double radius,
+                                                    double frac);
+
+/// Radius for MultiReaderSystem::grid(count, ·) such that the grid's
+/// realised overlap_fraction() (per coverage_profile at `grid_cells`)
+/// hits `frac`: bisection between the disjoint radius 0.45/side and a
+/// heavily overlapped 1.25/side. frac ≤ 0 returns 0.45/side (neighbour
+/// centres are 1/side apart, so 2·0.45/side keeps the discs disjoint).
+double grid_radius_for_overlap(std::size_t count, double frac,
+                               std::uint32_t grid_cells = 2048);
+
+}  // namespace bfce::federation

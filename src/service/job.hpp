@@ -17,6 +17,7 @@
 #include <string>
 
 #include "estimators/estimator.hpp"
+#include "federation/federated_bfce.hpp"
 #include "rfid/frame_engine.hpp"
 #include "rfid/population.hpp"
 #include "tracking/session.hpp"
@@ -46,6 +47,25 @@ struct TrackingJobSpec {
   std::uint64_t reader_id = 0;
   std::size_t initial_population = 10000;
   tracking::ChurnSchedule schedule;
+};
+
+/// Fleet-federation request payload. When JobSpec::federation is set the
+/// job runs one coordinated federation::FederatedBfceEstimator estimate
+/// over the fleet instead of a single-reader protocol: per-reader frames
+/// on the service substrate (mode/channel/timing/engine policy), busy
+/// maps merged up the aggregation tree, the union inverted under the
+/// overlap-corrected persistence. `population` and `factory` are
+/// ignored; `estimator` is only a label. Attempt a seeds the whole fleet
+/// from derive_seed(seed, a), so results keep the bit-identical-across-
+/// worker-counts (and merge-fanouts) contract.
+struct FederationJobSpec {
+  /// The fleet to estimate; not owned, must outlive the job.
+  const federation::Fleet* fleet = nullptr;
+  federation::SessionCorrelation correlation =
+      federation::SessionCorrelation::kIndependent;
+  /// Aggregation-tree fanout (cannot change the estimate; see
+  /// federation/aggregation.hpp).
+  std::uint32_t fanout = 8;
 };
 
 /// One estimation request.
@@ -86,6 +106,11 @@ struct JobSpec {
   /// seeds its session with derive_seed(seed, a), so trajectories keep
   /// the bit-identical-across-worker-counts contract.
   std::optional<TrackingJobSpec> tracking;
+
+  /// When set, this is a federation job (see FederationJobSpec). The
+  /// job's airtime_budget_s applies to the *fleet* airtime — the
+  /// interference-scheduled wall-clock of the whole floor.
+  std::optional<FederationJobSpec> federation;
 };
 
 enum class JobStatus : std::uint8_t {
@@ -105,6 +130,18 @@ const char* to_cstring(JobStatus status) noexcept;
 constexpr bool is_terminal(JobStatus status) noexcept {
   return status != JobStatus::kQueued && status != JobStatus::kRunning;
 }
+
+/// Federation jobs only: fleet-level accounting of the final attempt
+/// (the union estimate itself lands in JobResult::outcome).
+struct FederationResult {
+  std::size_t readers = 0;
+  std::uint32_t schedule_rounds = 0;   ///< interference colouring rounds
+  double fleet_airtime_s = 0.0;        ///< rounds × per-round airtime
+  double correction_g = 0.0;           ///< g(p_o) used in the inversion
+  double overlap_fraction = 0.0;       ///< realised coverage overlap
+  federation::MergeStats merge;        ///< aggregation-tree work
+  std::uint64_t rng_fingerprint = 0;   ///< coordinator stream position
+};
 
 /// Everything the service records about one job.
 struct JobResult {
@@ -126,6 +163,9 @@ struct JobResult {
 
   /// Tracking jobs only: the final attempt's full trajectory + summary.
   std::optional<tracking::TrackResult> tracking;
+
+  /// Federation jobs only: fleet accounting of the final attempt.
+  std::optional<FederationResult> federation;
 };
 
 }  // namespace bfce::service

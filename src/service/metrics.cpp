@@ -99,6 +99,20 @@ std::string render_service_metrics(const ServiceMetrics& m) {
     }
   }
 
+  if (m.federation.jobs > 0) {
+    std::snprintf(line, sizeof(line),
+                  "federation: %llu jobs, %llu readers, %llu schedule "
+                  "rounds, %llu tree merges, fleet airtime %.2f s, "
+                  "mean overlap %.3f\n",
+                  static_cast<unsigned long long>(m.federation.jobs),
+                  static_cast<unsigned long long>(m.federation.readers),
+                  static_cast<unsigned long long>(m.federation.schedule_rounds),
+                  static_cast<unsigned long long>(m.federation.tree_merges),
+                  m.federation.fleet_airtime_s,
+                  m.federation.mean_overlap_fraction);
+    out += line;
+  }
+
   out += core::render_engine_counters(m.engine);
   return out;
 }
@@ -165,6 +179,20 @@ std::string service_metrics_json(const ServiceMetrics& m) {
     out += buf;
   }
   out += "]},\n";
+
+  std::snprintf(buf, sizeof(buf),
+                "  \"federation\": {\"jobs\": %llu, \"readers\": %llu, "
+                "\"schedule_rounds\": %llu, \"tree_merges\": %llu, "
+                "\"word_ors\": %llu, \"fleet_airtime_s\": %.6f, "
+                "\"mean_overlap_fraction\": %.6f},\n",
+                static_cast<unsigned long long>(m.federation.jobs),
+                static_cast<unsigned long long>(m.federation.readers),
+                static_cast<unsigned long long>(m.federation.schedule_rounds),
+                static_cast<unsigned long long>(m.federation.tree_merges),
+                static_cast<unsigned long long>(m.federation.word_ors),
+                m.federation.fleet_airtime_s,
+                m.federation.mean_overlap_fraction);
+  out += buf;
 
   const rfid::ShapeCounters total = m.engine.total();
   std::snprintf(buf, sizeof(buf),

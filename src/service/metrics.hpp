@@ -54,6 +54,17 @@ struct TrackingStats {
   double residual_rms = 0.0;       ///< RMS residual pooled over all rounds
 };
 
+/// Fleet-level aggregates over every completed federation job.
+struct FederationStats {
+  std::uint64_t jobs = 0;             ///< completed federation jobs
+  std::uint64_t readers = 0;          ///< reader sessions across them
+  std::uint64_t schedule_rounds = 0;  ///< interference rounds across them
+  std::uint64_t tree_merges = 0;      ///< aggregation-tree bitmap merges
+  std::uint64_t word_ors = 0;         ///< 64-bit word ORs in those merges
+  double fleet_airtime_s = 0.0;       ///< summed fleet airtime
+  double mean_overlap_fraction = 0.0; ///< mean realised coverage overlap
+};
+
 struct ServiceMetrics {
   // Admission.
   std::uint64_t admitted = 0;   ///< jobs accepted into the queue
@@ -89,6 +100,9 @@ struct ServiceMetrics {
   /// reader_id. Both all-zero/empty when no tracking job has completed.
   TrackingStats tracking;
   std::vector<ReaderTrackerState> readers;
+
+  /// Federation-job aggregates; all-zero when none has completed.
+  FederationStats federation;
 
   double throughput_jobs_per_s() const noexcept {
     return elapsed_s > 0.0

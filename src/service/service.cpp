@@ -234,6 +234,17 @@ ServiceMetrics EstimationService::metrics() const {
     }
     m.readers.reserve(trackers_.size());
     for (const auto& [id, reader] : trackers_) m.readers.push_back(reader);
+
+    m.federation.jobs = federation_jobs_;
+    m.federation.readers = federation_readers_;
+    m.federation.schedule_rounds = federation_rounds_;
+    m.federation.tree_merges = federation_merges_;
+    m.federation.word_ors = federation_word_ors_;
+    m.federation.fleet_airtime_s = federation_airtime_s_;
+    if (federation_jobs_ > 0) {
+      m.federation.mean_overlap_fraction =
+          federation_overlap_sum_ / static_cast<double>(federation_jobs_);
+    }
   }
   std::sort(m.readers.begin(), m.readers.end(),
             [](const ReaderTrackerState& a, const ReaderTrackerState& b) {
@@ -287,6 +298,7 @@ void EstimationService::worker_loop() {
     state.result.status = executed.status;
     state.result.outcome = std::move(executed.outcome);
     state.result.tracking = std::move(executed.tracking);
+    state.result.federation = executed.federation;
     state.result.airtime_s = executed.airtime_s;
     state.result.attempts = executed.attempts;
     state.result.counters = executed.counters;
@@ -302,6 +314,7 @@ void EstimationService::worker_loop() {
 JobResult EstimationService::execute_job(const JobSpec& spec,
                                          std::uint64_t& retries) const {
   if (spec.tracking.has_value()) return execute_tracking(spec, retries);
+  if (spec.federation.has_value()) return execute_federation(spec, retries);
   JobResult r;
   if (spec.population == nullptr) {
     r.status = JobStatus::kFailed;
@@ -405,6 +418,67 @@ JobResult EstimationService::execute_tracking(const JobSpec& spec,
   return r;
 }
 
+JobResult EstimationService::execute_federation(const JobSpec& spec,
+                                                std::uint64_t& retries) const {
+  JobResult r;
+  const FederationJobSpec& fedspec = *spec.federation;
+  if (fedspec.fleet == nullptr) {
+    r.status = JobStatus::kFailed;
+    r.outcome.note = "federation job has no fleet";
+    return r;
+  }
+  const std::uint32_t budget = std::max<std::uint32_t>(1, spec.max_attempts);
+  for (std::uint32_t attempt = 0; attempt < budget; ++attempt) {
+    federation::FederationConfig cfg;
+    cfg.params.planner = config_.planner;
+    cfg.correlation = fedspec.correlation;
+    cfg.fanout = fedspec.fanout;
+    cfg.mode = config_.mode;
+    cfg.channel = config_.channel;
+    cfg.timing = config_.timing;
+    cfg.policy = config_.engine_policy;
+    // Same stream contract as every other job kind: attempt a seeds the
+    // whole fleet (coordinator + derived reader streams) from
+    // (spec.seed, a), and reader 0 gets exactly the derived seed a plain
+    // job's context would — the degenerate 1-reader fleet is
+    // bit-identical to a plain BFCE job.
+    cfg.seed = util::derive_seed(spec.seed, attempt);
+
+    const federation::FederatedBfceEstimator estimator(cfg);
+    federation::FederatedOutcome fed =
+        estimator.estimate(*fedspec.fleet, spec.req);
+
+    r.outcome = std::move(fed.outcome);
+    r.counters += fed.counters;
+    r.attempts = attempt + 1;
+    // The airtime deadline applies to the floor's wall-clock: colliding
+    // readers serialise, so every interference round replays the ledger.
+    r.airtime_s = fed.fleet_airtime_s;
+
+    FederationResult summary;
+    summary.readers = fed.readers;
+    summary.schedule_rounds = fed.schedule_rounds;
+    summary.fleet_airtime_s = fed.fleet_airtime_s;
+    summary.correction_g = fed.correction_g;
+    summary.overlap_fraction = fed.overlap_fraction;
+    summary.merge = fed.merge;
+    summary.rng_fingerprint = fed.rng_fingerprint;
+    r.federation = summary;
+
+    const bool over_budget = r.airtime_s > spec.airtime_budget_s;
+    if (r.outcome.met_by_design && !over_budget) {
+      r.status = JobStatus::kDone;
+      return r;
+    }
+    if (attempt + 1 < budget) {
+      ++retries;
+    } else {
+      r.status = over_budget ? JobStatus::kDeadlineMissed : JobStatus::kDone;
+    }
+  }
+  return r;
+}
+
 void EstimationService::account_terminal(const JobResult& result) {
   assert(is_terminal(result.status));
   ++completed_;
@@ -443,6 +517,17 @@ void EstimationService::account_terminal(const JobResult& result) {
     }
     reader.innovation_rms = t.summary.innovation_rms;
     reader.residual_rms = t.summary.residual_rms;
+  }
+
+  if (result.federation.has_value()) {
+    const FederationResult& f = *result.federation;
+    ++federation_jobs_;
+    federation_readers_ += f.readers;
+    federation_rounds_ += f.schedule_rounds;
+    federation_merges_ += f.merge.merges;
+    federation_word_ors_ += f.merge.word_ors;
+    federation_airtime_s_ += f.fleet_airtime_s;
+    federation_overlap_sum_ += f.overlap_fraction;
   }
 }
 

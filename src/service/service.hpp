@@ -153,6 +153,10 @@ class EstimationService {
   /// attempt instead of a single estimate (no lock held).
   JobResult execute_tracking(const JobSpec& spec,
                              std::uint64_t& retries) const;
+  /// Federation flavour of execute_job: one coordinated fleet estimate
+  /// per attempt through the FederatedBfceEstimator (no lock held).
+  JobResult execute_federation(const JobSpec& spec,
+                               std::uint64_t& retries) const;
   /// Folds a terminal result into the aggregate counters (lock held).
   void account_terminal(const JobResult& result);
 
@@ -195,6 +199,15 @@ class EstimationService {
   double tracking_raw_rmse_sum_ = 0.0;
   double tracking_tracked_rmse_sum_ = 0.0;
   std::unordered_map<std::uint64_t, ReaderTrackerState> trackers_;
+
+  // Federation-job aggregates (guarded by mutex_).
+  std::uint64_t federation_jobs_ = 0;
+  std::uint64_t federation_readers_ = 0;
+  std::uint64_t federation_rounds_ = 0;
+  std::uint64_t federation_merges_ = 0;
+  std::uint64_t federation_word_ors_ = 0;
+  double federation_airtime_s_ = 0.0;
+  double federation_overlap_sum_ = 0.0;
 
   std::vector<std::thread> pool_;
 };

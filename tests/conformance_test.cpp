@@ -26,6 +26,9 @@
 
 #include "core/bfce.hpp"
 #include "estimators/estimator.hpp"
+#include "federation/federated_bfce.hpp"
+#include "federation/fleet.hpp"
+#include "federation/geometry.hpp"
 #include "math/hypothesis.hpp"
 #include "rfid/population.hpp"
 #include "rfid/reader.hpp"
@@ -120,6 +123,70 @@ TEST(Conformance, N100000TightRequirement) {
 
 TEST(Conformance, N100000LooseEpsilonTightDelta) {
   expect_conformance(100000, {0.1, 0.01});
+}
+
+// ---- Fleet-level conformance ---------------------------------------------
+// The federated union estimator must honour the same (ε, δ) contract as
+// the plain protocol, judged against the *union* cardinality, across
+// increasingly overlapped two-reader coverage. The exact-mode sessions
+// draw their persistence independently per reader, so the saturating
+// g(p) correction is the one being audited here.
+
+CellOutcome run_fleet_cell(double overlap_frac,
+                           const estimators::Requirement& req) {
+  const auto pop =
+      rfid::make_population(40000, rfid::TagIdDistribution::kT1Uniform, 77);
+  const federation::Fleet fleet(
+      pop, federation::overlapping_pair(0.24, overlap_frac));
+  const double union_n = static_cast<double>(fleet.union_size());
+  CellOutcome cell;
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    federation::FederationConfig cfg;
+    cfg.correlation = federation::SessionCorrelation::kIndependent;
+    cfg.mode = rfid::FrameMode::kExact;
+    cfg.fanout = 2;
+    cfg.seed = util::derive_seed(kMasterSeed, trial);
+    const federation::FederatedOutcome fed =
+        federation::FederatedBfceEstimator(cfg).estimate(fleet, req);
+    EXPECT_TRUE(std::isfinite(fed.outcome.n_hat)) << "trial=" << trial;
+    EXPECT_GE(fed.outcome.n_hat, 0.0);
+    if (!fed.outcome.met_by_design) {
+      ++cell.fallbacks;
+      continue;
+    }
+    ++cell.designed;
+    if (fed.outcome.relative_error(union_n) > req.epsilon) {
+      ++cell.misses;
+    }
+  }
+  return cell;
+}
+
+void expect_fleet_conformance(double overlap_frac,
+                              const estimators::Requirement& req) {
+  SCOPED_TRACE("overlap=" + std::to_string(overlap_frac) +
+               " eps=" + std::to_string(req.epsilon) +
+               " delta=" + std::to_string(req.delta));
+  const CellOutcome cell = run_fleet_cell(overlap_frac, req);
+  ASSERT_EQ(cell.designed + cell.fallbacks, kTrials);
+  ASSERT_GE(cell.designed, 50u);  // 40k-tag unions always reach design
+  const math::ProportionInterval ci =
+      math::clopper_pearson_interval(cell.misses, cell.designed, 0.99);
+  EXPECT_LE(ci.lo, req.delta)
+      << cell.misses << " misses in " << cell.designed
+      << " designed fleet trials is inconsistent with delta=" << req.delta;
+}
+
+TEST(FleetConformance, DisjointCoverage) {
+  expect_fleet_conformance(0.0, {0.05, 0.05});
+}
+
+TEST(FleetConformance, QuarterOverlap) {
+  expect_fleet_conformance(0.25, {0.05, 0.05});
+}
+
+TEST(FleetConformance, HalfOverlap) {
+  expect_fleet_conformance(0.5, {0.05, 0.05});
 }
 
 }  // namespace

@@ -112,5 +112,124 @@ TEST(MultiReader, LogicalReaderEstimationMatchesTheUnion) {
   EXPECT_GT(static_cast<double>(sys.naive_sum()), 1.2 * out.n_hat);
 }
 
+TEST(MultiReader, DisjointPartitionSumsToTheUnion) {
+  // Grid radius 0.45/side keeps neighbouring discs disjoint, so every
+  // covered tag belongs to exactly one reader and the partition is exact.
+  const auto pop = pop_of(30000, 9);
+  MultiReaderSystem sys(pop, MultiReaderSystem::grid(9, 0.45 / 3.0));
+  EXPECT_EQ(sys.overlap_count(), 0u);
+  EXPECT_EQ(sys.naive_sum(), sys.union_population().size());
+  std::size_t summed = 0;
+  for (std::size_t r = 0; r < sys.reader_count(); ++r) {
+    summed += sys.reader_population(r).size();
+  }
+  EXPECT_EQ(summed, sys.union_population().size());
+}
+
+TEST(MultiReader, OverlappingPartitionSumsToUnionPlusExtraCoverings) {
+  const auto pop = pop_of(30000, 10);
+  MultiReaderSystem sys(pop, MultiReaderSystem::grid(9, 0.35));
+  std::size_t summed = 0;
+  for (std::size_t r = 0; r < sys.reader_count(); ++r) {
+    summed += sys.reader_population(r).size();
+  }
+  EXPECT_EQ(summed, sys.naive_sum());
+  EXPECT_GT(summed, sys.union_population().size());
+  // Per-tag accounting: Σ_r |P_r| = Σ_tags multiplicity(tag), so the
+  // excess over the union is exactly the extra coverings of overlap tags.
+  std::size_t excess = 0;
+  for (const Tag& t : pop.tags()) {
+    const TagPosition pos = tag_position(t);
+    std::size_t covers = 0;
+    for (const ReaderPlacement& r : sys.readers()) {
+      const double dx = pos.x - r.x;
+      const double dy = pos.y - r.y;
+      if (dx * dx + dy * dy <= r.radius * r.radius) ++covers;
+    }
+    if (covers > 1) excess += covers - 1;
+  }
+  EXPECT_EQ(summed - sys.union_population().size(), excess);
+}
+
+TEST(MultiReader, BucketedPartitionMatchesBruteForce) {
+  // The spatial-bucket grid must reproduce the plain O(R·N) scan even
+  // for reader centres clamped from outside the unit floor.
+  const auto pop = pop_of(20000, 11);
+  const std::vector<ReaderPlacement> readers = {
+      {-0.1, 0.5, 0.3}, {1.05, 0.2, 0.15}, {0.5, 0.5, 0.6},
+      {0.5, 1.2, 0.4},  {0.01, 0.01, 0.05}};
+  MultiReaderSystem sys(pop, readers);
+  std::vector<std::size_t> brute(readers.size(), 0);
+  std::size_t brute_union = 0;
+  for (const Tag& t : pop.tags()) {
+    const TagPosition pos = tag_position(t);
+    bool covered = false;
+    for (std::size_t r = 0; r < readers.size(); ++r) {
+      const double dx = pos.x - readers[r].x;
+      const double dy = pos.y - readers[r].y;
+      if (dx * dx + dy * dy <= readers[r].radius * readers[r].radius) {
+        ++brute[r];
+        covered = true;
+      }
+    }
+    if (covered) ++brute_union;
+  }
+  for (std::size_t r = 0; r < readers.size(); ++r) {
+    EXPECT_EQ(sys.reader_population(r).size(), brute[r]) << "reader " << r;
+  }
+  EXPECT_EQ(sys.union_population().size(), brute_union);
+}
+
+TEST(MultiReader, InterferenceScheduleColoursConflicts) {
+  // Disjoint discs never interfere: everything runs in one round.
+  const auto pop = pop_of(1000, 12);
+  MultiReaderSystem disjoint(pop, MultiReaderSystem::grid(9, 0.45 / 3.0));
+  EXPECT_EQ(disjoint.schedule_rounds(), 1u);
+
+  // Overlapping discs must serialise, and the colouring must be valid:
+  // no two conflicting readers share a round.
+  MultiReaderSystem dense(pop, MultiReaderSystem::grid(9, 0.35));
+  const auto colours = dense.interference_schedule();
+  ASSERT_EQ(colours.size(), 9u);
+  EXPECT_GE(dense.schedule_rounds(), 2u);
+  const auto& readers = dense.readers();
+  for (std::size_t i = 0; i < readers.size(); ++i) {
+    for (std::size_t j = i + 1; j < readers.size(); ++j) {
+      const double dx = readers[i].x - readers[j].x;
+      const double dy = readers[i].y - readers[j].y;
+      const double reach = readers[i].radius + readers[j].radius;
+      if (dx * dx + dy * dy < reach * reach) {
+        EXPECT_NE(colours[i], colours[j]) << i << " vs " << j;
+      }
+    }
+  }
+}
+
+TEST(MultiReader, SummedPerReaderEstimatesDoubleCount) {
+  // The regression the federation layer exists to fix: independently
+  // estimating each reader's coverage and summing overshoots the union
+  // by the overlap mass, while the logical-reader estimate does not.
+  const auto pop = pop_of(40000, 13);
+  MultiReaderSystem sys(pop, MultiReaderSystem::grid(9, 0.35));
+  const double union_n = static_cast<double>(sys.union_population().size());
+
+  double summed = 0.0;
+  core::BfceEstimator bfce;
+  for (std::size_t r = 0; r < sys.reader_count(); ++r) {
+    rfid::ReaderContext ctx(sys.reader_population(r),
+                            util::derive_seed(4711, r),
+                            rfid::FrameMode::kSampled);
+    summed += bfce.estimate(ctx, {0.05, 0.05}).n_hat;
+  }
+  rfid::ReaderContext union_ctx(sys.union_population(), 4711,
+                                rfid::FrameMode::kSampled);
+  const auto union_out = bfce.estimate(union_ctx, {0.05, 0.05});
+
+  EXPECT_GT(summed, 1.15 * union_n);  // estimates inherit the naive_sum bias
+  EXPECT_LT(union_out.relative_error(union_n), 0.05);
+  EXPECT_NEAR(summed / union_n,
+              static_cast<double>(sys.naive_sum()) / union_n, 0.1);
+}
+
 }  // namespace
 }  // namespace bfce::rfid

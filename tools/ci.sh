@@ -31,7 +31,10 @@
 #      committed BENCH_frame.json. The gate compares the sequential
 #      columns only — they exist on every host, whereas the sharded
 #      columns' absolute numbers depend on core count and AVX-512
-#      availability.
+#      availability. Then replays the committed BENCH_service.json
+#      workload through fleet_service and fails if throughput collapses
+#      below 0.5x of the committed baseline (or if the cached pass ever
+#      diverges from the uncached one).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -153,6 +156,61 @@ if failed:
           "against the committed BENCH_frame.json")
     sys.exit(1)
 print("perf smoke: engine and sampled throughput within 30% of baseline")
+EOF
+  echo "==== perf smoke: service throughput ========================"
+  if [ ! -f BENCH_service.json ]; then
+    echo "FAIL: BENCH_service.json is missing from the repo root." >&2
+    echo "Regenerate it: (cd build-release && ./bench/fleet_service)" >&2
+    echo "then commit the refreshed baseline." >&2
+    exit 1
+  fi
+  cmake --build --preset release -j "${jobs}" --target fleet_service
+  # Replay the committed baseline's exact workload flags, then gate at
+  # 0.5x: service throughput is noisier than the frame micro-benches
+  # (queueing, worker scheduling), so the gate only catches collapses,
+  # not drift. The committed flags are authoritative — a recommitted
+  # baseline re-parameterises the gate automatically.
+  service_flags="$(python3 - BENCH_service.json <<'EOF'
+import json
+with open("BENCH_service.json") as f:
+    base = json.load(f)
+flags = [
+    f"--jobs={base['jobs']}",
+    f"--workers={base['workers']}",
+    f"--queue={base['queue_capacity']}",
+    f"--attempts={base['attempts']}",
+    f"--seed={base['seed']}",
+]
+# Older baselines predate the --shards flag; -1 means sequential.
+if int(base.get("shards", -1)) >= 0:
+    flags.append(f"--shards={base['shards']}")
+if base.get("mode") == "exact":
+    flags.append("--exact")
+print(" ".join(flags))
+EOF
+)"
+  # shellcheck disable=SC2086
+  (cd "build-release" && timeout 600 ./bench/fleet_service ${service_flags})
+  python3 - BENCH_service.json build-release/BENCH_service.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    committed = json.load(f)
+with open(sys.argv[2]) as f:
+    fresh = json.load(f)
+
+old = committed["throughput_jobs_per_s"]
+new = fresh["throughput_jobs_per_s"]
+ratio = new / old if old > 0 else float("inf")
+print(f"service throughput {old:.1f} -> {new:.1f} jobs/s ({ratio:.2f}x)")
+if not fresh.get("cached_matches_uncached", False):
+    print("FAIL: cached results diverged from uncached in the fresh run")
+    sys.exit(1)
+if ratio < 0.5:
+    print("FAIL: service throughput collapsed below 0.5x of the committed "
+          "BENCH_service.json")
+    sys.exit(1)
+print("perf smoke: service throughput within 0.5x of baseline")
 EOF
 fi
 echo "==== all stages green ======================================"

@@ -65,6 +65,7 @@ THREAD_ALLOWLIST_PREFIXES = (
 STATIC_SCOPE_PREFIXES = (
     "src/core/",
     "src/estimators/",
+    "src/federation/",
     "src/tracking/",
     "src/rfid/",
 )
