@@ -1,5 +1,12 @@
 #pragma once
 // 64-bit mixing primitives shared by the hash families.
+//
+// Every multiply in this file wraps mod 2^64 on purpose — that IS the
+// mixing function (MurmurHash3 / splitmix64 finalisers). Unsigned
+// wraparound is defined behaviour; the ubsan-integer preset's checks
+// (signed overflow, shift UB) stay clean here, and clang's stricter
+// -fsanitize=integer unsigned-wrap checker would flag exactly these
+// intentional sites.
 
 #include <cstdint>
 

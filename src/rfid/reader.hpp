@@ -80,7 +80,6 @@ class ReaderContext {
   const TagPopulation* tags_;
   TimingModel timing_;
   FrameEngine engine_;
-  // lint:allow(unseeded-rng) member; seeded in the ctor init-list
   util::Xoshiro256ss rng_;
   FrameLog* log_ = nullptr;
 };

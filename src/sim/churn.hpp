@@ -42,7 +42,6 @@ class PopulationTimeline {
  private:
   rfid::Tag fresh_tag();
 
-  // lint:allow(unseeded-rng) member; seeded in the ctor init-list
   util::Xoshiro256ss rng_;
   std::uint64_t next_id_salt_ = 0;
   rfid::TagPopulation current_;

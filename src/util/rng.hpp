@@ -108,6 +108,10 @@ class Xoshiro256ss {
 /// position that depends on who walked first).
 constexpr std::uint64_t splitmix_at(std::uint64_t base,
                                     std::uint64_t index) noexcept {
+  // base + (index+1)*gamma wraps mod 2^64 by design: it is the
+  // splitmix64 state after index+1 golden-gamma increments (defined
+  // unsigned behaviour; clang's -fsanitize=integer unsigned-wrap
+  // checker would flag this intentional site).
   std::uint64_t z = base + (index + 1) * 0x9E3779B97F4A7C15ULL;
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;

@@ -1,0 +1,12 @@
+// Ambient entropy and a foreign engine in one go.
+#include <random>
+
+namespace fx {
+
+int ambient_draw() {
+  std::random_device rd;        // expect: random-device
+  std::mt19937 gen(rd());       // expect: foreign-rng
+  return static_cast<int>(gen());
+}
+
+}  // namespace fx

@@ -1,0 +1,12 @@
+// The classic C pattern: wall-clock seed into the libc generator.
+#include <cstdlib>
+#include <ctime>
+
+namespace fx {
+
+int legacy_sample() {
+  std::srand(static_cast<unsigned>(time(nullptr)));  // expect: libc-rand
+  return std::rand() % 6;  // expect: wall-clock-seed
+}
+
+}  // namespace fx

@@ -1,0 +1,24 @@
+// Never-seeded Xoshiro streams: a local, and a member whose
+// constructor forgets it in the init-list.
+#include <cstdint>
+#include "util/rng.hpp"
+
+namespace fx {
+
+class Drifter {
+ public:
+  explicit Drifter(std::uint64_t gain) : gain_(gain) {}
+
+  double step() { return gain_ * rng_.uniform(); }
+
+ private:
+  double gain_;
+  util::Xoshiro256ss rng_;  // expect: unseeded-rng
+};
+
+double once() {
+  util::Xoshiro256ss rng;  // expect: unseeded-rng
+  return rng.uniform();
+}
+
+}  // namespace fx

@@ -1,0 +1,9 @@
+// Function-local mutable static in estimator territory (src/core/).
+namespace fx {
+
+int next_ticket() {
+  static int counter = 0;  // expect: static-local-state
+  return ++counter;
+}
+
+}  // namespace fx

@@ -1,0 +1,21 @@
+// Allowlisted territory: src/service/metrics.cpp may read wall clocks
+// (latency is the product, not an input) and src/service/ may spawn
+// threads. Nothing may fire here.
+#include <chrono>
+#include <thread>
+
+namespace fx {
+
+using Clock = std::chrono::steady_clock;
+
+double snapshot_age_s(Clock::time_point started) {
+  const auto now_tp = Clock::now();
+  return std::chrono::duration<double>(now_tp - started).count();
+}
+
+void spawn_reporter() {
+  std::thread t([] {});
+  t.detach();
+}
+
+}  // namespace fx

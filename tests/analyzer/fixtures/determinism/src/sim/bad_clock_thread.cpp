@@ -1,0 +1,15 @@
+// Wall-clock reads and raw threads outside the allowlisted layers.
+#include <chrono>
+#include <thread>
+
+namespace fx {
+
+double stamp() {
+  const auto t0 = std::chrono::steady_clock::now();  // expect: clock-now
+  std::thread worker([] {});  // expect: raw-thread
+  worker.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace fx

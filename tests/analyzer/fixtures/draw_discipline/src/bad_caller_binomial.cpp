@@ -1,0 +1,17 @@
+// Passing the caller's stream into draw_binomial from inside the
+// region is the same defect through a helper.
+#include <cstddef>
+#include <cstdint>
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace fx {
+
+void thin(std::uint32_t* hits, std::size_t n, std::uint64_t master) {
+  util::Xoshiro256ss rng(util::derive_seed(master, 1));
+  util::parallel_for(std::size_t{0}, n, [&](std::size_t t) {
+    hits[t] = util::draw_binomial(16, 0.5, rng);  // expect: caller-draw-in-shard
+  });
+}
+
+}  // namespace fx

@@ -1,0 +1,17 @@
+// The caller's stream advanced inside the sharded region: draw order
+// now depends on shard count and schedule.
+#include <cstddef>
+#include <cstdint>
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace fx {
+
+void corrupt(double* out, std::size_t n, std::uint64_t master) {
+  util::Xoshiro256ss rng(util::derive_seed(master, 0));
+  util::parallel_for(std::size_t{0}, n, [&](std::size_t t) {
+    out[t] = rng.uniform();  // expect: caller-draw-in-shard
+  });
+}
+
+}  // namespace fx

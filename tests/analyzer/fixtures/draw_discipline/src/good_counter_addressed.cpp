@@ -1,0 +1,19 @@
+// The sanctioned sharded pattern: one SeedMixer-derived base outside,
+// pure counter-addressed splitmix_at draws inside the region.
+#include <cstddef>
+#include <cstdint>
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace fx {
+
+void synth(double* out, std::size_t n, std::uint64_t seed) {
+  util::SeedMixer mix(seed);
+  mix.absorb(n);
+  const std::uint64_t base = mix.value();
+  util::parallel_for(std::size_t{0}, n, [&](std::size_t t) {
+    out[t] = static_cast<double>(util::splitmix_at(base, t));
+  });
+}
+
+}  // namespace fx

@@ -1,0 +1,18 @@
+// Also fine: a stream constructed *inside* the region from the region
+// index — each shard owns its stream, so the schedule cannot reorder
+// draws.
+#include <cstddef>
+#include <cstdint>
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace fx {
+
+void jitter(double* out, std::size_t n, std::uint64_t master) {
+  util::parallel_for(std::size_t{0}, n, [&](std::size_t t) {
+    util::Xoshiro256ss local(util::derive_seed(master, t));
+    out[t] = local.uniform();
+  });
+}
+
+}  // namespace fx

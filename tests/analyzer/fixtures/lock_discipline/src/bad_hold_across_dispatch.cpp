@@ -1,0 +1,25 @@
+// A lock_guard still held at the parallel_for fan-out: the worker team
+// contends on (or deadlocks against) the caller's mutex.
+#include <cstddef>
+#include <mutex>
+#include "util/parallel.hpp"
+
+namespace fx {
+
+class Pool {
+ public:
+  void fan(std::size_t n);
+
+ private:
+  std::mutex m_;
+  std::size_t done_ = 0;
+};
+
+void Pool::fan(std::size_t n) {
+  std::lock_guard<std::mutex> g(m_);
+  util::parallel_for(std::size_t{0}, n,  // expect: lock-across-dispatch
+                     [](std::size_t) {});
+  done_ += n;
+}
+
+}  // namespace fx

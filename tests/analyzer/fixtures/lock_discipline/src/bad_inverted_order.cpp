@@ -1,0 +1,33 @@
+// Classic ABBA inversion: up() takes map_ then stats_, down() takes
+// stats_ then map_.
+#include <mutex>
+
+namespace fx {
+
+class Router {
+ public:
+  void up();
+  void down();
+
+ private:
+  std::mutex map_;
+  std::mutex stats_;
+  int routes_ = 0;
+  int hops_ = 0;
+};
+
+void Router::up() {
+  std::lock_guard<std::mutex> m(map_);
+  std::lock_guard<std::mutex> s(stats_);  // expect: lock-order
+  ++routes_;
+  ++hops_;
+}
+
+void Router::down() {
+  std::lock_guard<std::mutex> s(stats_);
+  std::lock_guard<std::mutex> m(map_);
+  --routes_;
+  ++hops_;
+}
+
+}  // namespace fx

@@ -1,0 +1,21 @@
+// Directly nesting two guards on the same non-recursive mutex.
+#include <mutex>
+
+namespace fx {
+
+class Cache {
+ public:
+  void purge();
+
+ private:
+  std::mutex m_;
+  int live_ = 0;
+};
+
+void Cache::purge() {
+  std::lock_guard<std::mutex> outer(m_);
+  std::lock_guard<std::mutex> inner(m_);  // expect: lock-order
+  live_ = 0;
+}
+
+}  // namespace fx

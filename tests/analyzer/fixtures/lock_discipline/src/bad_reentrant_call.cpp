@@ -1,0 +1,28 @@
+// Holding m_ while calling a method that re-acquires m_: self-deadlock
+// on a non-recursive mutex, found through the call graph.
+#include <mutex>
+
+namespace fx {
+
+class Meter {
+ public:
+  void bump();
+  void flush();
+
+ private:
+  std::mutex m_;
+  int n_ = 0;
+};
+
+void Meter::flush() {
+  std::lock_guard<std::mutex> g(m_);
+  n_ = 0;
+}
+
+void Meter::bump() {
+  std::lock_guard<std::mutex> g(m_);
+  ++n_;
+  flush();  // expect: lock-order
+}
+
+}  // namespace fx

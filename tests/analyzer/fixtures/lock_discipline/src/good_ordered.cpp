@@ -1,0 +1,33 @@
+// Two mutexes, always acquired in the same order: one consistent
+// global order, nothing to report.
+#include <mutex>
+
+namespace fx {
+
+class Ledger {
+ public:
+  void credit();
+  void debit();
+
+ private:
+  std::mutex accounts_;
+  std::mutex journal_;
+  int balance_ = 0;
+  int entries_ = 0;
+};
+
+void Ledger::credit() {
+  std::lock_guard<std::mutex> a(accounts_);
+  std::lock_guard<std::mutex> j(journal_);
+  ++balance_;
+  ++entries_;
+}
+
+void Ledger::debit() {
+  std::lock_guard<std::mutex> a(accounts_);
+  std::lock_guard<std::mutex> j(journal_);
+  --balance_;
+  ++entries_;
+}
+
+}  // namespace fx

@@ -1,0 +1,28 @@
+// Manual unique_lock release before fanning out: the held-interval
+// model must see the gap and stay quiet (this is the worker_loop
+// pattern in the real service).
+#include <cstddef>
+#include <mutex>
+#include "util/parallel.hpp"
+
+namespace fx {
+
+class Batcher {
+ public:
+  void run(std::size_t n);
+
+ private:
+  std::mutex gate_;
+  std::size_t jobs_ = 0;
+};
+
+void Batcher::run(std::size_t n) {
+  std::unique_lock<std::mutex> lk(gate_);
+  jobs_ += n;
+  lk.unlock();
+  util::parallel_for(std::size_t{0}, n, [](std::size_t) {});
+  lk.lock();
+  jobs_ -= n;
+}
+
+}  // namespace fx

@@ -1,0 +1,19 @@
+// A function that draws randomness AND mutates namespace-scope state:
+// the hidden cross-call coupling the purity rule exists to catch.
+#include <cstddef>
+#include <cstdint>
+#include "util/rng.hpp"
+
+namespace fx {
+
+std::uint64_t g_hits = 0;
+
+double biased_draw(util::Xoshiro256ss& rng) {  // expect: rng-purity
+  const double x = rng.uniform();
+  if (x > 0.5) {
+    g_hits += 1;
+  }
+  return x;
+}
+
+}  // namespace fx

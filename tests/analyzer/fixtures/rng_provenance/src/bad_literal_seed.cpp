@@ -1,0 +1,16 @@
+// A Xoshiro256ss seeded with a bare literal: a stealth constant seed
+// with no derivation from SeedMixer / derive_seed.
+#include <cstddef>
+#include <cstdint>
+#include "util/rng.hpp"
+
+namespace fx {
+
+void sample(double* out, std::size_t n) {
+  util::Xoshiro256ss rng(0x1234ULL);  // expect: rng-provenance
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = rng.uniform();
+  }
+}
+
+}  // namespace fx

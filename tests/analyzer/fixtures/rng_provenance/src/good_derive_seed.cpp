@@ -1,0 +1,16 @@
+// Seed flows from the caller's master seed through util::derive_seed:
+// the canonical pattern.
+#include <cstddef>
+#include <cstdint>
+#include "util/rng.hpp"
+
+namespace fx {
+
+void sample(double* out, std::size_t n, std::uint64_t master) {
+  util::Xoshiro256ss rng(util::derive_seed(master, 7));
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = rng.uniform();
+  }
+}
+
+}  // namespace fx

@@ -1,0 +1,22 @@
+// Drawing randomness is fine when the function touches only its own
+// locals and parameters (const namespace-scope data does not count as
+// mutable state).
+#include <cstddef>
+#include <cstdint>
+#include "util/rng.hpp"
+
+namespace fx {
+
+constexpr double kAcceptance = 0.5;
+
+std::size_t count_accepted(util::Xoshiro256ss& rng, std::size_t n) {
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(kAcceptance)) {
+      ++hits;
+    }
+  }
+  return hits;
+}
+
+}  // namespace fx

@@ -1,0 +1,26 @@
+// A splitmix_at counter base whose provenance crosses a function
+// boundary: the parameter obligation is discharged at the call site,
+// where the value comes from a SeedMixer-sourcing helper.
+#include <cstddef>
+#include <cstdint>
+#include "util/rng.hpp"
+
+namespace fx {
+
+std::uint64_t frame_base(std::uint64_t seed) {
+  util::SeedMixer mix(seed);
+  mix.absorb(0x42ULL);
+  return mix.value();
+}
+
+void fill(std::uint64_t base, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<double>(util::splitmix_at(base, i));
+  }
+}
+
+void drive(double* out, std::size_t n, std::uint64_t seed) {
+  fill(frame_base(seed), out, n);
+}
+
+}  // namespace fx

@@ -1,0 +1,13 @@
+// The waiver ran out: the violation is still silenced, but the expired
+// suppression itself fails the build until re-justified.
+#include <random>
+
+namespace fx {
+
+int expired_waiver() {
+  // lint:allow(foreign-rng) owner=erin expires=2020-01-01 temporary parity check against stdlib
+  std::mt19937 engine(9);  // expect: suppression-expired
+  return static_cast<int>(engine());
+}
+
+}  // namespace fx

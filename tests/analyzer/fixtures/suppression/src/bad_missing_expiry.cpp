@@ -1,0 +1,13 @@
+// Owner and reason present, expiry missing: suppressions may not be
+// open-ended.
+#include <random>
+
+namespace fx {
+
+int no_expiry() {
+  // lint:allow(foreign-rng) owner=dave vendored comparison harness
+  std::mt19937 engine(5);  // expect: suppression-missing-expiry
+  return static_cast<int>(engine());
+}
+
+}  // namespace fx

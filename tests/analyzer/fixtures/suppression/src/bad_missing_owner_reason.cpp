@@ -1,0 +1,13 @@
+// No owner and no justification text: nobody is on the hook to
+// re-justify this waiver.
+#include <random>
+
+namespace fx {
+
+int anonymous_waiver() {
+  // lint:allow(foreign-rng) expires=2099-12-31
+  std::mt19937 engine(11);  // expect: suppression-missing-owner
+  return static_cast<int>(engine());  // expect: suppression-missing-reason
+}
+
+}  // namespace fx

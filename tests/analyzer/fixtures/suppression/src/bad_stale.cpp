@@ -1,0 +1,12 @@
+// The cited rule does not fire at the covered lines: the suppression
+// is stale and must be deleted.
+#include <cstdint>
+
+namespace fx {
+
+std::uint64_t plain_add(std::uint64_t a, std::uint64_t b) {
+  // lint:allow(foreign-rng) owner=carol expires=2099-12-31 leftover from a deleted benchmark
+  return a + b;  // expect: suppression-stale
+}
+
+}  // namespace fx

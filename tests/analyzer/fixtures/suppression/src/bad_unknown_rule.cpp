@@ -1,0 +1,11 @@
+// Citing a rule id that is not in the catalogue.
+#include <cstdint>
+
+namespace fx {
+
+std::uint64_t typo_rule(std::uint64_t a) {
+  // lint:allow(foreign-rngg) owner=frank expires=2099-12-31 fat-fingered the rule id
+  return a * 2;  // expect: suppression-unknown-rule
+}
+
+}  // namespace fx

@@ -1,0 +1,14 @@
+// A well-formed suppression: cites a rule that really fires on the
+// covered line, names an owner, carries an unexpired expiry and a
+// justification. Silences the finding; no hygiene complaint.
+#include <random>
+
+namespace fx {
+
+int reference_draw() {
+  // lint:allow(foreign-rng) owner=alice expires=2099-12-31 cross-checking against the reference implementation
+  std::mt19937 engine(123);
+  return static_cast<int>(engine());
+}
+
+}  // namespace fx

@@ -1,0 +1,11 @@
+// Inline form: the suppression rides the violating line itself.
+#include <random>
+
+namespace fx {
+
+unsigned inline_reference() {
+  std::mt19937_64 engine(7);  // lint:allow(foreign-rng) owner=bob expires=2099-06-30 perf baseline needs the stdlib engine
+  return static_cast<unsigned>(engine());
+}
+
+}  // namespace fx

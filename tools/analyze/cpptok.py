@@ -1,0 +1,179 @@
+"""C++ tokenizer for the bfce semantic analyzer.
+
+A real lexer (not line regexes): it understands line/block comments,
+ordinary and raw string literals, char literals, preprocessor directives
+(including backslash continuations) and multi-character operators, and it
+attaches a (line, col) position to every token.  Comments are captured on
+the side — the suppression machinery needs `// lint:allow(...)` text with
+exact line numbers — but never appear in the code token stream, so no rule
+can be tripped (or appeased) by prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Token kinds.
+ID = "id"  # identifiers and keywords
+NUM = "num"  # numeric literals (incl. hex / suffixes)
+STR = "str"  # string literal (raw or cooked); text is the *quoted* form
+CHR = "chr"  # character literal
+OP = "op"  # punctuation / operators ('::' and '->' are single tokens)
+PP = "pp"  # one whole preprocessor directive
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class Comment:
+    text: str  # without the // or /* */ fence
+    line: int  # line the comment starts on
+    own_line: bool  # nothing but whitespace precedes it on its line
+
+
+_TWO_CHAR_OPS = {
+    "::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+}
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_ID_CONT = _ID_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+
+def tokenize(text: str) -> tuple[list[Token], list[Comment]]:
+    """Lexes `text`, returning (code tokens, comments)."""
+    tokens: list[Token] = []
+    comments: list[Comment] = []
+    i = 0
+    n = len(text)
+    line = 1
+    line_start = 0
+
+    def col(pos: int) -> int:
+        return pos - line_start + 1
+
+    def line_is_blank_before(pos: int) -> bool:
+        return text[line_start:pos].strip() == ""
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+
+        # Preprocessor directive: swallow to end of line, honouring
+        # backslash continuations (and comments inside are dropped).
+        if c == "#" and line_is_blank_before(i):
+            start, start_line, start_col = i, line, col(i)
+            while i < n:
+                if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    i += 2
+                    line += 1
+                    line_start = i
+                    continue
+                if text[i] == "\n":
+                    break
+                i += 1
+            tokens.append(Token(PP, text[start:i], start_line, start_col))
+            continue
+
+        # Comments.
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            start = i + 2
+            own = line_is_blank_before(i)
+            start_line = line
+            while i < n and text[i] != "\n":
+                i += 1
+            comments.append(Comment(text[start:i], start_line, own))
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            own = line_is_blank_before(i)
+            start_line = line
+            start = i + 2
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    line += 1
+                    line_start = i + 1
+                i += 1
+            comments.append(Comment(text[start:i], start_line, own))
+            i = min(n, i + 2)
+            continue
+
+        # Raw string literal: R"delim( ... )delim"
+        if c == "R" and i + 1 < n and text[i + 1] == '"':
+            j = i + 2
+            while j < n and text[j] != "(":
+                j += 1
+            delim = text[i + 2:j]
+            close = ")" + delim + '"'
+            end = text.find(close, j)
+            if end < 0:
+                end = n
+            else:
+                end += len(close)
+            tok_text = text[i:end]
+            tokens.append(Token(STR, tok_text, line, col(i)))
+            line += tok_text.count("\n")
+            nl = tok_text.rfind("\n")
+            if nl >= 0:
+                line_start = i + nl + 1
+            i = end
+            continue
+
+        # Cooked string / char literals (with escapes).
+        if c == '"' or c == "'":
+            quote = c
+            start, start_col = i, col(i)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":  # unterminated; bail at EOL
+                    break
+                i += 1
+            i = min(n, i + 1)
+            kind = STR if quote == '"' else CHR
+            tokens.append(Token(kind, text[start:i], line, start_col))
+            continue
+
+        # Numbers (decimal, hex, binary, floats, digit separators,
+        # suffixes). A leading digit is unambiguous in C++.
+        if c in _DIGITS:
+            start, start_col = i, col(i)
+            while i < n and (text[i] in _ID_CONT or text[i] in ".'"
+                             or (text[i] in "+-" and text[i - 1] in "eEpP")):
+                i += 1
+            tokens.append(Token(NUM, text[start:i], line, start_col))
+            continue
+
+        # Identifiers / keywords.
+        if c in _ID_START:
+            start, start_col = i, col(i)
+            while i < n and text[i] in _ID_CONT:
+                i += 1
+            tokens.append(Token(ID, text[start:i], line, start_col))
+            continue
+
+        # Operators / punctuation.
+        if text[i:i + 2] in _TWO_CHAR_OPS:
+            tokens.append(Token(OP, text[i:i + 2], line, col(i)))
+            i += 2
+            continue
+        tokens.append(Token(OP, c, line, col(i)))
+        i += 1
+
+    return tokens, comments

@@ -1,0 +1,145 @@
+"""Finding type + the suppression (`// lint:allow`) machinery.
+
+Suppression format (docs/TOOLING.md is the canonical reference):
+
+    // lint:allow(rule-a[, rule-b]) owner=<who> expires=<YYYY-MM-DD> <why>
+
+A suppression covers findings on its own line and — when it is a
+standalone comment line — the next line.  Hygiene is enforced: the cited
+rule must exist, must actually fire at the covered location (otherwise
+the suppression is *stale*), and the comment must carry an owner, an
+unexpired expiry date, and a non-empty justification.  Hygiene findings
+can never themselves be suppressed.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from dataclasses import dataclass, field
+
+ALLOW_RE = re.compile(r"lint:allow\(([A-Za-z0-9_,\- ]+)\)")
+OWNER_RE = re.compile(r"\bowner=([A-Za-z0-9_.@/-]+)")
+EXPIRES_RE = re.compile(r"\bexpires=(\d{4}-\d{2}-\d{2})")
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str
+    rel: str
+    line: int
+    col: int
+    message: str
+
+    def key(self) -> tuple[str, str, int]:
+        return (self.rule, self.rel, self.line)
+
+
+@dataclass
+class Suppression:
+    rel: str
+    line: int  # line of the comment itself
+    rules: set[str]
+    owner: str | None
+    expires: datetime.date | None
+    reason: str
+    covered_lines: tuple[int, ...]  # lines this suppression applies to
+    used: set[str] = field(default_factory=set)  # rules it actually silenced
+
+
+# Hygiene rule ids (not suppressible).
+HYGIENE_RULES = {
+    "suppression-unknown-rule",
+    "suppression-stale",
+    "suppression-missing-owner",
+    "suppression-missing-expiry",
+    "suppression-expired",
+    "suppression-missing-reason",
+}
+
+
+def collect_suppressions(rel: str, comments) -> list[Suppression]:
+    out: list[Suppression] = []
+    for c in comments:
+        m = ALLOW_RE.search(c.text)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        owner_m = OWNER_RE.search(c.text)
+        exp_m = EXPIRES_RE.search(c.text)
+        expires = None
+        if exp_m:
+            try:
+                expires = datetime.date.fromisoformat(exp_m.group(1))
+            except ValueError:
+                expires = None
+        tail = c.text[m.end():]
+        tail = OWNER_RE.sub("", tail)
+        tail = EXPIRES_RE.sub("", tail)
+        reason = tail.strip(" \t-—:;")
+        covered = (c.line, c.line + 1) if c.own_line else (c.line,)
+        out.append(Suppression(rel=rel, line=c.line, rules=rules,
+                               owner=owner_m.group(1) if owner_m else None,
+                               expires=expires, reason=reason,
+                               covered_lines=covered))
+    return out
+
+
+def apply_suppressions(
+        findings: list[Finding],
+        suppressions: dict[str, list[Suppression]],
+        today: datetime.date | None = None) -> list[Finding]:
+    """Filters suppressed findings out, then appends hygiene findings for
+    malformed / stale / expired suppressions. Returns the surviving list."""
+    today = today or datetime.date.today()
+    kept: list[Finding] = []
+    for f in findings:
+        silenced = False
+        if f.rule not in HYGIENE_RULES:
+            for s in suppressions.get(f.rel, []):
+                if f.line in s.covered_lines and f.rule in s.rules:
+                    s.used.add(f.rule)
+                    silenced = True
+                    break
+        if not silenced:
+            kept.append(f)
+
+    from .catalog import RULE_IDS  # late import: catalog lists every rule
+    for rel in sorted(suppressions):
+        for s in suppressions[rel]:
+            loc = dict(rel=s.rel, line=s.line, col=1)
+            for r in sorted(s.rules):
+                if r not in RULE_IDS:
+                    kept.append(Finding(
+                        rule="suppression-unknown-rule", message=(
+                            f"lint:allow cites unknown rule '{r}' "
+                            f"(see --list-rules for the catalogue)"), **loc))
+                elif r not in s.used:
+                    kept.append(Finding(
+                        rule="suppression-stale", message=(
+                            f"lint:allow({r}) is stale: the rule no longer "
+                            f"fires at the covered line(s) "
+                            f"{list(s.covered_lines)} — delete the "
+                            "suppression"), **loc))
+            if s.owner is None:
+                kept.append(Finding(
+                    rule="suppression-missing-owner", message=(
+                        "lint:allow has no owner=<who>; every suppression "
+                        "must name who re-justifies it"), **loc))
+            if s.expires is None:
+                kept.append(Finding(
+                    rule="suppression-missing-expiry", message=(
+                        "lint:allow has no expires=<YYYY-MM-DD>; every "
+                        "suppression must carry an expiry date"), **loc))
+            elif s.expires < today:
+                kept.append(Finding(
+                    rule="suppression-expired", message=(
+                        f"lint:allow expired on {s.expires.isoformat()}; "
+                        "re-justify with a new expiry or fix the code"),
+                    **loc))
+            if not s.reason:
+                kept.append(Finding(
+                    rule="suppression-missing-reason", message=(
+                        "lint:allow has no justification text; say why the "
+                        "violation is acceptable"), **loc))
+    return kept

@@ -1,0 +1,87 @@
+"""Counter-addressed draw discipline.
+
+The repo's sharded execution contract (PR 5 onward): inside a sharded
+region — a lambda handed to `util::parallel_for` — stochastic decisions
+must be counter-addressed (`util::splitmix_at(base, index)`) or come
+from a stream derived *inside* the region from the region index.  A
+draw on a caller-owned stream (`rng()`, `rng.uniform()`, or passing the
+caller's stream to `draw_binomial`) consumes stream positions in an
+order that depends on the shard count and schedule, silently breaking
+bit-identical-across-shards — exactly one caller-stream draw happens
+per stochastic frame, and it happens *outside* the sharded region.
+"""
+
+from __future__ import annotations
+
+from .findings import Finding
+from .model import Function, Repo
+from .rules_rng import DRAW_METHODS, RNG_TYPE
+
+
+def _rng_vars_outside(repo: Repo, fn: Function,
+                      body: tuple[int, int]) -> set[str]:
+    """Names of Xoshiro-typed vars visible in `fn` but declared outside
+    the token range `body` (the lambda)."""
+    lo, hi = body
+    names = set()
+    for loc in fn.locals.values():
+        if RNG_TYPE in loc.type_text and not lo <= loc.tok < hi:
+            names.add(loc.name)
+    for prm in fn.params:
+        if RNG_TYPE in prm.type_text:
+            names.add(prm.name)
+    if fn.cls:
+        for cls in repo.class_named(fn.cls):
+            for n, m in cls.members.items():
+                if RNG_TYPE in m.type_text:
+                    names.add(n)
+    return names
+
+
+def run(repo: Repo, scanned: set[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    for fm in repo.files.values():
+        if fm.rel not in scanned:
+            continue
+        for fn in fm.functions:
+            for lam in fn.lambdas:
+                if lam.dispatch is None or lam.body == (0, 0):
+                    continue
+                lo, hi = lam.body
+                outside = _rng_vars_outside(repo, fn, (lo, hi))
+                declared_inside = {
+                    name for name, loc in fn.locals.items()
+                    if lo <= loc.tok < hi} | set(lam.params)
+                caller_streams = outside - declared_inside
+                if not caller_streams:
+                    continue
+                for call in fn.calls:
+                    if not lo <= call.tok < hi:
+                        continue
+                    hit = None
+                    if call.recv is None and call.name in caller_streams:
+                        hit = call.name  # rng()
+                    elif call.recv in caller_streams and \
+                            call.name in DRAW_METHODS:
+                        hit = call.recv  # rng.uniform() etc.
+                    elif call.name == "draw_binomial" and len(call.args) \
+                            >= 3:
+                        alo, ahi = call.args[-1]
+                        arg_ids = {t.text for t in fm.tokens[alo:ahi]
+                                   if t.kind == "id"}
+                        shared = arg_ids & caller_streams
+                        if shared:
+                            hit = sorted(shared)[0]
+                    if hit is not None:
+                        findings.append(Finding(
+                            rule="caller-draw-in-shard", rel=fm.rel,
+                            line=call.line, col=1,
+                            message=(
+                                f"caller stream '{hit}' is advanced inside "
+                                f"a region dispatched via "
+                                f"'{lam.dispatch}'; draws there depend on "
+                                "shard count/schedule — use "
+                                "util::splitmix_at(base, index) or derive "
+                                "a per-shard stream from the region "
+                                "index")))
+    return findings

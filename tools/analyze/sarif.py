@@ -1,0 +1,73 @@
+"""SARIF 2.1.0 emission.
+
+One run, one driver (`bfce-analyze`), every catalogue rule listed in
+`tool.driver.rules` so `ruleIndex` back-references resolve, and one
+`result` per finding with a physical location.  URIs are repo-relative
+under the `SRCROOT` uriBaseId, per the SARIF packaging guidance."""
+
+from __future__ import annotations
+
+import json
+
+from .catalog import RULES
+from .findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "bfce-analyze"
+TOOL_VERSION = "1.0.0"
+
+
+def to_sarif(findings: list[Finding], root_uri: str) -> dict:
+    rule_index = {r.id: i for i, r in enumerate(RULES)}
+    results = []
+    for f in findings:
+        results.append({
+            "ruleId": f.rule,
+            "ruleIndex": rule_index.get(f.rule, -1),
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.rel,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": f.line,
+                        "startColumn": max(1, f.col),
+                    },
+                },
+            }],
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "version": TOOL_VERSION,
+                    "informationUri":
+                        "https://example.invalid/bfce/docs/TOOLING.md",
+                    "rules": [{
+                        "id": r.id,
+                        "shortDescription": {"text": r.short},
+                        "properties": {"family": r.family},
+                        "defaultConfiguration": {"level": "error"},
+                    } for r in RULES],
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": root_uri},
+            },
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(path: str, findings: list[Finding], root_uri: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_sarif(findings, root_uri), fh, indent=2, sort_keys=False)
+        fh.write("\n")

@@ -9,8 +9,11 @@
 #   tools/ci.sh --perf-smoke    # + frame-throughput regression gate
 #
 # Stages:
-#   1. tools/lint_determinism.py — bans nondeterminism sources and raw
-#      threading outside the sanctioned layers (file:line diagnostics).
+#   1. tools/analyze — the semantic invariant analyzer: RNG provenance,
+#      lock discipline, counter-addressed draw discipline, suppression
+#      hygiene, plus the ported determinism rules. Runs its fixture
+#      self-test first, then must exit 0 on src/ (SARIF written to
+#      build-lint/analyze.sarif when the directory exists).
 #   2. tools/tidy.sh — clang-tidy over src/ with the curated .clang-tidy
 #      (loud skip when clang-tidy is not installed).
 #   3. Preset matrix. Every preset builds with -Wall -Wextra -Werror.
@@ -64,8 +67,11 @@ if [ ${#presets[@]} -eq 0 ]; then
 fi
 
 if [ "${lint}" -eq 1 ]; then
-  echo "==== lint: determinism ====================================="
-  python3 tools/lint_determinism.py
+  echo "==== lint: analyzer fixture self-test ======================"
+  python3 tests/analyzer/run_fixtures.py
+  echo "==== lint: semantic analyzer ==============================="
+  mkdir -p build-lint
+  python3 tools/analyze --root . --sarif build-lint/analyze.sarif
   echo "==== lint: clang-tidy ======================================"
   tools/tidy.sh
 fi

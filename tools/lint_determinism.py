@@ -1,259 +1,28 @@
 #!/usr/bin/env python3
-"""Repo-specific determinism & concurrency-hygiene lint.
+"""Thin compatibility shim over the semantic analyzer.
 
-The repository's central invariant is that every estimate is a pure
-function of its spec: bit-identical across worker counts, queue orders
-and planner-cache state (this is what BFCE's (eps, delta) guarantees
-from Theorems 3-4 rest on, and what tests/service_test.cpp asserts).
-Generic tools cannot enforce that, so this lint bans the sources of
-nondeterminism that would silently break it:
+The regex rules that used to live here were ported into
+`tools/analyze` (package `analyze`, rule family `determinism`), which
+also runs the semantic RNG-provenance / lock-discipline /
+draw-discipline families and enforces suppression hygiene.  This shim
+keeps the old entry point and flags working for scripts and muscle
+memory:
 
-  * std::random_device / rand() / srand() / time(nullptr) — ambient
-    entropy. All randomness must flow from util::Xoshiro256ss seeded
-    through util::derive_seed / util::SeedMixer.
-  * std::mt19937 & friends — the repo has exactly one RNG family
-    (util/rng.hpp); a second engine forks the reproducibility story.
-  * std::chrono::...::now() — wall-clock reads are allowed only in the
-    metrics/deadline allowlist below; anywhere else they leak the
-    scheduler into results.
-  * unseeded Xoshiro256ss construction — a default-constructed stream
-    is a stealth constant seed; every stream must state its seed.
-  * function-local `static` mutable state in estimator and tracking
-    code — hidden cross-call coupling breaks the fresh-instance-per-
-    attempt contract and the bit-identical-trajectory contract.
-  * raw std::thread outside src/service and src/util/parallel — all
-    concurrency goes through the worker pool or util::parallel_for so
-    the (master seed, index) seeding contract stays enforceable.
+    python3 tools/lint_determinism.py [--root R] [paths...]
 
-Scope: src/ only (tests, benches, examples and tools are free to time
-and thread as they like). A finding can be suppressed with an inline
-`// lint:allow(<rule>) <why>` comment on the same line or the line
-directly above; docs/TOOLING.md explains when that is acceptable.
-
-Exit status: 0 clean, 1 findings (file:line diagnostics on stderr),
-2 usage/environment error.
+is exactly `python3 tools/analyze [--root R] [paths...]`.  Exit codes
+are unchanged: 0 clean, 1 findings, 2 usage error.  See
+docs/TOOLING.md for the rule catalogue and the suppression policy.
 """
 
 from __future__ import annotations
 
-import argparse
-import re
+import os
 import sys
-from pathlib import Path
 
-# Files under src/ allowed to read wall clocks: the metrics/deadline
-# layer, where wall time is the *product* (latency percentiles, queue
-# expiry) and never feeds an estimate.
-NOW_ALLOWLIST = {
-    "src/service/service.cpp",   # queue-wait / latency / expiry clocks
-    "src/service/metrics.cpp",   # snapshot rendering
-    "src/rfid/frame_engine.cpp", # EngineCounters busy_us timing
-}
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-# Directories whose files may construct raw std::thread.
-THREAD_ALLOWLIST_PREFIXES = (
-    "src/service/",       # the worker pool
-    "src/util/parallel",  # parallel_for's fork/join pool
-)
-
-# Estimator/tracker/engine code where function-local mutable `static`
-# state is banned (src/tracking must stay a pure function of its inputs
-# for the service's bit-identical-trajectory contract; src/rfid holds
-# the sharded walk, the batched sampler and the SIMD scatter/decide
-# tiles, whose shard-count invariance dies the moment any kernel keeps
-# mutable state between calls).
-STATIC_SCOPE_PREFIXES = (
-    "src/core/",
-    "src/estimators/",
-    "src/federation/",
-    "src/tracking/",
-    "src/rfid/",
-)
-
-ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z0-9_,\- ]+)\)")
-LINE_COMMENT_RE = re.compile(r"//.*$")
-STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
-
-
-class Rule:
-    def __init__(self, name: str, pattern: str, message: str,
-                 applies=lambda rel: True):
-        self.name = name
-        self.pattern = re.compile(pattern)
-        self.message = message
-        self.applies = applies
-
-
-RULES = [
-    Rule(
-        "random-device",
-        r"std\s*::\s*random_device",
-        "std::random_device is ambient entropy; derive seeds with "
-        "util::derive_seed / util::SeedMixer instead",
-    ),
-    Rule(
-        "libc-rand",
-        r"(?<![\w:.])s?rand\s*\(",
-        "rand()/srand() is hidden global state; use util::Xoshiro256ss "
-        "with an explicit seed",
-    ),
-    Rule(
-        "wall-clock-seed",
-        r"(?<![\w:.])time\s*\(\s*(nullptr|NULL|0)\s*\)",
-        "time(nullptr) seeds results with the wall clock; thread an "
-        "explicit seed through the spec instead",
-    ),
-    Rule(
-        "foreign-rng",
-        r"std\s*::\s*(mt19937(_64)?|minstd_rand0?|default_random_engine|"
-        r"ranlux\w+|knuth_b)",
-        "the repo's only RNG family is util::Xoshiro256ss (util/rng.hpp); "
-        "a second engine forks reproducibility",
-    ),
-    Rule(
-        "clock-now",
-        r"(?<![\w:])(?:std\s*::\s*chrono\s*::\s*)?"
-        r"(?:steady_clock|system_clock|high_resolution_clock|Clock)\s*::\s*"
-        r"now\s*\(",
-        "wall-clock reads outside the metrics/deadline allowlist leak the "
-        "scheduler into results (see docs/TOOLING.md to extend the "
-        "allowlist)",
-        applies=lambda rel: rel not in NOW_ALLOWLIST,
-    ),
-    Rule(
-        "unseeded-rng",
-        r"Xoshiro256ss\s+\w+\s*(;|\{\s*\})",
-        "unseeded Xoshiro256ss is a stealth constant seed; state the "
-        "seed explicitly",
-    ),
-    Rule(
-        "static-local-state",
-        r"^\s+static\s+(?!const\b|constexpr\b|assert\b|_assert)",
-        "function-local mutable `static` state in estimator code breaks "
-        "the fresh-instance-per-attempt contract",
-        applies=lambda rel: rel.startswith(STATIC_SCOPE_PREFIXES)
-        and rel.endswith(".cpp"),
-    ),
-    Rule(
-        "raw-thread",
-        r"std\s*::\s*(thread|jthread)\b",
-        "raw std::thread outside src/service and src/util/parallel; route "
-        "concurrency through EstimationService or util::parallel_for",
-        applies=lambda rel: not rel.startswith(THREAD_ALLOWLIST_PREFIXES),
-    ),
-]
-
-
-def strip_noise(line: str) -> str:
-    """Drop string literals and trailing // comments so prose and
-    logging text never trip a rule. (Block comments are handled by the
-    caller's in_block flag.)"""
-    line = STRING_RE.sub('""', line)
-    return LINE_COMMENT_RE.sub("", line)
-
-
-def lint_file(path: Path, rel: str) -> list[str]:
-    findings = []
-    try:
-        text = path.read_text(encoding="utf-8", errors="replace")
-    except OSError as err:
-        return [f"{rel}: unreadable: {err}"]
-
-    in_block = False
-    carried_allow: set[str] = set()
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        allow = ALLOW_RE.search(raw)
-        allowed = set(carried_allow)
-        if allow:
-            tokens = {t.strip() for t in allow.group(1).split(",")}
-            allowed |= tokens
-            # A standalone allow-comment line covers the next line too.
-            carried_allow = tokens if raw.strip().startswith("//") else set()
-        else:
-            carried_allow = set()
-
-        line = raw
-        if in_block:
-            end = line.find("*/")
-            if end < 0:
-                continue
-            line = line[end + 2:]
-            in_block = False
-        # Strip /* ... */ spans (a line may open one that continues).
-        while True:
-            start = line.find("/*")
-            if start < 0:
-                break
-            end = line.find("*/", start + 2)
-            if end < 0:
-                line = line[:start]
-                in_block = True
-                break
-            line = line[:start] + line[end + 2:]
-
-        code = strip_noise(line)
-        if not code.strip():
-            continue
-        for rule in RULES:
-            if not rule.applies(rel):
-                continue
-            if rule.name in allowed:
-                continue
-            if rule.pattern.search(code):
-                findings.append(
-                    f"{rel}:{lineno}: [{rule.name}] {rule.message}\n"
-                    f"    {raw.strip()}"
-                )
-    return findings
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--root", type=Path, default=Path(__file__).resolve().parent.parent,
-        help="repository root (default: the checkout containing this script)")
-    parser.add_argument(
-        "paths", nargs="*",
-        help="restrict the scan to these files/dirs (repo-relative)")
-    args = parser.parse_args()
-
-    root = args.root.resolve()
-    src = root / "src"
-    if not src.is_dir():
-        print(f"lint_determinism: no src/ under {root}", file=sys.stderr)
-        return 2
-
-    if args.paths:
-        targets = []
-        for p in args.paths:
-            path = (root / p).resolve()
-            if path.is_dir():
-                targets.extend(sorted(path.rglob("*")))
-            else:
-                targets.append(path)
-    else:
-        targets = sorted(src.rglob("*"))
-
-    findings = []
-    scanned = 0
-    for path in targets:
-        if path.suffix not in {".cpp", ".hpp", ".h", ".cc", ".cxx"}:
-            continue
-        rel = path.relative_to(root).as_posix()
-        scanned += 1
-        findings.extend(lint_file(path, rel))
-
-    if findings:
-        print("determinism lint: FAILED", file=sys.stderr)
-        for f in findings:
-            print(f, file=sys.stderr)
-        print(f"\n{len(findings)} finding(s) in {scanned} file(s). "
-              "See docs/TOOLING.md for the rule rationale and how to add "
-              "an exemption.", file=sys.stderr)
-        return 1
-    print(f"determinism lint: OK ({scanned} files clean)")
-    return 0
-
+from analyze.__main__ import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -8,7 +8,7 @@
 # Uses compile_commands.json from the release preset (configured on
 # demand). When clang-tidy is not installed — this repo's container
 # ships only GCC — the gate degrades to a loud skip rather than a
-# failure, so the determinism lint and -Werror build matrix still run;
+# failure, so the semantic analyzer and -Werror build matrix still run;
 # docs/TOOLING.md covers what the tidy pass checks and why.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,7 +26,7 @@ fi
 if [ -z "${TIDY_BIN}" ]; then
   echo "tidy: SKIPPED — clang-tidy not installed (set CLANG_TIDY=... to" \
        "point at a binary). The -Werror build matrix and" \
-       "tools/lint_determinism.py still gate this tree." >&2
+       "tools/analyze still gate this tree." >&2
   exit 0
 fi
 
