@@ -19,6 +19,7 @@
 // the job seed for any shard count.
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "bench_common.hpp"
 #include "core/planner.hpp"
 #include "service/service.hpp"
+#include "service/snapshot.hpp"
 #include "util/rng.hpp"
 
 using namespace bfce;
@@ -36,6 +38,11 @@ struct FleetOutcome {
   std::vector<service::JobResult> results;
   service::ServiceMetrics metrics;
   double wall_s = 0.0;
+  /// Crash image cut after the drain (every job terminal) plus how long
+  /// the cut itself took — the snapshot/restore latency stage reuses it
+  /// instead of executing a third pass.
+  service::ServiceSnapshot snapshot;
+  double snapshot_cut_s = 0.0;
 };
 
 /// The mixed workload: job i is a pure function of (seed, i), so both
@@ -77,6 +84,11 @@ FleetOutcome run_fleet(const std::vector<service::JobSpec>& specs,
   out.results.reserve(ids.size());
   for (const service::JobId id : ids) out.results.push_back(svc.wait(id));
   out.metrics = svc.metrics();
+  const auto s0 = std::chrono::steady_clock::now();
+  out.snapshot = svc.snapshot();
+  out.snapshot_cut_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - s0)
+                           .count();
   return out;
 }
 
@@ -201,6 +213,56 @@ int main(int argc, char** argv) {
       "%.0f ns (full 1023-candidate scan) per choice\n",
       hit_ns, typical_ns, worst_ns);
 
+  // ---- Snapshot/restore latency ------------------------------------
+  // The cached pass's crash image carries every terminal result plus
+  // the warm planner cache. Measure the full recovery path on it:
+  // encode, crash-atomic save (includes the fsyncs), load+decode, and
+  // restore-by-reaccounting into a fresh service.
+  using clock = std::chrono::steady_clock;
+  const auto seconds_since = [](clock::time_point t0) {
+    return std::chrono::duration<double>(clock::now() - t0).count();
+  };
+  const auto e0 = clock::now();
+  const std::vector<std::uint8_t> image =
+      service::encode_snapshot(cached.snapshot);
+  const double encode_s = seconds_since(e0);
+
+  const char* snap_path = "fleet_service.snapshot";
+  const auto w0 = clock::now();
+  const auto save_err = service::save_snapshot(cached.snapshot, snap_path);
+  const double save_s = seconds_since(w0);
+
+  service::ServiceSnapshot loaded;
+  const auto l0 = clock::now();
+  const auto load_err = service::load_snapshot(snap_path, loaded);
+  const double load_s = seconds_since(l0);
+  std::remove(snap_path);
+
+  double restore_s = 0.0;
+  bool restore_ok = false;
+  if (save_err == service::SnapshotError::kNone &&
+      load_err == service::SnapshotError::kNone) {
+    core::PersistencePlanner restored_planner;
+    service::ServiceConfig restore_cfg = cfg;
+    restore_cfg.planner = &restored_planner;
+    service::EstimationService restored(restore_cfg);
+    const auto r0 = clock::now();
+    restore_ok = restored.restore(loaded) == service::SnapshotError::kNone;
+    restore_s = seconds_since(r0);
+    restore_ok = restore_ok &&
+                 restored.metrics().completed == cached.results.size() &&
+                 restored_planner.stats().entries ==
+                     planner_stats.entries;
+  }
+  std::printf(
+      "snapshot: %zu results, %zu planner keys, %zu bytes; cut %.2f ms, "
+      "encode %.2f ms, save %.2f ms, load %.2f ms, restore %.2f ms (%s)\n",
+      cached.snapshot.completed.size(),
+      cached.snapshot.planner.entries.size(), image.size(),
+      cached.snapshot_cut_s * 1e3, encode_s * 1e3, save_s * 1e3,
+      load_s * 1e3, restore_s * 1e3,
+      restore_ok ? "restored state verified" : "RESTORE FAILED");
+
   // ---- BENCH_service.json ------------------------------------------
   std::string json = "{\n  \"bench\": \"fleet_service\",\n";
   char buf[512];
@@ -227,6 +289,17 @@ int main(int argc, char** argv) {
                 "\"search_typical\": %.1f, \"search_full_scan\": %.1f},\n",
                 hit_ns, typical_ns, worst_ns);
   json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"snapshot\": {\"results\": %zu, \"planner_keys\": %zu, "
+                "\"bytes\": %zu, \"cut_ms\": %.3f, \"encode_ms\": %.3f, "
+                "\"save_ms\": %.3f, \"load_ms\": %.3f, \"restore_ms\": %.3f, "
+                "\"restore_verified\": %s},\n",
+                cached.snapshot.completed.size(),
+                cached.snapshot.planner.entries.size(), image.size(),
+                cached.snapshot_cut_s * 1e3, encode_s * 1e3, save_s * 1e3,
+                load_s * 1e3, restore_s * 1e3,
+                restore_ok ? "true" : "false");
+  json += buf;
   json += "  \"metrics\": ";
   std::string metrics_json = service::service_metrics_json(m);
   while (!metrics_json.empty() && metrics_json.back() == '\n') {
@@ -244,5 +317,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "could not open %s for writing\n", path);
     return 1;
   }
-  return identical ? 0 : 1;
+  return (identical && restore_ok) ? 0 : 1;
 }

@@ -39,6 +39,10 @@ struct PersistenceChoice {
   double p = 0.0;          ///< the probability itself
   bool satisfies = false;  ///< true iff f1 ≤ −d and f2 ≥ d at n_low
   double margin = 0.0;     ///< min(−f1, f2) − d (≥ 0 iff satisfies)
+
+  /// Exact (bit-pattern) equality; makes PlannerEntry comparable for
+  /// snapshot round-trip checks.
+  bool operator==(const PersistenceChoice&) const = default;
 };
 
 /// Finds the minimal p = p_n/1024 (p_n ∈ [1, 1023]) satisfying Theorem 4's

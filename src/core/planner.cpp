@@ -1,8 +1,10 @@
 #include "core/planner.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <mutex>
+#include <tuple>
 
 #include "math/erf.hpp"
 #include "util/rng.hpp"
@@ -78,6 +80,40 @@ PlannerCacheStats PersistencePlanner::stats() const {
   std::shared_lock lock(mutex_);
   s.entries = cache_.size();
   return s;
+}
+
+std::vector<PlannerEntry> PersistencePlanner::export_entries() const {
+  std::vector<PlannerEntry> entries;
+  {
+    std::shared_lock lock(mutex_);
+    entries.reserve(cache_.size());
+    for (const auto& [key, choice] : cache_) {
+      entries.push_back(PlannerEntry{key.n_low_bits, key.w, key.k,
+                                     key.eps_bits, key.delta_bits, choice});
+    }
+  }
+  // unordered_map iteration order is not deterministic; snapshots must
+  // be byte-stable, so sort by the full key tuple.
+  std::sort(entries.begin(), entries.end(),
+            [](const PlannerEntry& a, const PlannerEntry& b) {
+              return std::tie(a.n_low_bits, a.w, a.k, a.eps_bits,
+                              a.delta_bits) <
+                     std::tie(b.n_low_bits, b.w, b.k, b.eps_bits,
+                              b.delta_bits);
+            });
+  return entries;
+}
+
+std::size_t PersistencePlanner::import_entries(
+    const std::vector<PlannerEntry>& entries) {
+  std::size_t inserted = 0;
+  std::unique_lock lock(mutex_);
+  for (const PlannerEntry& e : entries) {
+    if (cache_.size() >= options_.max_entries) break;
+    const Key key{e.n_low_bits, e.w, e.k, e.eps_bits, e.delta_bits};
+    if (cache_.emplace(key, e.choice).second) ++inserted;
+  }
+  return inserted;
 }
 
 void PersistencePlanner::clear() {

@@ -23,10 +23,27 @@
 #include <cstdint>
 #include <shared_mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "core/analysis.hpp"
 
 namespace bfce::core {
+
+/// One memoized Theorem-4 search result, in exportable form: the key's
+/// raw bit patterns plus the cached choice. The service snapshot
+/// (service/snapshot.hpp) persists these so a restored service starts
+/// with the same warm cache — and therefore the same hit pattern — as
+/// the service it replaces.
+struct PlannerEntry {
+  std::uint64_t n_low_bits = 0;  ///< bucketed n̂_low, by bit pattern
+  std::uint32_t w = 0;
+  std::uint32_t k = 0;
+  std::uint64_t eps_bits = 0;    ///< ε by bit pattern
+  std::uint64_t delta_bits = 0;  ///< δ by bit pattern
+  PersistenceChoice choice;
+
+  bool operator==(const PlannerEntry&) const = default;
+};
 
 /// Snapshot of the planner cache's effectiveness counters.
 struct PlannerCacheStats {
@@ -83,6 +100,18 @@ class PersistencePlanner {
 
   /// Drops every cached entry and zeroes the hit/miss counters.
   void clear();
+
+  /// The cache contents in a deterministic order (sorted by key), for
+  /// snapshotting. Hit/miss counters are telemetry, not state, and are
+  /// deliberately not exported.
+  std::vector<PlannerEntry> export_entries() const;
+
+  /// Seeds the cache with `entries` (existing keys win; insertion stops
+  /// at max_entries, exactly like a miss). Returns the number actually
+  /// inserted. Imported entries are served as ordinary hits; because
+  /// choose() is a pure function of the key, a snapshot taken from any
+  /// planner seeds bit-identical answers.
+  std::size_t import_entries(const std::vector<PlannerEntry>& entries);
 
  private:
   struct Key {

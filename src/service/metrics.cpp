@@ -113,6 +113,24 @@ std::string render_service_metrics(const ServiceMetrics& m) {
     out += line;
   }
 
+  if (m.wire_attached) {
+    std::snprintf(line, sizeof(line),
+                  "wire: %llu conns (%llu shed), frames in=%llu out=%llu, "
+                  "submits=%llu busy=%llu, malformed=%llu oversized=%llu "
+                  "timeouts=%llu disconnects=%llu\n",
+                  static_cast<unsigned long long>(m.wire.connections_accepted),
+                  static_cast<unsigned long long>(m.wire.connections_shed),
+                  static_cast<unsigned long long>(m.wire.frames_in),
+                  static_cast<unsigned long long>(m.wire.frames_out),
+                  static_cast<unsigned long long>(m.wire.submits),
+                  static_cast<unsigned long long>(m.wire.jobs_shed),
+                  static_cast<unsigned long long>(m.wire.malformed),
+                  static_cast<unsigned long long>(m.wire.oversized),
+                  static_cast<unsigned long long>(m.wire.timeouts),
+                  static_cast<unsigned long long>(m.wire.disconnects));
+    out += line;
+  }
+
   out += core::render_engine_counters(m.engine);
   return out;
 }
@@ -192,6 +210,30 @@ std::string service_metrics_json(const ServiceMetrics& m) {
                 static_cast<unsigned long long>(m.federation.word_ors),
                 m.federation.fleet_airtime_s,
                 m.federation.mean_overlap_fraction);
+  out += buf;
+
+  std::snprintf(buf, sizeof(buf),
+                "  \"wire\": {\"attached\": %s, "
+                "\"connections_accepted\": %llu, "
+                "\"connections_shed\": %llu, \"frames_in\": %llu, "
+                "\"frames_out\": %llu, \"submits\": %llu, "
+                "\"jobs_shed\": %llu, \"malformed\": %llu, "
+                "\"oversized\": %llu, \"timeouts\": %llu, "
+                "\"disconnects\": %llu, \"bytes_in\": %llu, "
+                "\"bytes_out\": %llu},\n",
+                m.wire_attached ? "true" : "false",
+                static_cast<unsigned long long>(m.wire.connections_accepted),
+                static_cast<unsigned long long>(m.wire.connections_shed),
+                static_cast<unsigned long long>(m.wire.frames_in),
+                static_cast<unsigned long long>(m.wire.frames_out),
+                static_cast<unsigned long long>(m.wire.submits),
+                static_cast<unsigned long long>(m.wire.jobs_shed),
+                static_cast<unsigned long long>(m.wire.malformed),
+                static_cast<unsigned long long>(m.wire.oversized),
+                static_cast<unsigned long long>(m.wire.timeouts),
+                static_cast<unsigned long long>(m.wire.disconnects),
+                static_cast<unsigned long long>(m.wire.bytes_in),
+                static_cast<unsigned long long>(m.wire.bytes_out));
   out += buf;
 
   const rfid::ShapeCounters total = m.engine.total();

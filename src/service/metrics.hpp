@@ -65,6 +65,24 @@ struct FederationStats {
   double mean_overlap_fraction = 0.0; ///< mean realised coverage overlap
 };
 
+/// Counters of the wire front door (service/wire.hpp), sampled from the
+/// server when one is attached to the service via
+/// EstimationService::set_wire_stats_source().
+struct WireStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_shed = 0;  ///< dropped by accept-queue overload
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t submits = 0;           ///< SUBMIT frames admitted as jobs
+  std::uint64_t jobs_shed = 0;         ///< SUBMIT frames answered with BUSY
+  std::uint64_t malformed = 0;         ///< undecodable or invalid frames
+  std::uint64_t oversized = 0;         ///< length prefix beyond the cap
+  std::uint64_t timeouts = 0;          ///< connections past their deadline
+  std::uint64_t disconnects = 0;       ///< peers gone mid-frame
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
 struct ServiceMetrics {
   // Admission.
   std::uint64_t admitted = 0;   ///< jobs accepted into the queue
@@ -103,6 +121,10 @@ struct ServiceMetrics {
 
   /// Federation-job aggregates; all-zero when none has completed.
   FederationStats federation;
+
+  /// Wire front-door counters; all-zero when no server is attached.
+  bool wire_attached = false;
+  WireStats wire;
 
   double throughput_jobs_per_s() const noexcept {
     return elapsed_s > 0.0

@@ -116,6 +116,166 @@ std::optional<JobId> EstimationService::try_submit(JobSpec spec) {
   return admit_locked(std::move(spec));
 }
 
+JobId EstimationService::submit_portable(const PortableJobSpec& spec) {
+  // Materialization (population synthesis) happens before the lock:
+  // the admission path must never hold mutex_ across real work.
+  std::optional<MaterializedJob> job = materialize(spec);
+  std::unique_lock lock(mutex_);
+  if (!job.has_value()) {
+    ++rejected_;
+    return kInvalidJob;
+  }
+  queue_space_.wait(lock, [&] {
+    return stopping_ || queue_.size() < config_.queue_capacity;
+  });
+  if (stopping_) return kInvalidJob;
+  const JobId id = admit_locked(std::move(job->spec));
+  JobState& state = jobs_.at(id);
+  state.owned_population = std::move(job->population);
+  state.portable = spec;
+  return id;
+}
+
+std::optional<JobId> EstimationService::try_submit_portable(
+    const PortableJobSpec& spec) {
+  std::optional<MaterializedJob> job = materialize(spec);
+  std::unique_lock lock(mutex_);
+  if (stopping_) return std::nullopt;
+  if (!job.has_value() || queue_.size() >= config_.queue_capacity) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  const JobId id = admit_locked(std::move(job->spec));
+  JobState& state = jobs_.at(id);
+  state.owned_population = std::move(job->population);
+  state.portable = spec;
+  return id;
+}
+
+ServiceSnapshot EstimationService::snapshot() const {
+  ServiceSnapshot snap;
+  snap.substrate_fingerprint =
+      substrate_fingerprint(config_.mode, config_.channel, config_.timing);
+  {
+    std::unique_lock lock(mutex_);
+    snap.next_id = next_id_;
+    snap.rejected = rejected_;
+    snap.non_portable_skipped = non_portable_skipped_;
+    for (const auto& [id, state] : jobs_) {
+      if (is_terminal(state.result.status)) {
+        snap.completed.emplace_back(id, state.result);
+      } else if (state.portable.has_value()) {
+        snap.pending.emplace_back(id, *state.portable);
+      } else {
+        ++snap.non_portable_skipped;
+      }
+    }
+  }
+  // jobs_ iterates in hash order; the snapshot encoding must be
+  // byte-stable, so both sections are sorted by id.
+  std::sort(snap.completed.begin(), snap.completed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(snap.pending.begin(), snap.pending.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Planner export takes the planner's own (leaf) lock — after mutex_ is
+  // released, like every other planner call.
+  if (config_.planner != nullptr) {
+    snap.planner.present = true;
+    snap.planner.n_low_mantissa_bits =
+        config_.planner->options().n_low_mantissa_bits;
+    snap.planner.entries = config_.planner->export_entries();
+  }
+  return snap;
+}
+
+SnapshotError EstimationService::restore(const ServiceSnapshot& snap) {
+  if (snap.substrate_fingerprint !=
+      substrate_fingerprint(config_.mode, config_.channel, config_.timing)) {
+    return SnapshotError::kConfigMismatch;
+  }
+
+  // Validate + materialize outside the lock (population synthesis is
+  // real work). decode_snapshot already vetted statuses and specs, but
+  // restore() also accepts hand-built snapshots, so re-check.
+  std::vector<std::pair<JobId, MaterializedJob>> pending;
+  pending.reserve(snap.pending.size());
+  {
+    std::unordered_map<JobId, bool> seen;
+    seen.reserve(snap.completed.size() + snap.pending.size());
+    for (const auto& [id, result] : snap.completed) {
+      if (id == kInvalidJob || !is_terminal(result.status) ||
+          !seen.emplace(id, true).second) {
+        return SnapshotError::kMalformed;
+      }
+    }
+    for (const auto& [id, spec] : snap.pending) {
+      if (id == kInvalidJob || !seen.emplace(id, true).second) {
+        return SnapshotError::kMalformed;
+      }
+      std::optional<MaterializedJob> job = materialize(spec);
+      if (!job.has_value()) return SnapshotError::kMalformed;
+      pending.emplace_back(id, std::move(*job));
+    }
+  }
+
+  // Seed the planner before any restored job can run: the planner's
+  // shared_mutex is a strict leaf, so this happens outside mutex_.
+  if (snap.planner.present && config_.planner != nullptr) {
+    config_.planner->import_entries(snap.planner.entries);
+  }
+
+  std::unique_lock lock(mutex_);
+  if (stopping_) return SnapshotError::kBadState;
+  // Only a fresh service may be restored: merging two histories would
+  // make id collisions and double-counted aggregates possible.
+  if (admitted_ != 0 || rejected_ != 0 || !jobs_.empty()) {
+    return SnapshotError::kBadState;
+  }
+
+  JobId max_id = 0;
+  for (const auto& [id, result] : snap.completed) {
+    JobState& state = jobs_[id];
+    state.result = result;
+    state.result.id = id;
+    state.submitted = Clock::now();
+    ++admitted_;
+    // Re-accounting: every aggregate (outcome counts, latency vectors,
+    // engine counters, tracker rows, federation sums) is rebuilt through
+    // the one accounting path, so it cannot drift from the results.
+    account_terminal(state.result);
+    max_id = std::max(max_id, id);
+  }
+  std::size_t pending_idx = 0;
+  for (const auto& [id, spec] : snap.pending) {
+    JobState& state = jobs_[id];
+    MaterializedJob& job = pending[pending_idx++].second;
+    state.spec = std::move(job.spec);
+    state.owned_population = std::move(job.population);
+    state.portable = spec;
+    state.result.id = id;
+    state.result.status = JobStatus::kQueued;
+    // Wall-clock deadlines restart at restore time (steady_clock does
+    // not survive the process; the airtime budget, which is simulated
+    // time, carries over exactly).
+    state.submitted = Clock::now();
+    queue_.push_back(id);
+    ++admitted_;
+    max_id = std::max(max_id, id);
+  }
+  next_id_ = std::max(snap.next_id, max_id + 1);
+  rejected_ = snap.rejected;
+  non_portable_skipped_ = snap.non_portable_skipped;
+  work_ready_.notify_all();
+  job_done_.notify_all();
+  return SnapshotError::kNone;
+}
+
+void EstimationService::set_wire_stats_source(
+    std::function<WireStats()> source) {
+  std::unique_lock lock(mutex_);
+  wire_stats_source_ = std::move(source);
+}
+
 bool EstimationService::cancel(JobId id) {
   std::unique_lock lock(mutex_);
   const auto it = jobs_.find(id);
@@ -200,8 +360,10 @@ ServiceMetrics EstimationService::metrics() const {
   ServiceMetrics m;
   std::vector<double> latency;
   std::vector<double> waits;
+  std::function<WireStats()> wire_source;
   {
     std::unique_lock lock(mutex_);
+    wire_source = wire_stats_source_;
     m.admitted = admitted_;
     m.rejected = rejected_;
     m.completed = completed_;
@@ -255,6 +417,12 @@ ServiceMetrics EstimationService::metrics() const {
   if (config_.planner != nullptr) {
     m.planner_attached = true;
     m.planner = config_.planner->stats();
+  }
+  // Sampled with mutex_ released: the wire server's stats lock is a
+  // strict leaf, same discipline as the planner.
+  if (wire_source) {
+    m.wire_attached = true;
+    m.wire = wire_source();
   }
   return m;
 }

@@ -38,6 +38,8 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -51,6 +53,8 @@
 #include "rfid/timing.hpp"
 #include "service/job.hpp"
 #include "service/metrics.hpp"
+#include "service/portable.hpp"
+#include "service/snapshot.hpp"
 
 namespace bfce::service {
 
@@ -93,6 +97,42 @@ class EstimationService {
   /// Non-blocking admission: nullopt when the queue is full (counted
   /// as a rejection) or the service is shutting down.
   std::optional<JobId> try_submit(JobSpec spec);
+
+  /// Admits a self-contained job (service/portable.hpp): the spec is
+  /// validated and materialized (population built, owned by the job)
+  /// outside the lock, then admitted like submit(). Portable jobs are
+  /// the crash-safe ones — snapshot() captures them queued or running.
+  /// Returns kInvalidJob for an invalid spec (counted as a rejection)
+  /// or during shutdown.
+  JobId submit_portable(const PortableJobSpec& spec);
+
+  /// Non-blocking flavour of submit_portable (the wire front door's
+  /// admission path): nullopt on a full queue, invalid spec or shutdown.
+  std::optional<JobId> try_submit_portable(const PortableJobSpec& spec);
+
+  /// Point-in-time crash image (service/snapshot.hpp): every terminal
+  /// result verbatim, every queued/running portable job as a pending
+  /// re-run, the planner cache when one is attached. Safe to call
+  /// concurrently with everything; jobs running while the snapshot is
+  /// cut appear as pending (their re-run is bit-identical by the seed
+  /// contract). Non-portable in-flight jobs are counted in
+  /// non_portable_skipped and dropped.
+  ServiceSnapshot snapshot() const;
+
+  /// Rebuilds service state from a snapshot. Only a fresh service (no
+  /// job ever admitted) accepts one — returns kBadState otherwise, and
+  /// kConfigMismatch when the snapshot's substrate fingerprint does not
+  /// match this service's config. Terminal results are re-accounted
+  /// through the normal metrics path; pending jobs are re-admitted
+  /// under their original ids (their wall-clock deadlines restart at
+  /// restore time) and start executing immediately. The planner cache
+  /// is seeded before any of them runs.
+  SnapshotError restore(const ServiceSnapshot& snap);
+
+  /// Attaches a wire front door's stats sampler; metrics() includes its
+  /// counters from then on. Pass nullptr to detach (the WireServer does
+  /// on destruction — the callback must not outlive its server).
+  void set_wire_stats_source(std::function<WireStats()> source);
 
   /// Withdraws a job that has not started; returns false once it is
   /// running or terminal (a running estimate is never torn down).
@@ -141,6 +181,12 @@ class EstimationService {
     JobSpec spec;
     JobResult result;
     Clock::time_point submitted;
+    /// Population materialized from a portable spec; keeps spec.population
+    /// alive for the job's lifetime (null for pointer-spec jobs).
+    std::shared_ptr<const rfid::TagPopulation> owned_population;
+    /// The value form this job was admitted from, kept so snapshot() can
+    /// re-emit it while the job is still queued or running.
+    std::optional<PortableJobSpec> portable;
   };
 
   void worker_loop();
@@ -184,6 +230,9 @@ class EstimationService {
   std::uint64_t cancelled_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t retries_ = 0;
+  /// In-flight non-portable jobs dropped by snapshots, carried across
+  /// restores (see ServiceSnapshot::non_portable_skipped).
+  std::uint64_t non_portable_skipped_ = 0;
   std::vector<double> latency_s_;
   std::vector<double> queue_wait_s_;
   rfid::EngineCounters engine_;
@@ -208,6 +257,10 @@ class EstimationService {
   std::uint64_t federation_word_ors_ = 0;
   double federation_airtime_s_ = 0.0;
   double federation_overlap_sum_ = 0.0;
+
+  /// Wire front-door stats sampler (guarded by mutex_ for the pointer;
+  /// invoked with mutex_ released — it takes the server's own lock).
+  std::function<WireStats()> wire_stats_source_;
 
   std::vector<std::thread> pool_;
 };

@@ -1,0 +1,549 @@
+#include "service/wire.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "service/metrics.hpp"
+#include "service/portable.hpp"
+#include "service/snapshot.hpp"
+#include "util/serial.hpp"
+
+namespace bfce::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class IoStatus : std::uint8_t {
+  kOk,          ///< every byte moved
+  kClosed,      ///< peer closed before the first byte (clean end)
+  kDisconnect,  ///< peer vanished mid-transfer
+  kTimeout,     ///< deadline elapsed
+};
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > 60'000) return 60'000;
+  return static_cast<int>(left.count());
+}
+
+/// Reads exactly `size` bytes before `deadline`. kClosed only applies
+/// when the peer closes before byte one (a clean between-frames close).
+IoStatus read_exact(int fd, void* buf, std::size_t size,
+                    Clock::time_point deadline) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < size) {
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ms = remaining_ms(deadline);
+    if (ms == 0) return IoStatus::kTimeout;
+    const int ready = ::poll(&pfd, 1, ms);
+    if (ready == 0) return IoStatus::kTimeout;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::kDisconnect;
+    }
+    const ssize_t n = ::read(fd, p + got, size - got);
+    if (n == 0) return got == 0 ? IoStatus::kClosed : IoStatus::kDisconnect;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return IoStatus::kDisconnect;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus write_exact(int fd, const void* buf, std::size_t size,
+                     Clock::time_point deadline) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t sent = 0;
+  while (sent < size) {
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int ms = remaining_ms(deadline);
+    if (ms == 0) return IoStatus::kTimeout;
+    const int ready = ::poll(&pfd, 1, ms);
+    if (ready == 0) return IoStatus::kTimeout;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::kDisconnect;
+    }
+    const ssize_t n = ::send(fd, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return IoStatus::kDisconnect;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return IoStatus::kOk;
+}
+
+Clock::time_point deadline_from_now(double seconds) {
+  return Clock::now() +
+         std::chrono::microseconds(static_cast<std::int64_t>(seconds * 1e6));
+}
+
+std::vector<std::uint8_t> frame_bytes(WireMsg type,
+                                      const std::vector<std::uint8_t>& body) {
+  util::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(body.size() + 1));
+  w.u8(static_cast<std::uint8_t>(type));
+  w.raw(body.data(), body.size());
+  return w.take();
+}
+
+// Hand-rolled ByteWriter::str equivalent (u32 LE length + bytes):
+// push_back keeps GCC's -Wstringop-overflow heuristics out of the
+// inlined memcpy path, which misfires on the ByteWriter version.
+std::vector<std::uint8_t> error_body(std::string_view message) {
+  std::vector<std::uint8_t> body;
+  body.reserve(4 + message.size());
+  const std::uint32_t n = static_cast<std::uint32_t>(message.size());
+  for (unsigned shift = 0; shift < 32; shift += 8) {
+    body.push_back(static_cast<std::uint8_t>((n >> shift) & 0xFF));
+  }
+  body.insert(body.end(), message.begin(), message.end());
+  return body;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WireServer
+
+WireServer::WireServer(EstimationService& service, WireConfig config)
+    : service_(service), config_(std::move(config)) {
+  if (config_.socket_path.empty() ||
+      config_.socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return;
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return;
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+  ::unlink(config_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, config_.listen_backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+
+  running_ = true;
+  service_.set_wire_stats_source([this] { return stats(); });
+  acceptor_ = std::thread([this] { accept_loop(); });
+  const unsigned threads = config_.io_threads == 0 ? 1 : config_.io_threads;
+  io_pool_.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    io_pool_.emplace_back([this] { io_loop(); });
+  }
+}
+
+WireServer::~WireServer() { stop(); }
+
+WireStats WireServer::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+void WireServer::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  conn_ready_.notify_all();
+  if (listen_fd_ >= 0) {
+    // Shutdown wakes the acceptor out of poll/accept.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& t : io_pool_) {
+    if (t.joinable()) t.join();
+  }
+  io_pool_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(config_.socket_path.c_str());
+  }
+  {
+    std::lock_guard lock(mutex_);
+    for (const int fd : conn_queue_) ::close(fd);
+    conn_queue_.clear();
+  }
+  running_ = false;
+  // Detach the stats sampler: a stopped server no longer belongs in the
+  // service's metrics (and the callback must not outlive this object).
+  service_.set_wire_stats_source(nullptr);
+}
+
+void WireServer::accept_loop() {
+  for (;;) {
+    struct pollfd pfd {};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 100);
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) return;
+    }
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+
+    bool shed = false;
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_ || conn_queue_.size() >= config_.max_pending_connections) {
+        shed = true;
+      } else {
+        conn_queue_.push_back(fd);
+      }
+    }
+    if (shed) {
+      // Load shedding: beyond the bounded connection queue the only
+      // safe answer is an immediate close — queueing further would let
+      // a flood grow io latency without bound.
+      ::close(fd);
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.connections_shed;
+    } else {
+      conn_ready_.notify_one();
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.connections_accepted;
+    }
+  }
+}
+
+void WireServer::io_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock lock(mutex_);
+      conn_ready_.wait(lock,
+                       [&] { return stopping_ || !conn_queue_.empty(); });
+      if (stopping_) return;
+      fd = conn_queue_.front();
+      conn_queue_.pop_front();
+    }
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void WireServer::serve_connection(int fd) {
+  for (;;) {
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) return;
+    }
+    // Each frame gets a fresh io deadline; an idle client is timed out
+    // rather than holding this io thread hostage.
+    const Clock::time_point deadline = deadline_from_now(config_.io_deadline_s);
+
+    std::uint8_t len_bytes[4];
+    switch (read_exact(fd, len_bytes, sizeof(len_bytes), deadline)) {
+      case IoStatus::kOk: break;
+      case IoStatus::kClosed:
+        return;  // clean close between frames
+      case IoStatus::kDisconnect: {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.disconnects;
+        return;
+      }
+      case IoStatus::kTimeout: {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.timeouts;
+        return;
+      }
+    }
+    util::ByteReader len_reader(len_bytes, sizeof(len_bytes));
+    const std::uint32_t length = len_reader.u32();
+
+    if (length > config_.max_frame_bytes) {
+      // Includes any "negative" length a signed client might send — as
+      // a u32 that is a huge value. The stream position can no longer
+      // be trusted, so reply (best effort) and close.
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.oversized;
+      }
+      send_frame(fd, WireMsg::kError, error_body("frame length exceeds cap"));
+      return;
+    }
+    if (length == 0) {
+      // No type byte. Framing is still intact, so the connection lives.
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.malformed;
+      }
+      if (!send_frame(fd, WireMsg::kError, error_body("empty frame"))) return;
+      continue;
+    }
+
+    std::vector<std::uint8_t> payload(length);
+    switch (read_exact(fd, payload.data(), payload.size(), deadline)) {
+      case IoStatus::kOk: break;
+      case IoStatus::kClosed:
+      case IoStatus::kDisconnect: {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.disconnects;
+        return;
+      }
+      case IoStatus::kTimeout: {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.timeouts;
+        return;
+      }
+    }
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.frames_in;
+      stats_.bytes_in += sizeof(len_bytes) + payload.size();
+    }
+    if (!handle_frame(fd, payload)) return;
+  }
+}
+
+bool WireServer::handle_frame(int fd,
+                              const std::vector<std::uint8_t>& payload) {
+  const auto type = static_cast<WireMsg>(payload[0]);
+  util::ByteReader body(payload.data() + 1, payload.size() - 1);
+
+  switch (type) {
+    case WireMsg::kPing: {
+      std::vector<std::uint8_t> echo(payload.begin() + 1, payload.end());
+      return send_frame(fd, WireMsg::kPong, echo);
+    }
+
+    case WireMsg::kSubmit: {
+      PortableJobSpec spec = decode_portable_job(body);
+      const char* problem =
+          body.exhausted() ? validate_portable_job(spec) : "undecodable job";
+      if (problem != nullptr) {
+        {
+          std::lock_guard lock(stats_mutex_);
+          ++stats_.malformed;
+        }
+        return send_frame(fd, WireMsg::kError, error_body(problem));
+      }
+      // Admission control: the service queue bound is the shed point.
+      // try_submit_portable never blocks, so BUSY goes out immediately
+      // and accepted jobs keep their latency budget under overload.
+      const std::optional<JobId> id = service_.try_submit_portable(spec);
+      if (!id.has_value()) {
+        {
+          std::lock_guard lock(stats_mutex_);
+          ++stats_.jobs_shed;
+        }
+        return send_frame(fd, WireMsg::kBusy, {});
+      }
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.submits;
+      }
+      const JobResult result = service_.wait(*id);
+      util::ByteWriter w;
+      w.u64(*id);
+      encode_job_result(w, result);
+      return send_frame(fd, WireMsg::kResult, w.take());
+    }
+
+    case WireMsg::kMetrics: {
+      const std::string json = service_metrics_json(service_.metrics());
+      util::ByteWriter w;
+      w.str(json);
+      return send_frame(fd, WireMsg::kMetricsJson, w.take());
+    }
+
+    case WireMsg::kPong:
+    case WireMsg::kResult:
+    case WireMsg::kError:
+    case WireMsg::kBusy:
+    case WireMsg::kMetricsJson:
+      break;  // response types are not valid requests
+  }
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.malformed;
+  }
+  return send_frame(fd, WireMsg::kError, error_body("unknown message type"));
+}
+
+bool WireServer::send_frame(int fd, WireMsg type,
+                            const std::vector<std::uint8_t>& body) {
+  const std::vector<std::uint8_t> bytes = frame_bytes(type, body);
+  const IoStatus io = write_exact(fd, bytes.data(), bytes.size(),
+                                  deadline_from_now(config_.io_deadline_s));
+  std::lock_guard lock(stats_mutex_);
+  if (io != IoStatus::kOk) {
+    // A reply that cannot be written within the deadline is a slow (or
+    // gone) client; the connection is closed either way.
+    if (io == IoStatus::kTimeout) {
+      ++stats_.timeouts;
+    } else {
+      ++stats_.disconnects;
+    }
+    return false;
+  }
+  ++stats_.frames_out;
+  stats_.bytes_out += bytes.size();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// WireClient
+
+WireClient::~WireClient() { close(); }
+
+WireClient::WireClient(WireClient&& other) noexcept
+    : fd_(other.fd_), deadline_s_(other.deadline_s_) {
+  other.fd_ = -1;
+}
+
+WireClient& WireClient::operator=(WireClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    deadline_s_ = other.deadline_s_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void WireClient::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<WireClient> WireClient::connect(const std::string& path,
+                                              double deadline_s) {
+  if (path.empty() || path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return std::nullopt;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  WireClient client;
+  client.fd_ = fd;
+  client.deadline_s_ = deadline_s;
+  return client;
+}
+
+bool WireClient::send_raw(const void* data, std::size_t size) {
+  if (fd_ < 0) return false;
+  return write_exact(fd_, data, size, deadline_from_now(deadline_s_)) ==
+         IoStatus::kOk;
+}
+
+bool WireClient::send_frame(const std::vector<std::uint8_t>& payload) {
+  util::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload.data(), payload.size());
+  const std::vector<std::uint8_t> bytes = w.take();
+  return send_raw(bytes.data(), bytes.size());
+}
+
+std::optional<std::vector<std::uint8_t>> WireClient::recv_frame(
+    std::size_t max_bytes) {
+  if (fd_ < 0) return std::nullopt;
+  const Clock::time_point deadline = deadline_from_now(deadline_s_);
+  std::uint8_t len_bytes[4];
+  if (read_exact(fd_, len_bytes, sizeof(len_bytes), deadline) !=
+      IoStatus::kOk) {
+    return std::nullopt;
+  }
+  util::ByteReader r(len_bytes, sizeof(len_bytes));
+  const std::uint32_t length = r.u32();
+  if (length > max_bytes) return std::nullopt;
+  std::vector<std::uint8_t> payload(length);
+  if (length > 0 &&
+      read_exact(fd_, payload.data(), payload.size(), deadline) !=
+          IoStatus::kOk) {
+    return std::nullopt;
+  }
+  return payload;
+}
+
+bool WireClient::ping() {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(WireMsg::kPing));
+  w.u64(0x70696E672D626F64ULL);  // arbitrary echo body
+  if (!send_frame(w.bytes())) return false;
+  const auto reply = recv_frame();
+  if (!reply.has_value() || reply->size() != 9) return false;
+  util::ByteReader r(reply->data(), reply->size());
+  return r.u8() == static_cast<std::uint8_t>(WireMsg::kPong) &&
+         r.u64() == 0x70696E672D626F64ULL;
+}
+
+std::optional<JobResult> WireClient::submit(const PortableJobSpec& spec,
+                                            bool* busy) {
+  if (busy != nullptr) *busy = false;
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(WireMsg::kSubmit));
+  encode_portable_job(w, spec);
+  if (!send_frame(w.bytes())) return std::nullopt;
+  const auto reply = recv_frame();
+  if (!reply.has_value() || reply->empty()) return std::nullopt;
+  util::ByteReader r(reply->data(), reply->size());
+  const std::uint8_t type = r.u8();
+  if (type == static_cast<std::uint8_t>(WireMsg::kBusy)) {
+    if (busy != nullptr) *busy = true;
+    return std::nullopt;
+  }
+  if (type != static_cast<std::uint8_t>(WireMsg::kResult)) {
+    return std::nullopt;
+  }
+  JobResult result;
+  const JobId id = r.u64();
+  decode_job_result(r, result);
+  if (!r.exhausted()) return std::nullopt;
+  result.id = id;
+  return result;
+}
+
+std::optional<std::string> WireClient::metrics_json() {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(WireMsg::kMetrics));
+  if (!send_frame(w.bytes())) return std::nullopt;
+  const auto reply = recv_frame();
+  if (!reply.has_value() || reply->empty()) return std::nullopt;
+  util::ByteReader r(reply->data(), reply->size());
+  if (r.u8() != static_cast<std::uint8_t>(WireMsg::kMetricsJson)) {
+    return std::nullopt;
+  }
+  std::string json = r.str(std::size_t{1} << 20);
+  if (!r.exhausted()) return std::nullopt;
+  return json;
+}
+
+}  // namespace bfce::service

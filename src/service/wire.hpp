@@ -1,0 +1,182 @@
+#pragma once
+// Wire front door: a length-prefixed binary protocol over an AF_UNIX
+// stream socket, serving an EstimationService to out-of-process clients.
+//
+// Frame layout (field-by-field spec in docs/SERVICE.md):
+//
+//   [0..3]  payload byte length, little-endian u32
+//   [4..]   payload; first byte is the message type, the rest is the
+//           type-specific body encoded with util/serial.hpp
+//
+// Requests:  PING (body echoed back), SUBMIT (body = PortableJobSpec),
+//            METRICS (empty body).
+// Responses: PONG, RESULT (u64 job id + JobResult), ERROR (string),
+//            BUSY (empty — the admission path shed the job),
+//            METRICS_JSON (string).
+//
+// Threading: one accept thread feeds a bounded connection queue drained
+// by a small pool of io threads; each connection is served to completion
+// by one io thread (frames are strictly request/response, in order).
+// Overload behaviour is load shedding, not queueing without bound:
+//
+//  * job admission goes through try_submit_portable — a full service
+//    queue answers BUSY immediately instead of blocking the io thread,
+//    so the p99 of *accepted* jobs stays bounded under overload;
+//  * a full connection queue sheds the new connection (counted, closed
+//    immediately);
+//  * every read and write of a frame runs under the per-connection io
+//    deadline — a slow or stalled client is timed out and closed, never
+//    parked indefinitely on an io thread.
+//
+// Robustness: frames come from outside the process and are treated as
+// hostile. The length prefix is capped (oversized ⇒ ERROR + close, since
+// the stream can no longer be trusted to resync); bodies are decoded
+// with the bounds-checked ByteReader and validated (malformed ⇒ ERROR,
+// connection stays open — framing is still intact); a peer vanishing
+// mid-frame is counted and closed. The fault-injection suite drives all
+// of these paths under ASan/UBSan.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace bfce::service {
+
+/// Message type — the first payload byte. Requests have the high bit
+/// clear, responses set.
+enum class WireMsg : std::uint8_t {
+  kPing = 1,
+  kSubmit = 2,
+  kMetrics = 3,
+  kPong = 128,
+  kResult = 129,
+  kError = 130,
+  kBusy = 131,
+  kMetricsJson = 132,
+};
+
+struct WireConfig {
+  /// Filesystem path of the AF_UNIX socket; unlinked and rebound on
+  /// start, unlinked again on stop.
+  std::string socket_path;
+  /// Connection-serving threads (the accept thread is extra).
+  unsigned io_threads = 2;
+  /// Upper bound on one frame's payload; a larger length prefix (which
+  /// includes any "negative" 32-bit value) is rejected as oversized.
+  std::size_t max_frame_bytes = std::size_t{1} << 20;
+  /// Per-read/write deadline within a connection, seconds. A client
+  /// that stalls longer is timed out and closed.
+  double io_deadline_s = 5.0;
+  /// Bound on accepted-but-unserved connections; beyond it new
+  /// connections are shed (closed immediately, counted).
+  std::size_t max_pending_connections = 64;
+  /// listen(2) backlog.
+  int listen_backlog = 64;
+};
+
+/// The front door. Construction binds the socket and starts the
+/// threads; running() reports whether that succeeded. The server
+/// registers itself as the service's wire-stats source for the lifetime
+/// of the object.
+class WireServer {
+ public:
+  WireServer(EstimationService& service, WireConfig config);
+  ~WireServer();  // stop()s (which detaches from the service)
+
+  WireServer(const WireServer&) = delete;
+  WireServer& operator=(const WireServer&) = delete;
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return config_.socket_path;
+  }
+
+  /// Point-in-time counters; safe to call concurrently with everything.
+  WireStats stats() const;
+
+  /// Stops accepting, drains nothing (queued connections are closed),
+  /// joins the threads, unlinks the socket and detaches the stats
+  /// sampler from the service. Idempotent.
+  void stop();
+
+ private:
+  void accept_loop();
+  void io_loop();
+  void serve_connection(int fd);
+  /// Handles one decoded frame; returns false when the connection must
+  /// close (oversized stream state, write failure).
+  bool handle_frame(int fd, const std::vector<std::uint8_t>& payload);
+  bool send_frame(int fd, WireMsg type,
+                  const std::vector<std::uint8_t>& body);
+
+  EstimationService& service_;
+  WireConfig config_;
+  bool running_ = false;
+  int listen_fd_ = -1;
+
+  // ---- Locking discipline: mutex_ guards the connection queue and the
+  // stop flag; stats_mutex_ guards the counters. Both are strict leaf
+  // locks — nothing is acquired while either is held, and neither is
+  // held across a read, write or service call.
+  mutable std::mutex mutex_;
+  std::condition_variable conn_ready_;
+  std::deque<int> conn_queue_;
+  bool stopping_ = false;
+
+  mutable std::mutex stats_mutex_;
+  WireStats stats_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> io_pool_;
+};
+
+/// Minimal blocking client for the wire protocol — used by the tests,
+/// the recovery example and the fleet bench. send_raw() exists so
+/// robustness tests can write deliberately broken bytes.
+class WireClient {
+ public:
+  WireClient() = default;
+  ~WireClient();
+  WireClient(WireClient&& other) noexcept;
+  WireClient& operator=(WireClient&& other) noexcept;
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Connects to `path`; deadline applies to every subsequent io call.
+  static std::optional<WireClient> connect(const std::string& path,
+                                           double deadline_s = 5.0);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+  /// Writes raw bytes (no framing) — for protocol-robustness tests.
+  bool send_raw(const void* data, std::size_t size);
+  /// Frames and writes `payload` (type byte included by the caller).
+  bool send_frame(const std::vector<std::uint8_t>& payload);
+  /// Reads one frame payload; nullopt on timeout, close or a length
+  /// above `max_bytes`.
+  std::optional<std::vector<std::uint8_t>> recv_frame(
+      std::size_t max_bytes = std::size_t{1} << 20);
+
+  /// Round-trips a PING; true when the echoed body matches.
+  bool ping();
+  /// Submits a portable job and waits for the reply. Returns the
+  /// result; nullopt on BUSY, ERROR or a transport failure (with the
+  /// distinction in `*busy` when the caller passes it).
+  std::optional<JobResult> submit(const PortableJobSpec& spec,
+                                  bool* busy = nullptr);
+  /// Fetches the service metrics JSON document.
+  std::optional<std::string> metrics_json();
+
+ private:
+  int fd_ = -1;
+  double deadline_s_ = 5.0;
+};
+
+}  // namespace bfce::service

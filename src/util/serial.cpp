@@ -1,0 +1,39 @@
+#include "util/serial.hpp"
+
+#include <array>
+
+namespace bfce::util {
+
+namespace {
+
+/// Bit-reflected CRC-64/ECMA-182 table (poly 0xC96C5795D7870F42, the
+/// reflection of 0x42F0E1EBA9EA3693), built once.
+const std::array<std::uint64_t, 256>& crc64_table() noexcept {
+  static const std::array<std::uint64_t, 256> table = [] {
+    std::array<std::uint64_t, 256> t{};
+    constexpr std::uint64_t poly = 0xC96C5795D7870F42ULL;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint64_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ poly : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint64_t crc64(const void* data, std::size_t size) noexcept {
+  const auto& table = crc64_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t crc = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace bfce::util

@@ -1,0 +1,183 @@
+#pragma once
+// Bounds-checked binary serialization primitives.
+//
+// Shared by the service snapshot codec (service/snapshot.hpp) and the
+// wire front door (service/wire.hpp): both speak the same little-endian,
+// length-prefixed byte format, so the encode/decode core lives here once.
+//
+//  * ByteWriter appends fixed-width little-endian scalars (doubles by
+//    bit pattern — encoding is bit-exact and deterministic, which the
+//    golden-snapshot fixture test depends on).
+//  * ByteReader is the safety half: every read is bounds-checked and a
+//    failed read latches ok() == false and returns a zero value instead
+//    of touching out-of-range memory. Decoders can therefore run over
+//    hostile bytes (truncated, bit-flipped, crafted) and report a typed
+//    error — never UB. Count fields are guarded with remaining()-based
+//    plausibility checks before any reservation, so a flipped length
+//    cannot OOM the process either.
+//  * crc64() is the ECMA-182 CRC the snapshot trailer uses to reject
+//    silent corruption before any field is decoded.
+//
+// Integers are encoded at fixed width (u8/u16/u32/u64); all multi-byte
+// values are little-endian regardless of host order.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bitvector.hpp"
+
+namespace bfce::util {
+
+/// CRC-64/ECMA-182 (poly 0x42F0E1EBA9EA3693, bit-reflected form) over
+/// `size` bytes. Table-driven; the table is built on first use.
+std::uint64_t crc64(const void* data, std::size_t size) noexcept;
+
+/// Append-only little-endian byte sink.
+class ByteWriter {
+ public:
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return bytes_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  std::vector<std::uint8_t> take() noexcept { return std::move(bytes_); }
+
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+
+  /// Doubles travel by bit pattern: exact round-trip, no locale/format
+  /// ambiguity, deterministic bytes for the golden fixture.
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  /// u32 byte length + raw bytes (no terminator).
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+
+  void raw(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + size);
+  }
+
+  /// Bit length + storage words (tail bits beyond size() are zero by
+  /// BitVector's invariant, so the encoding is canonical).
+  void bitvector(const BitVector& bv) {
+    u64(bv.size());
+    for (std::size_t w = 0; w < bv.word_count(); ++w) u64(bv.word(w));
+  }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian byte source. All reads after a failure
+/// return zero values; check ok() once at the end of a decode (or
+/// earlier, before trusting a count).
+class ByteReader {
+ public:
+  ByteReader(const void* data, std::size_t size) noexcept
+      : data_(static_cast<const std::uint8_t*>(data)), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes) noexcept
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+  /// True when the reader is ok() and fully consumed — decoders use it
+  /// to reject trailing garbage.
+  [[nodiscard]] bool exhausted() const noexcept {
+    return ok_ && pos_ == size_;
+  }
+
+  /// Latches the failure state explicitly (decoders call this when a
+  /// semantic check fails, e.g. an enum out of range).
+  void fail() noexcept { ok_ = false; }
+
+  std::uint8_t u8() noexcept { return read_le<std::uint8_t>(); }
+  std::uint16_t u16() noexcept { return read_le<std::uint16_t>(); }
+  std::uint32_t u32() noexcept { return read_le<std::uint32_t>(); }
+  std::uint64_t u64() noexcept { return read_le<std::uint64_t>(); }
+
+  double f64() noexcept {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  /// Bounded string read: lengths above `max_bytes` (or the remaining
+  /// input) fail instead of allocating.
+  std::string str(std::size_t max_bytes = 1 << 16) {
+    const std::uint32_t len = u32();
+    if (!ok_ || len > max_bytes || len > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  /// Bounded BitVector read; `max_bits` guards the allocation.
+  BitVector bitvector(std::uint64_t max_bits = std::uint64_t{1} << 33) {
+    const std::uint64_t bits = u64();
+    if (!ok_ || bits > max_bits) {
+      ok_ = false;
+      return {};
+    }
+    const std::size_t words = (static_cast<std::size_t>(bits) + 63) / 64;
+    if (words * sizeof(std::uint64_t) > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    BitVector bv(static_cast<std::size_t>(bits));
+    for (std::size_t w = 0; w < words; ++w) bv.set_word(w, u64());
+    return bv;
+  }
+
+  /// True when a forthcoming `count` of `min_element_bytes`-wide records
+  /// could plausibly fit in the remaining input. Call before reserving.
+  [[nodiscard]] bool fits(std::uint64_t count,
+                          std::size_t min_element_bytes) const noexcept {
+    return count <= remaining() / (min_element_bytes == 0
+                                       ? 1
+                                       : min_element_bytes);
+  }
+
+ private:
+  template <typename T>
+  T read_le() noexcept {
+    if (!ok_ || remaining() < sizeof(T)) {
+      ok_ = false;
+      return T{0};
+    }
+    T v{0};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace bfce::util

@@ -18,10 +18,14 @@
 //     duplicate-seed jobs bit-identical
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -31,6 +35,7 @@
 #include "rfid/population.hpp"
 #include "rfid/reader.hpp"
 #include "service/service.hpp"
+#include "service/wire.hpp"
 #include "util/rng.hpp"
 
 namespace bfce::service {
@@ -355,6 +360,145 @@ TEST(RaceStress, PlannerChooseStatsClearStorm) {
   for (unsigned t = 0; t < kChoosers; ++t) threads[t].join();
   done.store(true);
   churner.join();
+}
+
+TEST(RaceStress, WireFrontDoorStorm) {
+  // Hammers the wire server's concurrent seams: many clients mixing
+  // well-formed traffic (ping / submit / metrics) with malformed frames
+  // and mid-frame disconnects, then stop() racing live connections.
+  // Surfaces: the conn queue cv, the stats mutex, the service admission
+  // path from io threads, and teardown closing queued fds.
+  const std::string path =
+      "/tmp/bfce_wire_storm_" + std::to_string(::getpid()) + ".sock";
+  EstimationService svc({.workers = 2, .queue_capacity = 64});
+  auto server = std::make_unique<WireServer>(
+      svc, WireConfig{.socket_path = path, .io_threads = 3,
+                      .io_deadline_s = 1.0, .max_pending_connections = 8});
+  ASSERT_TRUE(server->running());
+
+  constexpr unsigned kClients = 6;
+  constexpr std::uint64_t kItersPerClient = 30;
+  std::atomic<std::uint64_t> submitted_ok{0};
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256ss rng(9000 + t);
+      for (std::uint64_t i = 0; i < kItersPerClient; ++i) {
+        auto client = WireClient::connect(path, 1.0);
+        // Failures are expected once stop() lands or the conn queue
+        // sheds — the assertion is that nothing crashes or deadlocks.
+        if (!client.has_value()) continue;
+        switch (rng() % 5) {
+          case 0:
+            (void)client->ping();
+            break;
+          case 1: {
+            PortableJobSpec spec;
+            spec.estimator = "BFCE";
+            spec.req = {0.2, 0.2};
+            spec.seed = rng();
+            spec.population.kind = PortablePopulation::Kind::kSynthetic;
+            spec.population.size = 2000;
+            spec.population.seed = rng();
+            if (client->submit(spec).has_value()) {
+              submitted_ok.fetch_add(1);
+            }
+            break;
+          }
+          case 2:
+            (void)client->metrics_json();
+            break;
+          case 3:
+            // Malformed: unknown type byte, then reuse the connection.
+            (void)client->send_frame({0x55});
+            (void)client->recv_frame();
+            (void)client->ping();
+            break;
+          default: {
+            // Mid-frame disconnect.
+            const std::uint8_t prefix[4] = {64, 0, 0, 0};
+            (void)client->send_raw(prefix, sizeof(prefix));
+            client->close();
+            break;
+          }
+        }
+      }
+    });
+  }
+
+  // Stop the server while the storm is still running; clients keep
+  // issuing requests against a dying socket and must fail cleanly.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  server->stop();
+  for (std::thread& th : threads) th.join();
+  server.reset();
+
+  // The service itself is unscathed: direct submission still works.
+  const JobResult direct = svc.wait(svc.submit(noop_spec(1)));
+  EXPECT_EQ(direct.status, JobStatus::kDone);
+  EXPECT_GE(submitted_ok.load(), 0u);
+  EXPECT_FALSE(svc.metrics().wire_attached);
+}
+
+TEST(RaceStress, SnapshotDuringStorm) {
+  // snapshot() is advertised safe to call concurrently with everything:
+  // cut snapshots continuously while submitters and workers churn, and
+  // check each cut is internally consistent (sorted, unique, decodable).
+  constexpr unsigned kSubmitters = 3;
+  constexpr std::uint64_t kJobsPerSubmitter = 150;
+
+  core::PersistencePlanner planner;
+  EstimationService svc(
+      {.workers = 4, .queue_capacity = 128, .planner = &planner});
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> submitters;
+  for (unsigned t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kJobsPerSubmitter; ++i) {
+        if (i % 2 == 0) {
+          PortableJobSpec spec;
+          spec.estimator = "BFCE";
+          spec.req = {0.2, 0.2};
+          spec.seed = t * 1000 + i;
+          spec.population.kind = PortablePopulation::Kind::kSynthetic;
+          spec.population.size = 3000;
+          spec.population.seed = i;
+          (void)svc.try_submit_portable(spec);
+        } else {
+          (void)svc.try_submit(noop_spec(t * 1000 + i));
+        }
+      }
+    });
+  }
+  std::thread cutter([&] {
+    while (!done.load()) {
+      const ServiceSnapshot snap = svc.snapshot();
+      for (std::size_t i = 1; i < snap.completed.size(); ++i) {
+        ASSERT_LT(snap.completed[i - 1].first, snap.completed[i].first);
+      }
+      for (std::size_t i = 1; i < snap.pending.size(); ++i) {
+        ASSERT_LT(snap.pending[i - 1].first, snap.pending[i].first);
+      }
+      // Every cut must survive its own codec.
+      ServiceSnapshot back;
+      ASSERT_EQ(decode_snapshot(encode_snapshot(snap), back),
+                SnapshotError::kNone);
+      ASSERT_EQ(back.completed.size(), snap.completed.size());
+      std::this_thread::yield();
+    }
+  });
+
+  for (std::thread& th : submitters) th.join();
+  svc.drain();
+  done.store(true);
+  cutter.join();
+
+  const ServiceSnapshot final_cut = svc.snapshot();
+  EXPECT_TRUE(final_cut.pending.empty());
+  EXPECT_EQ(final_cut.completed.size() + final_cut.non_portable_skipped,
+            svc.metrics().admitted);
 }
 
 }  // namespace

@@ -1,0 +1,381 @@
+// Wire front-door tier (service/wire.hpp): protocol correctness plus
+// the robustness matrix the header promises — malformed frames answered
+// and survived, oversized length prefixes rejected with a close,
+// mid-frame disconnects counted, slow clients timed out, and overload
+// shed (BUSY / connection drops) instead of queued without bound.
+#include "service/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/portable.hpp"
+#include "service/service.hpp"
+#include "util/serial.hpp"
+
+namespace bfce::service {
+namespace {
+
+std::string socket_path(const std::string& name) {
+  return "/tmp/bfce_wire_" + std::to_string(::getpid()) + "_" + name +
+         ".sock";
+}
+
+/// Polls `pred` against the server's stats until it holds or ~5 s pass.
+bool eventually(const WireServer& server,
+                const std::function<bool(const WireStats&)>& pred) {
+  for (int i = 0; i < 500; ++i) {
+    if (pred(server.stats())) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred(server.stats());
+}
+
+PortableJobSpec quick_spec(std::uint64_t seed) {
+  PortableJobSpec spec;
+  spec.estimator = "BFCE";
+  spec.req = {0.1, 0.1};
+  spec.seed = seed;
+  spec.population.kind = PortablePopulation::Kind::kSynthetic;
+  spec.population.size = 5000;
+  spec.population.distribution = rfid::TagIdDistribution::kT1Uniform;
+  spec.population.seed = seed + 1;
+  return spec;
+}
+
+/// Manually opened gate; factory jobs block on it to pin the worker.
+struct Gate {
+  std::mutex m;
+  std::condition_variable cv;
+  bool open = false;
+
+  void release() {
+    {
+      std::lock_guard lock(m);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock lock(m);
+    cv.wait(lock, [&] { return open; });
+  }
+};
+
+class GateEstimator final : public estimators::CardinalityEstimator {
+ public:
+  explicit GateEstimator(std::shared_ptr<Gate> gate)
+      : gate_(std::move(gate)) {}
+  std::string name() const override { return "gate"; }
+  estimators::EstimateOutcome estimate(
+      rfid::ReaderContext&, const estimators::Requirement&) override {
+    gate_->wait();
+    estimators::EstimateOutcome out;
+    out.n_hat = 1.0;
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Gate> gate_;
+};
+
+// ---------------------------------------------------------------------------
+
+TEST(Wire, RefusesUnusableSocketPaths) {
+  EstimationService svc({.workers = 1});
+  {
+    WireServer server(svc, {.socket_path = ""});
+    EXPECT_FALSE(server.running());
+  }
+  {
+    WireServer server(svc,
+                      {.socket_path = "/nonexistent/dir/bfce_wire.sock"});
+    EXPECT_FALSE(server.running());
+  }
+  {
+    WireServer server(svc, {.socket_path = std::string(300, 'x')});
+    EXPECT_FALSE(server.running());
+  }
+}
+
+TEST(Wire, PingMetricsAndStatsAttachment) {
+  EstimationService svc({.workers = 1});
+  WireServer server(svc, {.socket_path = socket_path("ping")});
+  ASSERT_TRUE(server.running());
+
+  auto client = WireClient::connect(server.socket_path());
+  ASSERT_TRUE(client.has_value());
+  EXPECT_TRUE(client->ping());
+  EXPECT_TRUE(client->ping());  // frames are request/response, in order
+
+  const auto json = client->metrics_json();
+  ASSERT_TRUE(json.has_value());
+  EXPECT_NE(json->find("\"wire\""), std::string::npos);
+  EXPECT_NE(json->find("\"attached\": true"), std::string::npos);
+
+  // The server registered itself as the service's stats source.
+  const ServiceMetrics m = svc.metrics();
+  EXPECT_TRUE(m.wire_attached);
+  EXPECT_GE(m.wire.connections_accepted, 1u);
+  EXPECT_GE(m.wire.frames_in, 3u);
+  EXPECT_NE(render_service_metrics(m).find("wire:"), std::string::npos);
+
+  client->close();
+  server.stop();
+  // Detached on stop: metrics no longer report a wire.
+  EXPECT_FALSE(svc.metrics().wire_attached);
+}
+
+TEST(Wire, SubmitMatchesDirectExecutionBitForBit) {
+  const PortableJobSpec spec = quick_spec(321);
+
+  // Direct run on a private service.
+  JobResult direct;
+  {
+    EstimationService svc({.workers = 2});
+    direct = svc.wait(svc.submit_portable(spec));
+  }
+
+  EstimationService svc({.workers = 2});
+  WireServer server(svc, {.socket_path = socket_path("submit")});
+  ASSERT_TRUE(server.running());
+  auto client = WireClient::connect(server.socket_path());
+  ASSERT_TRUE(client.has_value());
+
+  bool busy = false;
+  const auto remote = client->submit(spec, &busy);
+  ASSERT_TRUE(remote.has_value());
+  EXPECT_FALSE(busy);
+  EXPECT_EQ(remote->status, JobStatus::kDone);
+  EXPECT_EQ(remote->status, direct.status);
+  EXPECT_EQ(remote->attempts, direct.attempts);
+  EXPECT_EQ(remote->outcome.n_hat, direct.outcome.n_hat);
+  EXPECT_EQ(remote->outcome.ci_low, direct.outcome.ci_low);
+  EXPECT_EQ(remote->outcome.ci_high, direct.outcome.ci_high);
+  EXPECT_EQ(remote->outcome.airtime.reader_bits,
+            direct.outcome.airtime.reader_bits);
+  EXPECT_EQ(remote->outcome.airtime.tag_bits,
+            direct.outcome.airtime.tag_bits);
+  EXPECT_EQ(remote->outcome.rounds, direct.outcome.rounds);
+  EXPECT_EQ(remote->airtime_s, direct.airtime_s);
+  EXPECT_EQ(remote->counters.total().frames, direct.counters.total().frames);
+  EXPECT_EQ(remote->counters.total().tag_tx, direct.counters.total().tag_tx);
+
+  EXPECT_EQ(server.stats().submits, 1u);
+}
+
+TEST(Wire, MalformedFramesAnsweredAndConnectionSurvives) {
+  EstimationService svc({.workers = 1});
+  WireServer server(svc, {.socket_path = socket_path("malformed")});
+  ASSERT_TRUE(server.running());
+  auto client = WireClient::connect(server.socket_path());
+  ASSERT_TRUE(client.has_value());
+
+  // 1. Empty frame (length prefix 0, no payload).
+  const std::uint8_t zero_len[4] = {0, 0, 0, 0};
+  ASSERT_TRUE(client->send_raw(zero_len, sizeof(zero_len)));
+  auto reply = client->recv_frame();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ((*reply)[0], static_cast<std::uint8_t>(WireMsg::kError));
+
+  // 2. Unknown message type.
+  ASSERT_TRUE(client->send_frame({0x7F}));
+  reply = client->recv_frame();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ((*reply)[0], static_cast<std::uint8_t>(WireMsg::kError));
+
+  // 3. SUBMIT with an undecodable body.
+  ASSERT_TRUE(client->send_frame(
+      {static_cast<std::uint8_t>(WireMsg::kSubmit), 0xDE, 0xAD}));
+  reply = client->recv_frame();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ((*reply)[0], static_cast<std::uint8_t>(WireMsg::kError));
+
+  // 4. SUBMIT that decodes but fails validation (epsilon = 0).
+  {
+    PortableJobSpec bad = quick_spec(1);
+    bad.req.epsilon = 0.0;
+    util::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(WireMsg::kSubmit));
+    encode_portable_job(w, bad);
+    ASSERT_TRUE(client->send_frame(w.take()));
+    reply = client->recv_frame();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ((*reply)[0], static_cast<std::uint8_t>(WireMsg::kError));
+  }
+
+  // The connection survived all four: a ping still round-trips and no
+  // job was ever admitted.
+  EXPECT_TRUE(client->ping());
+  EXPECT_EQ(server.stats().malformed, 4u);
+  EXPECT_EQ(svc.metrics().admitted, 0u);
+}
+
+TEST(Wire, OversizedLengthPrefixRejectedAndClosed) {
+  EstimationService svc({.workers = 1});
+  WireServer server(svc, {.socket_path = socket_path("oversized"),
+                          .max_frame_bytes = 1024});
+  ASSERT_TRUE(server.running());
+  auto client = WireClient::connect(server.socket_path());
+  ASSERT_TRUE(client.has_value());
+
+  // 0xFFFFFFFF — a "negative" 32-bit length; far beyond the cap.
+  const std::uint8_t huge[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_TRUE(client->send_raw(huge, sizeof(huge)));
+  const auto reply = client->recv_frame();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ((*reply)[0], static_cast<std::uint8_t>(WireMsg::kError));
+  // The stream cannot resync, so the server closes it.
+  EXPECT_FALSE(client->recv_frame().has_value());
+  EXPECT_GE(server.stats().oversized, 1u);
+
+  // A fresh connection is unaffected.
+  auto again = WireClient::connect(server.socket_path());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->ping());
+}
+
+TEST(Wire, MidFrameDisconnectIsCountedNotFatal) {
+  EstimationService svc({.workers = 1});
+  WireServer server(svc, {.socket_path = socket_path("disconnect")});
+  ASSERT_TRUE(server.running());
+  {
+    auto client = WireClient::connect(server.socket_path());
+    ASSERT_TRUE(client.has_value());
+    // Length prefix declaring 100 bytes, then only 10 — then vanish.
+    const std::uint8_t prefix[4] = {100, 0, 0, 0};
+    ASSERT_TRUE(client->send_raw(prefix, sizeof(prefix)));
+    const std::uint8_t partial[10] = {};
+    ASSERT_TRUE(client->send_raw(partial, sizeof(partial)));
+    client->close();
+  }
+  EXPECT_TRUE(eventually(
+      server, [](const WireStats& s) { return s.disconnects >= 1; }));
+
+  auto again = WireClient::connect(server.socket_path());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->ping());
+}
+
+TEST(Wire, SlowClientIsTimedOutNotParked) {
+  EstimationService svc({.workers = 1});
+  WireServer server(svc, {.socket_path = socket_path("slow"),
+                          .io_deadline_s = 0.2});
+  ASSERT_TRUE(server.running());
+  auto client = WireClient::connect(server.socket_path());
+  ASSERT_TRUE(client.has_value());
+
+  // Declare a 10-byte payload and never send it: the io thread must
+  // give up after the deadline instead of blocking forever.
+  const std::uint8_t prefix[4] = {10, 0, 0, 0};
+  ASSERT_TRUE(client->send_raw(prefix, sizeof(prefix)));
+  EXPECT_TRUE(
+      eventually(server, [](const WireStats& s) { return s.timeouts >= 1; }));
+
+  // The io thread is free again for well-behaved clients.
+  auto again = WireClient::connect(server.socket_path());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->ping());
+}
+
+TEST(Wire, OverloadShedsJobsAndKeepsAcceptedLatencyBounded) {
+  // One worker, queue of one: the worker is pinned by a direct job, one
+  // wire job fills the queue, and every further SUBMIT must be shed
+  // with BUSY immediately — not queued, not blocked.
+  EstimationService svc({.workers = 1, .queue_capacity = 1});
+  WireServer server(svc, {.socket_path = socket_path("overload")});
+  ASSERT_TRUE(server.running());
+
+  auto gate = std::make_shared<Gate>();
+  const auto pop = rfid::make_population(
+      100, rfid::TagIdDistribution::kT1Uniform, 1);
+  JobSpec blocker;
+  blocker.population = &pop;
+  blocker.factory = [gate] { return std::make_unique<GateEstimator>(gate); };
+  const JobId blocker_id = svc.submit(blocker);
+  ASSERT_NE(blocker_id, kInvalidJob);
+  // Wait until the worker has actually dequeued the blocker: until then
+  // it occupies the queue slot and the filler below would be the one
+  // shed instead of pinned.
+  for (int i = 0; i < 500 && svc.metrics().running < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(svc.metrics().running, 1u);
+  ASSERT_EQ(svc.queue_depth(), 0u);
+
+  // Fill the queue through the wire from a background client.
+  std::optional<JobResult> accepted;
+  std::thread filler([&] {
+    auto client = WireClient::connect(socket_path("overload"), 30.0);
+    ASSERT_TRUE(client.has_value());
+    accepted = client->submit(quick_spec(777));
+  });
+  for (int i = 0; i < 500 && svc.queue_depth() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(svc.queue_depth(), 1u);
+
+  // Saturated: three more submissions are all shed.
+  auto client = WireClient::connect(server.socket_path());
+  ASSERT_TRUE(client.has_value());
+  for (int i = 0; i < 3; ++i) {
+    bool busy = false;
+    const auto result = client->submit(quick_spec(800 + i), &busy);
+    EXPECT_FALSE(result.has_value());
+    EXPECT_TRUE(busy) << i;
+  }
+  EXPECT_EQ(server.stats().jobs_shed, 3u);
+
+  gate->release();
+  filler.join();
+  ASSERT_TRUE(accepted.has_value());
+  EXPECT_EQ(accepted->status, JobStatus::kDone);
+
+  const ServiceMetrics m = svc.metrics();
+  // Shed submissions count as service rejections, and shedding kept the
+  // accepted-job latency tail bounded (nothing waited behind the shed
+  // load; generous ceiling to stay robust on loaded CI hosts).
+  EXPECT_EQ(m.rejected, 3u);
+  EXPECT_EQ(m.wire.jobs_shed, 3u);
+  EXPECT_LT(m.latency.p99_s, 30.0);
+}
+
+TEST(Wire, ConnectionQueueOverflowShedsConnections) {
+  EstimationService svc({.workers = 1});
+  WireServer server(svc, {.socket_path = socket_path("connshed"),
+                          .io_threads = 1,
+                          .max_pending_connections = 1});
+  ASSERT_TRUE(server.running());
+
+  // Pin the single io thread with a half-sent frame (default deadline
+  // keeps it parked for seconds).
+  auto pinner = WireClient::connect(server.socket_path());
+  ASSERT_TRUE(pinner.has_value());
+  const std::uint8_t prefix[4] = {10, 0, 0, 0};
+  ASSERT_TRUE(pinner->send_raw(prefix, sizeof(prefix)));
+  ASSERT_TRUE(eventually(server, [](const WireStats& s) {
+    return s.connections_accepted >= 1;
+  }));
+
+  // One connection queues; the ones after must be shed.
+  std::vector<WireClient> waiters;
+  for (int i = 0; i < 4; ++i) {
+    auto c = WireClient::connect(server.socket_path());
+    if (c.has_value()) waiters.push_back(std::move(*c));
+  }
+  EXPECT_TRUE(eventually(
+      server, [](const WireStats& s) { return s.connections_shed >= 1; }));
+}
+
+}  // namespace
+}  // namespace bfce::service

@@ -28,6 +28,7 @@ from .rules_rng import RNG_TYPE
 NOW_ALLOWLIST = {
     "src/service/service.cpp",   # queue-wait / latency / expiry clocks
     "src/service/metrics.cpp",   # snapshot rendering
+    "src/service/wire.cpp",      # per-connection io deadlines
     "src/rfid/frame_engine.cpp",  # EngineCounters busy_us timing
 }
 

@@ -19,7 +19,13 @@
 #   3. Preset matrix. Every preset builds with -Wall -Wextra -Werror.
 #        release — optimised; runs the `unit`-labelled tests, then a
 #                  30-second bounded tracking_bench smoke run.
-#        asan    — ASan+UBSan, no recovery; runs the `unit` tests.
+#        asan    — ASan+UBSan (halt_on_error); runs the `unit` tests,
+#                  then the `recovery` tier — the snapshot
+#                  fault-injection and wire-robustness suites whole, so
+#                  every planted corruption is rejected under the
+#                  sanitizers.
+#        ubsan-integer — implicit-conversion/integer UB; runs the
+#                  `unit` tests plus the same `recovery` tier.
 #        tsan    — ThreadSanitizer; runs the `stress`-labelled race
 #                  suite plus the concurrency-labelled unit tests.
 #      (`slow` sweeps run in the tier-1 plain `ctest` and nightlies:
@@ -83,6 +89,13 @@ for preset in "${presets[@]}"; do
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${jobs}"
   ctest --preset "${preset}"
+  if [ "${preset}" = "asan" ] || [ "${preset}" = "ubsan-integer" ]; then
+    echo "==== recovery tier (${preset}) ============================="
+    # Snapshot fault-injection + wire robustness, run whole under the
+    # sanitizers: truncated/bit-flipped/version-bumped snapshot files
+    # and hostile wire frames must produce typed errors, never UB.
+    ctest --test-dir "build-${preset}" -L recovery --output-on-failure
+  fi
   if [ "${preset}" = "release" ]; then
     echo "==== tracking smoke (release) =============================="
     # The smoke run needs the committed tracking baseline to compare
@@ -211,6 +224,9 @@ ratio = new / old if old > 0 else float("inf")
 print(f"service throughput {old:.1f} -> {new:.1f} jobs/s ({ratio:.2f}x)")
 if not fresh.get("cached_matches_uncached", False):
     print("FAIL: cached results diverged from uncached in the fresh run")
+    sys.exit(1)
+if not fresh.get("snapshot", {}).get("restore_verified", False):
+    print("FAIL: the snapshot/restore stage did not verify in the fresh run")
     sys.exit(1)
 if ratio < 0.5:
     print("FAIL: service throughput collapsed below 0.5x of the committed "
