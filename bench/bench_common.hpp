@@ -7,14 +7,20 @@
 // output is self-describing. All binaries accept --trials, --seed,
 // --csv and --exact (agent-level frames instead of the sampled law).
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "rfid/population.hpp"
 #include "sim/experiment.hpp"
 #include "util/cli.hpp"
+#include "util/executor.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace bfce::bench {
@@ -62,6 +68,63 @@ inline void emit(const util::Cli& cli, const std::string& title,
 inline rfid::FrameMode mode_from(const util::Cli& cli) {
   return cli.has("exact") ? rfid::FrameMode::kExact
                           : rfid::FrameMode::kSampled;
+}
+
+/// Dispatch-overhead probe: what one parallel_for fan-out costs when the
+/// persistent pool has to respawn its workers (cold — the state after
+/// Executor::shutdown() or process start) versus when they are parked
+/// and waiting (warm — every dispatch after the first).
+struct PoolLatency {
+  unsigned lanes = 0;
+  double cold_ms = 0.0;  ///< median first-dispatch-after-shutdown
+  double warm_ms = 0.0;  ///< median dispatch onto parked workers
+};
+
+/// Two explicit lanes by default: on a single-core host the default
+/// thread count is 1 and parallel_for runs inline without ever touching
+/// the pool, so the probe would measure nothing.
+inline PoolLatency measure_pool_latency(unsigned lanes = 2) {
+  using clock = std::chrono::steady_clock;
+  PoolLatency out;
+  out.lanes = lanes;
+  std::atomic<std::size_t> sink{0};
+  const auto dispatch_once = [&] {
+    util::parallel_for(
+        0, 64,
+        [&](std::size_t i) {
+          sink.fetch_add(i + 1, std::memory_order_relaxed);
+        },
+        lanes);
+  };
+  const auto elapsed_ms = [](clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(clock::now() - t0)
+        .count();
+  };
+  const auto median = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  // Cold: every cycle tears the pool down first, so the timed dispatch
+  // pays the full worker-respawn path the old per-call fork/join
+  // parallel_for paid on every invocation.
+  std::vector<double> cold;
+  for (int r = 0; r < 9; ++r) {
+    util::Executor::instance().shutdown();
+    const auto t0 = clock::now();
+    dispatch_once();
+    cold.push_back(elapsed_ms(t0));
+  }
+  // Warm: the pool survives between dispatches — the last cold cycle
+  // left it populated, so these measure the parked-worker wake path.
+  std::vector<double> warm;
+  for (int r = 0; r < 65; ++r) {
+    const auto t0 = clock::now();
+    dispatch_once();
+    warm.push_back(elapsed_ms(t0));
+  }
+  out.cold_ms = median(cold);
+  out.warm_ms = median(warm);
+  return out;
 }
 
 }  // namespace bfce::bench

@@ -263,6 +263,18 @@ int main(int argc, char** argv) {
       load_s * 1e3, restore_s * 1e3,
       restore_ok ? "restored state verified" : "RESTORE FAILED");
 
+  // ---- Executor dispatch overhead ----------------------------------
+  // Pool-cold vs pool-warm fan-out latency: the cold number is what
+  // every sharded frame walk paid per call before the persistent
+  // executor; the warm number is what a dispatch costs now that the
+  // workers stay parked between calls.
+  const bench::PoolLatency pool = bench::measure_pool_latency();
+  std::printf(
+      "executor dispatch (%u lanes): pool-cold %.3f ms, pool-warm "
+      "%.3f ms (%.0fx reuse win)\n",
+      pool.lanes, pool.cold_ms, pool.warm_ms,
+      pool.warm_ms > 0.0 ? pool.cold_ms / pool.warm_ms : 0.0);
+
   // ---- BENCH_service.json ------------------------------------------
   std::string json = "{\n  \"bench\": \"fleet_service\",\n";
   char buf[512];
@@ -299,6 +311,11 @@ int main(int argc, char** argv) {
                 cached.snapshot_cut_s * 1e3, encode_s * 1e3, save_s * 1e3,
                 load_s * 1e3, restore_s * 1e3,
                 restore_ok ? "true" : "false");
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"executor\": {\"lanes\": %u, \"cold_dispatch_ms\": %.4f, "
+                "\"warm_dispatch_ms\": %.4f},\n",
+                pool.lanes, pool.cold_ms, pool.warm_ms);
   json += buf;
   json += "  \"metrics\": ";
   std::string metrics_json = service::service_metrics_json(m);

@@ -162,6 +162,17 @@ int main(int argc, char** argv) {
   std::printf("tracked beats raw on ramp and step: %s\n",
               pass ? "yes" : "NO - BUG");
 
+  // Dispatch-overhead stage: a tracking round issues one sharded walk
+  // per frame, so the pool-cold vs pool-warm gap is exactly the per-
+  // round tax the persistent executor removed. (BENCH_service.json
+  // carries the committed record; here it is informational.)
+  const bench::PoolLatency pool = bench::measure_pool_latency();
+  std::printf(
+      "executor dispatch (%u lanes): pool-cold %.3f ms, pool-warm "
+      "%.3f ms (%.0fx reuse win)\n",
+      pool.lanes, pool.cold_ms, pool.warm_ms,
+      pool.warm_ms > 0.0 ? pool.cold_ms / pool.warm_ms : 0.0);
+
   std::string json = "{\n  \"bench\": \"tracking\",\n";
   char buf[384];
   std::snprintf(buf, sizeof(buf),

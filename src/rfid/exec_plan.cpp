@@ -1,0 +1,262 @@
+#include "rfid/exec_plan.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace bfce::rfid::exec {
+
+namespace {
+
+/// Bitmap words for a w-slot frame, cache-line padded — the same
+/// layout formula the sharded walk allocates with (frame_engine.cpp),
+/// so the plane term prices the words that are actually zeroed and
+/// merged.
+std::size_t padded_words(std::uint32_t w) noexcept {
+  return ((static_cast<std::size_t>(w) + 63) / 64 + 7) & ~std::size_t{7};
+}
+
+/// Resolves a "row.column" override key to the coefficient it names,
+/// nullptr when unknown.
+double* field_of(CostModel& m, const std::string& key) noexcept {
+  struct Row {
+    const char* name;
+    PathCost* cost;
+  };
+  const Row rows[] = {
+      {"bloom_packed", &m.bloom_packed}, {"bloom_plain", &m.bloom_plain},
+      {"bloom_rn", &m.bloom_rn},         {"aloha", &m.aloha},
+      {"single", &m.single},             {"lottery", &m.lottery},
+      {"sampled_draw", &m.sampled_draw},
+  };
+  const std::size_t dot = key.find('.');
+  if (dot != std::string::npos) {
+    const std::string row = key.substr(0, dot);
+    const std::string col = key.substr(dot + 1);
+    for (const Row& r : rows) {
+      if (row != r.name) continue;
+      if (col == "seq") return &r.cost->seq;
+      if (col == "par") return &r.cost->par;
+      if (col == "par_simd") return &r.cost->par_simd;
+      return nullptr;
+    }
+    return nullptr;
+  }
+  if (key == "slot_ns") return &m.slot_ns;
+  if (key == "plane_word_ns") return &m.plane_word_ns;
+  if (key == "walk_fixed_ns") return &m.walk_fixed_ns;
+  if (key == "shard_fixed_ns") return &m.shard_fixed_ns;
+  return nullptr;
+}
+
+/// Applies a BFCE_COST_MODEL file ("key value" per line, '#' comments)
+/// on top of the committed table. Unknown keys and unparsable lines
+/// warn on stderr rather than abort — a stale override file should
+/// degrade to the committed defaults, not kill the simulation.
+void apply_override_file(CostModel& m, const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr,
+                 "bfce: BFCE_COST_MODEL=%s is unreadable; "
+                 "using the committed cost table\n",
+                 path);
+    return;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string key;
+    double value = 0.0;
+    if (!(fields >> key)) continue;  // blank / comment-only line
+    if (!(fields >> value) || !(value >= 0.0) || !std::isfinite(value)) {
+      std::fprintf(stderr,
+                   "bfce: BFCE_COST_MODEL: ignoring malformed line '%s'\n",
+                   line.c_str());
+      continue;
+    }
+    double* slot = field_of(m, key);
+    if (slot == nullptr) {
+      std::fprintf(stderr,
+                   "bfce: BFCE_COST_MODEL: unknown coefficient '%s'\n",
+                   key.c_str());
+      continue;
+    }
+    *slot = value;
+  }
+}
+
+}  // namespace
+
+std::uint32_t packed16_threshold(double p) noexcept {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return 65536;
+  const double scaled = p * 65536.0;
+  if (scaled != std::floor(scaled)) return kNoPack16;
+  return static_cast<std::uint32_t>(scaled);
+}
+
+CostModel CostModel::committed_defaults() noexcept {
+  // Calibrated with `bench/micro_frame --calibrate` (see docs/TOOLING.md
+  // for the harness). The par columns are deliberately priced ~10% above
+  // their measured medians: the planner's guarantee is "kAuto is never
+  // slower than sequential", so mispricing must err toward keeping
+  // batches on the sequential walk (routing a batch sequentially when
+  // sharding would have won costs speedup; the reverse costs the
+  // guarantee).
+  CostModel m;
+  m.bloom_packed = {1.98, 1.69, 0.45};
+  m.bloom_plain = {5.73, 7.93, 7.57};
+  m.bloom_rn = {3.90, 4.10, 4.07};
+  m.aloha = {1.72, 2.77, 2.77};
+  m.single = {1.62, 1.33, 1.33};
+  m.lottery = {12.52, 12.85, 12.85};
+  m.sampled_draw = {2.65, 1.96, 1.48};
+  m.slot_ns = 1.35;
+  m.plane_word_ns = 0.58;
+  m.walk_fixed_ns = 1572.0;
+  m.shard_fixed_ns = 180.0;
+  return m;
+}
+
+const CostModel& CostModel::active() noexcept {
+  static const CostModel model = [] {
+    CostModel m = committed_defaults();
+    if (const char* path = std::getenv("BFCE_COST_MODEL")) {
+      if (path[0] != '\0') apply_override_file(m, path);
+    }
+    return m;
+  }();
+  return model;
+}
+
+bool batch_is_stream_preserving(const FrameRequest* const* requests,
+                                std::size_t count, FrameMode mode) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    const FrameRequest& r = *requests[i];
+    switch (r.shape()) {
+      case FrameShape::kBloom: {
+        if (mode == FrameMode::kSampled) return false;  // scatter
+        const auto& cfg = std::get<BloomFrameConfig>(r.config);
+        if (cfg.persistence != hash::PersistenceMode::kRnBits) return false;
+        break;
+      }
+      case FrameShape::kAloha: {
+        if (mode == FrameMode::kSampled) return false;  // scatter
+        const auto& cfg = std::get<AlohaFrameConfig>(r.config);
+        if (cfg.p < 1.0) return false;
+        break;
+      }
+      case FrameShape::kSingleSlot:
+      case FrameShape::kLottery:
+        // Deterministic tag decisions in exact mode; in sampled mode
+        // the batched sampler draws these on the caller's stream in
+        // request order — the exact sequence the legacy executors use.
+        break;
+    }
+  }
+  return true;
+}
+
+bool plan_prefers_sharded(const CostModel& model,
+                          const FrameRequest* const* requests,
+                          std::size_t count, std::size_t n, FrameMode mode,
+                          std::uint32_t shard_hint, bool simd) noexcept {
+  if (count == 0 || n == 0) return false;
+  if (!batch_is_stream_preserving(requests, count, mode)) {
+    // Law-divergent: the pure floor (see exec_plan.hpp). Any host that
+    // would route this batch differently would compute different bits.
+    shard_hint = 1;
+    simd = false;
+  }
+  if (shard_hint < 1) shard_hint = 1;
+  const double items = static_cast<double>(n);
+  const double inv_shards = 1.0 / static_cast<double>(shard_hint);
+  // Plane words are zeroed once per shard slice and merged/observed
+  // once, hence the (shards + 1) factor.
+  const double words_factor =
+      static_cast<double>(shard_hint + 1) * model.plane_word_ns;
+
+  double seq = 0.0;
+  double par = model.walk_fixed_ns +
+               static_cast<double>(shard_hint) * model.shard_fixed_ns;
+  for (std::size_t i = 0; i < count; ++i) {
+    const FrameRequest& r = *requests[i];
+    switch (r.shape()) {
+      case FrameShape::kBloom: {
+        const auto& cfg = std::get<BloomFrameConfig>(r.config);
+        const double words =
+            static_cast<double>(padded_words(cfg.w)) * words_factor;
+        if (mode == FrameMode::kSampled) {
+          // The binomial responder count is drawn AFTER this decision,
+          // so price the expectation n·k·p.
+          const double draws = items * cfg.k * cfg.p;
+          seq += draws * model.sampled_draw.seq +
+                 static_cast<double>(cfg.w) * model.slot_ns;
+          par += draws * model.sampled_draw.par_cost(simd) * inv_shards +
+                 words;
+          break;
+        }
+        const bool stochastic =
+            cfg.persistence == hash::PersistenceMode::kIdealBernoulli ||
+            cfg.persistence == hash::PersistenceMode::kSharedDraw;
+        const bool packed =
+            stochastic && packed16_threshold(cfg.p) != kNoPack16 &&
+            (cfg.persistence == hash::PersistenceMode::kSharedDraw ||
+             cfg.k <= 4);
+        const PathCost& col = !stochastic ? model.bloom_rn
+                              : packed    ? model.bloom_packed
+                                          : model.bloom_plain;
+        const double pairs = items * cfg.k;
+        seq += pairs * col.seq + static_cast<double>(cfg.w) * model.slot_ns;
+        par += pairs * col.par_cost(simd) * inv_shards + words;
+        break;
+      }
+      case FrameShape::kAloha: {
+        const auto& cfg = std::get<AlohaFrameConfig>(r.config);
+        const double words = 2.0 *
+                             static_cast<double>(padded_words(cfg.f)) *
+                             words_factor;
+        if (mode == FrameMode::kSampled) {
+          const double draws = items * cfg.p;
+          // No slot term on either side: both walks observe the f
+          // idle/single/collision categories slot-by-slot.
+          seq += draws * model.sampled_draw.seq;
+          par += draws * model.sampled_draw.par_cost(simd) * inv_shards +
+                 words;
+          break;
+        }
+        seq += items * model.aloha.seq;
+        par += items * model.aloha.par_cost(simd) * inv_shards + words;
+        break;
+      }
+      case FrameShape::kSingleSlot:
+        // Sampled: one binomial on both walks — free either way. Exact:
+        // the same hash-and-compare tag loop, minus planes entirely.
+        if (mode == FrameMode::kExact) {
+          seq += items * model.single.seq;
+          par += items * model.single.par_cost(simd) * inv_shards;
+        }
+        break;
+      case FrameShape::kLottery: {
+        // Sampled: the dependent multinomial is drawn identically on
+        // both walks (request order, caller stream) — free either way.
+        if (mode == FrameMode::kExact) {
+          const auto& cfg = std::get<LotteryFrameConfig>(r.config);
+          seq += items * model.lottery.seq +
+                 static_cast<double>(cfg.f) * model.slot_ns;
+          par += items * model.lottery.par_cost(simd) * inv_shards +
+                 static_cast<double>(padded_words(cfg.f)) * words_factor;
+        }
+        break;
+      }
+    }
+  }
+  return par < seq;
+}
+
+}  // namespace bfce::rfid::exec

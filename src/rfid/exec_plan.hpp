@@ -1,0 +1,140 @@
+#pragma once
+// Adaptive execution planning for FrameEngine (ExecutionPolicy's kAuto
+// walk): a calibrated cost model decides, per frame / per batch,
+// whether the sequential executors or the sharded plan/render/reduce
+// pipeline is cheaper — so opting into `automatic()` is never a
+// pessimization relative to the sequential policy.
+//
+// The decision has to respect the determinism contract of
+// frame_engine.hpp, which splits batches into two classes:
+//
+//  * STREAM-PRESERVING batches (kRnBits Bloom, p = 1 ALOHA,
+//    single-slot, lottery; sampled single-slot/lottery) produce
+//    bit-identical results — caller-RNG stream position included — on
+//    both walks. For these the planner may consult anything it likes
+//    (the live shard hint, runtime SIMD support): whatever it picks,
+//    the simulation output cannot change.
+//
+//  * LAW-DIVERGENT batches (stochastic-persistence Bloom, p < 1 ALOHA,
+//    sampled Bloom/ALOHA) realise the same law with different bits on
+//    the two walks, so the routing decision IS part of the result. For
+//    these the planner must stay a pure function of the request list,
+//    the population size and the committed cost table: it pins the
+//    shard hint to 1 and prices the scalar kernels (the floor every
+//    host can deliver), never the host's core count or ISA. A batch
+//    routed to the sharded walk under that floor is cheaper on every
+//    host — more shards and wider vectors only help — and every host
+//    makes the same choice, so `sim::run_experiment` stays a pure
+//    function of (master seed, trial index) under kAuto.
+//
+// Costs are nanoseconds per work item from the committed calibration
+// table below (regenerate with `bench/micro_frame --calibrate`; see
+// docs/TOOLING.md). A host can override individual coefficients via
+// BFCE_COST_MODEL — but note the override moves the law-divergent
+// routing split with it, exactly like choosing a different explicit
+// policy would.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rfid/frame_engine.hpp"
+
+namespace bfce::rfid::exec {
+
+/// Sentinel of packed16_threshold: p is off the 1/65536 grid, the
+/// packed persistence kernels do not apply.
+inline constexpr std::uint32_t kNoPack16 = 0xFFFFFFFFU;
+
+/// Exact 16-bit threshold for Bernoulli(p) decisions packed four to a
+/// 64-bit draw, or kNoPack16 when p is not on the 1/65536 grid (the
+/// 1/1024 persistence grid of §IV-E.3 always is). A uniform 16-bit
+/// slice compared against p·65536 realises Bernoulli(p) exactly.
+std::uint32_t packed16_threshold(double p) noexcept;
+
+/// Per-item cost of one work class on the three execution paths, in
+/// nanoseconds: the sequential executor, the sharded walk's scalar
+/// kernels, and the sharded walk's AVX-512 kernels. Work classes with
+/// no vector kernel (RN-bits Bloom, lottery, single-slot) commit
+/// par_simd == par.
+struct PathCost {
+  double seq = 0.0;
+  double par = 0.0;
+  double par_simd = 0.0;
+
+  [[nodiscard]] double par_cost(bool simd) const noexcept {
+    return simd ? par_simd : par;
+  }
+};
+
+/// The calibrated coefficients the planner prices batches with.
+///
+/// Per-item columns (what "item" means per row):
+///   bloom_packed — one (tag, hash) decision, stochastic persistence on
+///                  the 1/65536 grid (the packed decide kernels);
+///   bloom_plain  — one (tag, hash) decision, off-grid stochastic
+///                  persistence (unit-double compare per pair);
+///   bloom_rn     — one (tag, hash) decision, deterministic RN-bits;
+///   aloha        — one tag of an ALOHA frame (participation + slot);
+///   single       — one tag of a single-slot frame (hash + compare);
+///   lottery      — one tag of a lottery frame (geometric slot);
+///   sampled_draw — one response draw of the sampled Bloom/ALOHA
+///                  scatter.
+///
+/// Structural terms:
+///   slot_ns       — sequential per-slot result cost for frames whose
+///                   sharded reduce is word-packed instead (Bloom and
+///                   lottery busy maps: the sequential path touches w
+///                   slot counts where the sharded path touches w/64
+///                   words — at the paper's w = 8192 this term, not the
+///                   per-tag work, decides small-n batches);
+///   plane_word_ns — per plane word per shard slice on the sharded
+///                   side (zero-fill + merge + word-packed observe);
+///   walk_fixed_ns — one sharded dispatch (plan hoist, scratch sizing);
+///   shard_fixed_ns— per shard (executor wake/join handshake).
+struct CostModel {
+  PathCost bloom_packed;
+  PathCost bloom_plain;
+  PathCost bloom_rn;
+  PathCost aloha;
+  PathCost single;
+  PathCost lottery;
+  PathCost sampled_draw;
+  double slot_ns = 0.0;
+  double plane_word_ns = 0.0;
+  double walk_fixed_ns = 0.0;
+  double shard_fixed_ns = 0.0;
+
+  /// The committed calibration table, with BFCE_COST_MODEL overrides
+  /// applied once per process (a file of "key value" lines, e.g.
+  /// "aloha.par_simd 3.9"; unknown keys warn on stderr). The object is
+  /// immutable after first use — the planner's purity depends on it.
+  static const CostModel& active() noexcept;
+
+  /// The table as compiled in, no overrides (calibration tooling and
+  /// tests).
+  static CostModel committed_defaults() noexcept;
+};
+
+/// True when every frame of the batch is stream-preserving: both walks
+/// produce bit-identical results including the caller-RNG stream
+/// position (kRnBits Bloom, p ≥ 1 ALOHA, single-slot and lottery in
+/// exact mode; single-slot and lottery in sampled mode). Law-divergent
+/// batches — anything stochastic in exact mode, any sampled
+/// Bloom/ALOHA scatter — return false and pin the planner to its pure
+/// floor.
+bool batch_is_stream_preserving(const FrameRequest* const* requests,
+                                std::size_t count, FrameMode mode) noexcept;
+
+/// The planning decision: true when the sharded walk prices cheaper
+/// than the sequential executors for this batch over a population (or
+/// sampled cardinality) of n. `shard_hint` is the shard count the
+/// policy would resolve to and `simd` whether the vector kernels are
+/// live — both are honoured only for stream-preserving batches;
+/// law-divergent batches are priced at the scalar single-shard floor
+/// (see the header comment). Ties go sequential.
+bool plan_prefers_sharded(const CostModel& model,
+                          const FrameRequest* const* requests,
+                          std::size_t count, std::size_t n, FrameMode mode,
+                          std::uint32_t shard_hint, bool simd) noexcept;
+
+}  // namespace bfce::rfid::exec

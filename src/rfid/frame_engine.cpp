@@ -7,6 +7,7 @@
 
 #include "hash/persistence.hpp"
 #include "hash/slot_hash.hpp"
+#include "rfid/exec_plan.hpp"
 #include "rfid/frame_engine_simd.hpp"
 #include "util/parallel.hpp"
 
@@ -33,19 +34,11 @@ std::uint64_t sum_counts(const std::uint32_t* counts, std::size_t w) {
   return total;
 }
 
-/// Exact 16-bit threshold for Bernoulli(p) decisions packed four to a
-/// 64-bit draw, or kNoPack16 when p is not on the 1/65536 grid (the
-/// 1/1024 persistence grid of §IV-E.3 always is). A uniform 16-bit slice
-/// compared against p·65536 realises Bernoulli(p) exactly.
-constexpr std::uint32_t kNoPack16 = 0xFFFFFFFFU;
-
-std::uint32_t packed16_threshold(double p) {
-  if (p <= 0.0) return 0;
-  if (p >= 1.0) return 65536;
-  const double scaled = p * 65536.0;
-  if (scaled != std::floor(scaled)) return kNoPack16;
-  return static_cast<std::uint32_t>(scaled);
-}
+// Packed-persistence threshold and its off-grid sentinel now live in
+// rfid/exec_plan.hpp: the planner must mirror the packed-kernel
+// detection exactly, so there is one definition for both.
+using exec::kNoPack16;
+using exec::packed16_threshold;
 
 /// The slot choices of one Bloom frame, premixed once per frame.
 struct HoistedBloomHashes {
@@ -115,9 +108,8 @@ struct FramePlan {
   std::uint32_t lane_mask = 0;          ///< nonzero ⇔ packed kernel applies
   std::array<std::uint32_t, kMaxHashes> seeds32{};
   hash::PersistenceMode persistence = hash::PersistenceMode::kRnBits;
-  hash::IdealSlotHash slot_hash{0};     ///< ALOHA slot choice
   hash::GeometricSlotHash geo_hash{0};  ///< lottery slot choice
-  std::uint64_t premixed = 0;           ///< single-slot participation hash
+  std::uint64_t premixed = 0;           ///< ALOHA slot / single-slot hash seed
   std::uint64_t threshold64 = 0;        ///< single-slot participation bar
 };
 
@@ -181,7 +173,10 @@ FramePlan hoist_plan(const FrameRequest& request, std::size_t word_offset,
       const auto& cfg = std::get<AlohaFrameConfig>(request.config);
       fr.w = cfg.f;
       fr.p = cfg.p;
-      fr.slot_hash = hash::IdealSlotHash(cfg.seed);
+      // The tile kernel re-derives IdealSlotHash's multiply-shift from
+      // the premixed seed (it needs the raw 64-bit hash for its vector
+      // reduction), so hoist the premix rather than the hasher object.
+      fr.premixed = hash::premix_seed(cfg.seed);
       fr.word_offset2 = word_offset + padded_words(cfg.f);
       if (cfg.p < 1.0) {
         // Same one-draw discipline as stochastic Bloom persistence: the
@@ -281,7 +276,15 @@ std::vector<FrameResult> run_sharded_frames(
   if (shard_count < 1) shard_count = 1;
   const std::size_t chunk = (n_tags + shard_count - 1) / shard_count;
 
-  shard_bits.assign(static_cast<std::size_t>(shard_count) * words_stride, 0);
+  // Plane storage is sized but NOT zeroed here: each shard zero-fills
+  // its own slice inside the parallel region, so the first touch of a
+  // cold page — and with it its NUMA placement — lands on the worker
+  // that owns the shard's tag range. The executor hands shard s to the
+  // same initial lane on every dispatch, so warm re-dispatches keep the
+  // affinity.
+  const std::size_t total_words =
+      static_cast<std::size_t>(shard_count) * words_stride;
+  if (shard_bits.size() < total_words) shard_bits.resize(total_words);
   shard_tx.assign(static_cast<std::size_t>(shard_count) * m, 0);
   lane_scratch.resize(static_cast<std::size_t>(shard_count) *
                       detail::kShardLaneCapacity);
@@ -292,6 +295,7 @@ std::vector<FrameResult> run_sharded_frames(
         const std::size_t s_begin = s * chunk;
         const std::size_t s_end = std::min(n_tags, s_begin + chunk);
         std::uint64_t* const bits = shard_bits.data() + s * words_stride;
+        std::fill(bits, bits + words_stride, std::uint64_t{0});
         std::uint16_t* const lane =
             lane_scratch.data() + s * detail::kShardLaneCapacity;
         std::vector<std::uint64_t> tx(m, 0);
@@ -307,27 +311,11 @@ std::vector<FrameResult> run_sharded_frames(
               // Occupancy pair: the second-or-later responder of a slot
               // raises its ≥2 bit. Participation (p < 1) is decided by
               // the counter-addressed stream, one decision per global
-              // tag index.
-              std::uint64_t* const two = bits + fr.word_offset2;
-              const bool stochastic = fr.stochastic;
-              const double p = fr.p;
-              const std::uint64_t base = fr.base;
-              std::uint64_t responders = 0;
-              for (std::size_t t = t0; t < t1; ++t) {
-                if (stochastic) {
-                  const std::uint64_t z = util::splitmix_at(base, t);
-                  if (static_cast<double>(z >> 11) * 0x1.0p-53 >= p) {
-                    continue;
-                  }
-                }
-                const std::uint32_t slot =
-                    fr.slot_hash.slot(all_tags[t].id, w);
-                const std::uint64_t bit = 1ULL << (slot & 63U);
-                two[slot >> 6] |= fb[slot >> 6] & bit;
-                fb[slot >> 6] |= bit;
-                ++responders;
-              }
-              tx[f] += responders;
+              // tag index; the two-plane tile kernel (AVX-512 or its
+              // bit-identical scalar span) does the rendering.
+              tx[f] += detail::aloha_render_tile(
+                  all_tags.data(), t0, t1, fr.premixed, w, fr.stochastic,
+                  fr.base, fr.p, allow_simd, fb, bits + fr.word_offset2);
             } else if (fr.shape == FrameShape::kSingleSlot) {
               // No plane: the shard's responder tally IS the state.
               const std::uint64_t bar = fr.threshold64;
@@ -549,7 +537,11 @@ util::BitVector FrameEngine::counts_to_busy(const std::uint32_t* counts,
 
 FrameResult FrameEngine::execute(const FrameRequest& request,
                                  util::Xoshiro256ss& rng) {
-  if (mode_ == FrameMode::kSampled && policy_.is_sharded()) {
+  const FrameRequest* const req_ptr = &request;
+  const bool walk_sharded =
+      policy_.is_sharded() ||
+      (policy_.is_auto() && use_sharded_path(&req_ptr, 1));
+  if (mode_ == FrameMode::kSampled && walk_sharded) {
     // Sharded sampled engines route every frame through the batched
     // sampler (which does its own counter accounting). A one-frame
     // batch draws the caller's stream exactly like the legacy executor
@@ -562,7 +554,7 @@ FrameResult FrameEngine::execute(const FrameRequest& request,
   FrameResult out;
   out.shape = request.shape();
   const bool sharded_exact =
-      mode_ == FrameMode::kExact && policy_.is_sharded() && tags_ != nullptr;
+      mode_ == FrameMode::kExact && walk_sharded && tags_ != nullptr;
   std::uint64_t slots = 0;
   switch (out.shape) {
     case FrameShape::kBloom: {
@@ -633,13 +625,22 @@ FrameResult FrameEngine::execute(const FrameRequest& request,
 std::vector<FrameResult> FrameEngine::execute_batch(
     const std::vector<FrameRequest>& requests, util::Xoshiro256ss& rng) {
   ++counters_.batches;
-  if (policy_.is_sharded() && !requests.empty()) {
-    // One unified pipeline per mode, any shape mix.
-    if (mode_ == FrameMode::kExact && tags_ != nullptr) {
-      return execute_batch_sharded(requests, rng);
+  if ((policy_.is_sharded() || policy_.is_auto()) && !requests.empty()) {
+    bool walk_sharded = policy_.is_sharded();
+    if (!walk_sharded) {
+      std::vector<const FrameRequest*> reqs;
+      reqs.reserve(requests.size());
+      for (const FrameRequest& r : requests) reqs.push_back(&r);
+      walk_sharded = use_sharded_path(reqs.data(), reqs.size());
     }
-    if (mode_ == FrameMode::kSampled) {
-      return execute_sampled_batch(requests, rng);
+    if (walk_sharded) {
+      // One unified pipeline per mode, any shape mix.
+      if (mode_ == FrameMode::kExact && tags_ != nullptr) {
+        return execute_batch_sharded(requests, rng);
+      }
+      if (mode_ == FrameMode::kSampled) {
+        return execute_sampled_batch(requests, rng);
+      }
     }
   }
   bool all_bloom = !requests.empty();
@@ -1001,6 +1002,22 @@ std::vector<FrameResult> FrameEngine::execute_bloom_batch_blocked(
 
 // ---- sharded exact path ----------------------------------------------
 
+bool FrameEngine::use_sharded_path(const FrameRequest* const* requests,
+                                   std::size_t count) {
+  std::uint32_t hint =
+      policy_.shards != 0 ? policy_.shards : util::default_thread_count();
+  if (hint < 1) hint = 1;
+  const bool simd = policy_.allow_simd && detail::simd_supported();
+  const bool sharded = exec::plan_prefers_sharded(
+      exec::CostModel::active(), requests, count, n_, mode_, hint, simd);
+  if (sharded) {
+    ++counters_.auto_sharded;
+  } else {
+    ++counters_.auto_sequential;
+  }
+  return sharded;
+}
+
 std::uint32_t FrameEngine::effective_shards(std::size_t work) const noexcept {
   std::uint32_t count =
       policy_.shards != 0 ? policy_.shards : util::default_thread_count();
@@ -1060,54 +1077,56 @@ std::vector<FrameResult> FrameEngine::execute_sampled_batch(
   const std::size_t m = requests.size();
 
   /// One sampled frame's plan. Bloom and ALOHA scatter `draws` uniform
-  /// responses; single-slot needs only its responder count; lottery's
-  /// dependent multinomial is drawn straight into the merged counts in
-  /// phase 1 (its draws must stay on the caller's stream in request
-  /// order — they cannot be counter-addressed without changing the law).
+  /// responses into word-packed shard planes (a busy bitmap for Bloom —
+  /// the channel branches only on busy-vs-idle, so "≥ 1 response" is
+  /// draw-for-draw equivalent to the counts — and the ≥1/≥2 occupancy
+  /// pair for ALOHA, whose idle/single/collision categories the channel
+  /// observes exactly); single-slot needs only its responder count;
+  /// lottery's dependent multinomial is drawn straight into the merged
+  /// counts in phase 1 (its draws must stay on the caller's stream in
+  /// request order — they cannot be counter-addressed without changing
+  /// the law).
   struct SampledPlan {
     FrameShape shape = FrameShape::kBloom;
     std::uint32_t w = 1;                ///< slot count (w / f / 1)
-    std::size_t offset = 0;             ///< into merged batch_counts_
-    std::size_t scatter_offset = 0;     ///< into each shard's count plane
+    std::size_t offset = 0;             ///< lottery counts, into batch_counts_
+    std::size_t word_offset = 0;        ///< plane one, into a shard slice
+    std::size_t word_offset2 = 0;       ///< plane two (ALOHA only)
     std::uint64_t draws = 0;            ///< uniform slot-scatter draws
     std::uint64_t base = 0;             ///< counter base for the scatter
     std::uint64_t responders = 0;       ///< single-slot responder count
   };
 
-  // Layout pass (no RNG): merged slot counts for every slotted frame,
-  // cache-line-padded per-shard planes for the scatter shapes.
+  // Layout pass (no RNG): merged slot counts for the lottery frames,
+  // cache-line-padded word-packed planes for the scatter shapes (same
+  // padding rationale as padded_words — adjacent shard slices never
+  // share a cache line).
   std::vector<SampledPlan> plans(m);
   std::size_t total_slots = 0;
-  std::size_t scatter_stride = 0;
-  // Count-plane slots padded to a 64-byte multiple: adjacent shard
-  // slices never share a cache line (same rationale as padded_words).
-  const auto padded_counts = [](std::uint32_t w) {
-    return ((static_cast<std::size_t>(w) + 15) / 16) * 16;
-  };
+  std::size_t words_stride = 0;
   for (std::size_t f = 0; f < m; ++f) {
     SampledPlan& pl = plans[f];
     pl.shape = requests[f].shape();
     switch (pl.shape) {
       case FrameShape::kBloom:
         pl.w = std::get<BloomFrameConfig>(requests[f].config).w;
+        pl.word_offset = words_stride;
+        words_stride += padded_words(pl.w);
         break;
       case FrameShape::kAloha:
         pl.w = std::get<AlohaFrameConfig>(requests[f].config).f;
+        pl.word_offset = words_stride;
+        pl.word_offset2 = words_stride + padded_words(pl.w);
+        words_stride += 2 * padded_words(pl.w);
         break;
       case FrameShape::kSingleSlot:
         pl.w = 1;
         break;
       case FrameShape::kLottery:
         pl.w = std::get<LotteryFrameConfig>(requests[f].config).f;
+        pl.offset = total_slots;
+        total_slots += pl.w;
         break;
-    }
-    if (pl.shape != FrameShape::kSingleSlot) {
-      pl.offset = total_slots;
-      total_slots += pl.w;
-    }
-    if (pl.shape == FrameShape::kBloom || pl.shape == FrameShape::kAloha) {
-      pl.scatter_offset = scatter_stride;
-      scatter_stride += padded_counts(pl.w);
     }
   }
   batch_counts_.assign(total_slots, 0);
@@ -1170,25 +1189,31 @@ std::vector<FrameResult> FrameEngine::execute_sampled_batch(
 
   // Phase 2 — render: scatter all response draws. Shard s owns the
   // contiguous draw range [s·chunk, (s+1)·chunk) of EVERY frame and
-  // tallies into a private count plane; slot r of a frame is
+  // renders into private word-packed planes; slot r of a frame is
   // counter-addressed (splitmix_at(base, r) reduced by multiply-shift),
-  // so the planes — and, counts being a commutative sum, the merged
-  // result — are bit-identical for any shard count.
+  // and both plane forms merge order-independently (busy bits with OR,
+  // the ALOHA pair with the cross-shard ≥2 term), so the merged result
+  // is bit-identical for any shard count.
   const std::uint32_t shard_count =
       total_draws > 0
           ? effective_shards(static_cast<std::size_t>(std::min<std::uint64_t>(
                 total_draws, static_cast<std::uint64_t>(~std::size_t{0}))))
           : 1;
-  if (total_draws > 0) {
-    shard_counts_.assign(
-        static_cast<std::size_t>(shard_count) * scatter_stride, 0);
+  if (words_stride > 0) {
+    // Sized but not zeroed here: each shard zero-fills its own slice in
+    // the parallel region, so cold pages first-touch on the worker that
+    // scatters into them (the same NUMA discipline as the exact walk).
+    const std::size_t total_words =
+        static_cast<std::size_t>(shard_count) * words_stride;
+    if (shard_bits_.size() < total_words) shard_bits_.resize(total_words);
     slot_scratch_.resize(static_cast<std::size_t>(shard_count) *
                          detail::kScatterTile);
     const bool allow_simd = policy_.allow_simd;
     util::parallel_for(
         0, shard_count,
         [&](std::size_t s) {
-          std::uint32_t* const plane = shard_counts_.data() + s * scatter_stride;
+          std::uint64_t* const plane = shard_bits_.data() + s * words_stride;
+          std::fill(plane, plane + words_stride, std::uint64_t{0});
           std::uint32_t* const slots =
               slot_scratch_.data() + s * detail::kScatterTile;
           for (const SampledPlan& pl : plans) {
@@ -1203,7 +1228,8 @@ std::vector<FrameResult> FrameEngine::execute_sampled_batch(
                 pl.draws, static_cast<std::uint64_t>(s) * chunk);
             const std::uint64_t r1 = std::min<std::uint64_t>(
                 pl.draws, r0 + chunk);
-            std::uint32_t* const counts = plane + pl.scatter_offset;
+            std::uint64_t* const one = plane + pl.word_offset;
+            std::uint64_t* const two = plane + pl.word_offset2;
             for (std::uint64_t t0 = r0; t0 < r1;
                  t0 += detail::kScatterTile) {
               const std::uint64_t t1 =
@@ -1211,24 +1237,49 @@ std::vector<FrameResult> FrameEngine::execute_sampled_batch(
               detail::sampled_scatter_tile(pl.base, t0, t1, pl.w,
                                            allow_simd, slots);
               const std::size_t count = static_cast<std::size_t>(t1 - t0);
-              for (std::size_t i = 0; i < count; ++i) ++counts[slots[i]];
+              if (pl.shape == FrameShape::kBloom) {
+                for (std::size_t i = 0; i < count; ++i) {
+                  const std::uint32_t slot = slots[i];
+                  one[slot >> 6] |= 1ULL << (slot & 63U);
+                }
+              } else {
+                for (std::size_t i = 0; i < count; ++i) {
+                  const std::uint32_t slot = slots[i];
+                  const std::uint64_t bit = 1ULL << (slot & 63U);
+                  two[slot >> 6] |= one[slot >> 6] & bit;
+                  one[slot >> 6] |= bit;
+                }
+              }
             }
           }
         },
         shard_count);
-    // Merge: sum the shard planes into the batch counts (addition is
-    // commutative, so the shard order cannot matter).
+    // Merge the shard planes into shard 0's slice.
     for (const SampledPlan& pl : plans) {
       if ((pl.shape != FrameShape::kBloom &&
            pl.shape != FrameShape::kAloha) ||
           pl.draws == 0) {
         continue;
       }
-      std::uint32_t* const dst = batch_counts_.data() + pl.offset;
-      for (std::uint32_t s = 0; s < shard_count; ++s) {
-        const std::uint32_t* const src =
-            shard_counts_.data() + s * scatter_stride + pl.scatter_offset;
-        for (std::uint32_t i = 0; i < pl.w; ++i) dst[i] += src[i];
+      const std::size_t words = (static_cast<std::size_t>(pl.w) + 63) / 64;
+      std::uint64_t* const one = shard_bits_.data() + pl.word_offset;
+      std::uint64_t* const two = shard_bits_.data() + pl.word_offset2;
+      for (std::uint32_t s = 1; s < shard_count; ++s) {
+        const std::uint64_t* const one_s =
+            shard_bits_.data() + s * words_stride + pl.word_offset;
+        if (pl.shape == FrameShape::kBloom) {
+          for (std::size_t i = 0; i < words; ++i) one[i] |= one_s[i];
+        } else {
+          const std::uint64_t* const two_s =
+              shard_bits_.data() + s * words_stride + pl.word_offset2;
+          for (std::size_t i = 0; i < words; ++i) {
+            // A slot collides if any shard saw ≥ 2 draws, or two
+            // different shards each saw ≥ 1.
+            const std::uint64_t os = one_s[i];
+            two[i] |= two_s[i] | (one[i] & os);
+            one[i] |= os;
+          }
+        }
       }
     }
   }
@@ -1241,19 +1292,30 @@ std::vector<FrameResult> FrameEngine::execute_sampled_batch(
   for (const SampledPlan& pl : plans) {
     FrameResult res;
     res.shape = pl.shape;
-    const std::uint32_t* const counts = batch_counts_.data() + pl.offset;
     switch (pl.shape) {
       case FrameShape::kBloom:
         res.tx = pl.draws;
-        res.busy = counts_to_busy(counts, pl.w, rng);
+        res.busy = bitmap_to_busy(
+            channel_, shard_bits_.data() + pl.word_offset, pl.w, rng);
         break;
-      case FrameShape::kAloha:
+      case FrameShape::kAloha: {
+        // Slot-major observation with the exact occupancy category
+        // (0 / 1 / ≥2) — draw-for-draw identical to observing the true
+        // per-slot draw counts.
+        const std::uint64_t* const one = shard_bits_.data() + pl.word_offset;
+        const std::uint64_t* const two = shard_bits_.data() + pl.word_offset2;
         res.tx = pl.draws;
         res.states.resize(pl.w);
         for (std::uint32_t i = 0; i < pl.w; ++i) {
-          res.states[i] = channel_.observe(counts[i], rng);
+          const std::uint32_t category =
+              ((two[i >> 6] >> (i & 63U)) & 1ULL) != 0
+                  ? 2U
+                  : static_cast<std::uint32_t>(
+                        (one[i >> 6] >> (i & 63U)) & 1ULL);
+          res.states[i] = channel_.observe(category, rng);
         }
         break;
+      }
       case FrameShape::kSingleSlot:
         res.tx = pl.responders;
         res.single = channel_.observe(
@@ -1264,7 +1326,7 @@ std::vector<FrameResult> FrameEngine::execute_sampled_batch(
         break;
       case FrameShape::kLottery:
         res.tx = n_;
-        res.busy = counts_to_busy(counts, pl.w, rng);
+        res.busy = counts_to_busy(batch_counts_.data() + pl.offset, pl.w, rng);
         break;
     }
     ShapeCounters& c = counters_.of(pl.shape);

@@ -163,8 +163,13 @@ struct FrameResult {
 struct ExecutionPolicy {
   /// Walk selection. kSequential preserves the legacy RNG-stream
   /// contract; kSharded trades it for intra-frame parallelism plus the
-  /// vectorised decision/scatter kernels.
-  enum class Walk : std::uint8_t { kSequential = 0, kSharded = 1 };
+  /// vectorised decision/scatter kernels; kAuto prices each frame /
+  /// batch with the committed cost model (rfid/exec_plan.hpp) and picks
+  /// whichever walk is cheaper — never slower than kSequential, and for
+  /// law-divergent batches the choice is a pure function of the request
+  /// list, the population size and the committed table (not the host),
+  /// so kAuto results stay reproducible across machines.
+  enum class Walk : std::uint8_t { kSequential = 0, kSharded = 1, kAuto = 2 };
 
   Walk walk = Walk::kSequential;
   /// Worker shards; 0 ⇒ util::default_thread_count() (BFCE_THREADS).
@@ -181,11 +186,24 @@ struct ExecutionPolicy {
   [[nodiscard]] constexpr bool is_sharded() const noexcept {
     return walk == Walk::kSharded;
   }
+  [[nodiscard]] constexpr bool is_auto() const noexcept {
+    return walk == Walk::kAuto;
+  }
 
   static constexpr ExecutionPolicy sequential() noexcept { return {}; }
   static constexpr ExecutionPolicy sharded(std::uint32_t count = 0) noexcept {
     ExecutionPolicy policy;
     policy.walk = Walk::kSharded;
+    policy.shards = count;
+    return policy;
+  }
+  /// Adaptive policy: the engine routes each frame / batch through
+  /// whichever walk the cost model prices cheaper. `count` caps the
+  /// shard hint like sharded()'s argument does (0 ⇒ BFCE_THREADS /
+  /// hardware count).
+  static constexpr ExecutionPolicy automatic(std::uint32_t count = 0) noexcept {
+    ExecutionPolicy policy;
+    policy.walk = Walk::kAuto;
     policy.shards = count;
     return policy;
   }
@@ -215,6 +233,8 @@ struct EngineCounters {
   std::uint64_t blocked_batches = 0;  ///< batches taken by the blocked path
   std::uint64_t sharded_walks = 0;    ///< sharded walks / batched-sampler runs
   std::uint64_t sampled_batches = 0;  ///< batched-sampler runs (subset)
+  std::uint64_t auto_sharded = 0;     ///< kAuto decisions routed sharded
+  std::uint64_t auto_sequential = 0;  ///< kAuto decisions routed sequential
 
   ShapeCounters& of(FrameShape s) noexcept {
     return by_shape[static_cast<std::size_t>(s)];
@@ -238,6 +258,8 @@ struct EngineCounters {
     blocked_batches += o.blocked_batches;
     sharded_walks += o.sharded_walks;
     sampled_batches += o.sampled_batches;
+    auto_sharded += o.auto_sharded;
+    auto_sequential += o.auto_sequential;
     return *this;
   }
 };
@@ -273,12 +295,16 @@ class FrameEngine {
   /// it consumes `rng` exactly as the legacy executor for (shape, mode)
   /// did — bit-identical results; a sharded policy routes through the
   /// plan/render/reduce walk (exact) or the batched sampler (sampled),
-  /// see the ExecutionPolicy contract.
+  /// see the ExecutionPolicy contract. A kAuto policy picks per frame
+  /// with the cost model (use_sharded_path).
   FrameResult execute(const FrameRequest& request, util::Xoshiro256ss& rng);
 
   /// Executes a batch of frames. A sharded policy runs the whole batch
   /// (any shape mix) through one plan/render/reduce walk (exact) or one
-  /// batched-sampler pass (sampled). Sequential policies keep the
+  /// batched-sampler pass (sampled); a kAuto policy does the same only
+  /// when the cost model prices the walk cheaper than the sequential
+  /// dispatch below, pinning the decision to the committed scalar floor
+  /// whenever the two walks diverge in bits. Sequential policies keep the
   /// legacy dispatch: all-Bloom exact-mode batches of ≥ 2 frames take
   /// the blocked path (one population walk for the whole batch);
   /// everything else runs the frames sequentially through execute().
@@ -331,6 +357,12 @@ class FrameEngine {
   /// mode, response draws in sampled mode).
   [[nodiscard]] std::uint32_t effective_shards(std::size_t work) const noexcept;
 
+  /// The kAuto routing decision for one frame / batch: prices both
+  /// walks with the committed cost model (rfid/exec_plan.hpp) and bumps
+  /// the auto_sharded / auto_sequential counter for the winner.
+  bool use_sharded_path(const FrameRequest* const* requests,
+                        std::size_t count);
+
   /// counts_[0..w) → busy bitmap through the channel (frame-major RNG).
   util::BitVector counts_to_busy(const std::uint32_t* counts, std::size_t w,
                                  util::Xoshiro256ss& rng) const;
@@ -343,10 +375,9 @@ class FrameEngine {
   EngineCounters counters_;
   std::vector<std::uint32_t> counts_;        ///< per-frame scratch
   std::vector<std::uint32_t> batch_counts_;  ///< blocked/sampler slot counts
-  std::vector<std::uint64_t> shard_bits_;    ///< sharded-path planes
+  std::vector<std::uint64_t> shard_bits_;    ///< walk + sampler word planes
   std::vector<std::uint64_t> shard_tx_;      ///< sharded-path tx tallies
   std::vector<std::uint16_t> lane_scratch_;  ///< sharded-path lane ids
-  std::vector<std::uint32_t> shard_counts_;  ///< sampler shard count planes
   std::vector<std::uint32_t> slot_scratch_;  ///< sampler scatter slot ids
 };
 

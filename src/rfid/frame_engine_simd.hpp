@@ -24,7 +24,11 @@
 #include <cstddef>
 #include <cstdint>
 
-namespace bfce::rfid::detail {
+namespace bfce::rfid {
+
+struct Tag;
+
+namespace detail {
 
 /// Tile granularity of the sharded walk: small enough that one frame's
 /// shard-local bitmap plus the lane buffer stay cache-resident while a
@@ -59,6 +63,34 @@ std::size_t bloom_decide_tile(std::uint64_t base, std::size_t t0,
                               std::uint32_t lane_mask, bool allow_simd,
                               std::uint16_t* out) noexcept;
 
+/// Renders the ALOHA responses of global tag indices [t0, t1) into one
+/// frame's occupancy pair (`one` = "≥ 1 responder", `two` = "≥ 2
+/// responders", word-packed over f slots) and returns the responder
+/// count. The slot of tag t is IdealSlotHash's multiply-shift: the high
+/// 64 bits of fmix64(id ^ premixed) · f. When `stochastic`, tag t
+/// participates iff the unit double built from splitmix_at(base, t)
+/// falls below p — the counter-addressed decision of the sharded walk,
+/// so the output is a pure function of the plan for any shard count.
+///
+/// The AVX-512 body hashes 8 tags per iteration; participation comes
+/// out as a compare mask whose set bits drive the plane drain (the
+/// two-plane update `two |= one & bit; one |= bit` commutes across
+/// distinct tags, so drain order cannot matter). The 128-bit
+/// multiply-shift is decomposed into two 32×32 partial products —
+/// slot = (hi32(h)·f + (lo32(h)·f >> 32)) >> 32, exact for f < 2^32 —
+/// and the participation compare happens on integers:
+/// (z >> 11) < ceil(p·2^53) is exactly the scalar unit-double test,
+/// because v·2⁻⁵³ is exact for v < 2^53.
+///
+/// `allow_simd = false` forces the scalar span; planes and responder
+/// count are bit-identical either way.
+std::uint64_t aloha_render_tile(const Tag* tags, std::size_t t0,
+                                std::size_t t1, std::uint64_t premixed,
+                                std::uint32_t f, bool stochastic,
+                                std::uint64_t base, double p, bool allow_simd,
+                                std::uint64_t* one,
+                                std::uint64_t* two) noexcept;
+
 /// Tile granularity of the batched sampler's slot scatter: one tile of
 /// slot ids (16 KiB) per shard stays cache-resident next to the shard's
 /// count plane.
@@ -77,4 +109,5 @@ void sampled_scatter_tile(std::uint64_t base, std::uint64_t r0,
                           std::uint64_t r1, std::uint32_t w, bool allow_simd,
                           std::uint32_t* out) noexcept;
 
-}  // namespace bfce::rfid::detail
+}  // namespace detail
+}  // namespace bfce::rfid

@@ -1,19 +1,42 @@
 #include "util/parallel.hpp"
 
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
-#include <string>
-#include <vector>
+#include <thread>
+
+#include "util/executor.hpp"
 
 namespace bfce::util {
 
 unsigned default_thread_count() {
+  // hardware_concurrency() re-reads /sys/devices/system/cpu on every
+  // call (~1 µs) — far too slow for a function the adaptive planner
+  // consults per frame. The count cannot change for a running process,
+  // so resolve it once; the BFCE_THREADS override below stays dynamic.
+  static const unsigned hw = [] {
+    const unsigned raw = std::thread::hardware_concurrency();
+    return raw == 0 ? 1u : raw;
+  }();
   if (const char* env = std::getenv("BFCE_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 1) return static_cast<unsigned>(parsed);
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(env, &end, 10);
+    const bool clean = end != env && *end == '\0' && errno == 0 &&
+                       parsed >= 1 && parsed <= 4096;
+    if (clean) return static_cast<unsigned>(parsed);
+    // One warning per distinct process, not per call: default_thread_count
+    // sits on the dispatch path of every parallel_for.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "bfce: ignoring invalid BFCE_THREADS=\"%s\" (expected an "
+                   "integer in [1, 4096]); using hardware concurrency (%u)\n",
+                   env, hw);
+    }
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  return hw;
 }
 
 void parallel_for(std::size_t begin, std::size_t end,
@@ -21,29 +44,7 @@ void parallel_for(std::size_t begin, std::size_t end,
                   unsigned threads) {
   if (begin >= end) return;
   if (threads == 0) threads = default_thread_count();
-  const std::size_t count = end - begin;
-  if (threads <= 1 || count == 1) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
-    return;
-  }
-  if (threads > count) threads = static_cast<unsigned>(count);
-
-  // Dynamic chunking via a shared cursor: trials have very uneven cost
-  // (ZOE re-runs vs BFCE's constant frames), so static partitioning would
-  // leave workers idle.
-  std::atomic<std::size_t> next{begin};
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= end) return;
-      fn(i);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads - 1);
-  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
-  worker();
-  for (auto& th : pool) th.join();
+  Executor::instance().run(begin, end, fn, threads);
 }
 
 }  // namespace bfce::util

@@ -1,0 +1,33 @@
+// The blocking join hides one call deep: the dispatched lambda calls a
+// repo helper that waits on a condition variable. The call-graph
+// closure must blame the call site inside the lambda.
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include "util/parallel.hpp"
+
+namespace fx {
+
+class Buffered {
+ public:
+  void flush_all(std::size_t n);
+
+ private:
+  void drain_queue();
+
+  std::condition_variable cv_;
+  std::mutex m_;
+};
+
+void Buffered::drain_queue() {
+  std::unique_lock<std::mutex> lk(m_);
+  cv_.wait(lk);
+}
+
+void Buffered::flush_all(std::size_t n) {
+  util::parallel_for(std::size_t{0}, n, [&](std::size_t) {
+    drain_queue();  // expect: executor-reentrancy
+  });
+}
+
+}  // namespace fx

@@ -1,0 +1,32 @@
+// The joins live on the dispatching side, after parallel_for returns,
+// and the condition-variable wait sits in a plain (never-dispatched)
+// function: both are the sanctioned shape and must stay quiet.
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include "util/parallel.hpp"
+
+namespace fx {
+
+class Harvest {
+ public:
+  void run(std::size_t n);
+  void block_until_ready();
+
+ private:
+  Channel feed_;
+  std::condition_variable cv_;
+  std::mutex m_;
+};
+
+void Harvest::run(std::size_t n) {
+  util::parallel_for(std::size_t{0}, n, [](std::size_t) {});
+  feed_.join();
+}
+
+void Harvest::block_until_ready() {
+  std::unique_lock<std::mutex> lk(m_);
+  cv_.wait(lk);
+}
+
+}  // namespace fx

@@ -1,0 +1,186 @@
+// Tests for the adaptive execution planner (rfid/exec_plan.hpp): the
+// stream-preserving / law-divergent batch classification, the purity of
+// law-divergent routing decisions, and the cost model's tie and edge
+// behaviour. The engine-level consequences (kAuto bit-identity across
+// shard counts, kAuto == sequential results for stream-preserving
+// batches) live in frame_engine_test.cpp.
+#include "rfid/exec_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hash/persistence.hpp"
+
+namespace bfce::rfid {
+namespace {
+
+std::vector<const FrameRequest*> ptrs(const std::vector<FrameRequest>& v) {
+  std::vector<const FrameRequest*> out;
+  for (const FrameRequest& r : v) out.push_back(&r);
+  return out;
+}
+
+BloomFrameConfig bloom_cfg(hash::PersistenceMode mode, double p = 1.0) {
+  BloomFrameConfig cfg;
+  cfg.w = 8192;
+  cfg.k = 3;
+  cfg.p = p;
+  cfg.persistence = mode;
+  cfg.seeds = {1, 2, 3};
+  return cfg;
+}
+
+TEST(Packed16Threshold, GridAndSentinel) {
+  EXPECT_EQ(exec::packed16_threshold(0.0), 0u);
+  EXPECT_EQ(exec::packed16_threshold(1.0), 65536u);
+  // The paper's 1/1024 persistence grid is always on the 1/65536 grid.
+  EXPECT_EQ(exec::packed16_threshold(64.0 / 1024.0), 4096u);
+  EXPECT_EQ(exec::packed16_threshold(1.0 / 65536.0), 1u);
+  EXPECT_EQ(exec::packed16_threshold(0.3), exec::kNoPack16);
+}
+
+TEST(StreamPreserving, ClassifiesExactShapes) {
+  const std::vector<FrameRequest> preserving = {
+      FrameRequest::bloom(bloom_cfg(hash::PersistenceMode::kRnBits)),
+      FrameRequest::aloha(1024, 1.0, 7),
+      FrameRequest::single_slot(0.5, 7),
+      FrameRequest::lottery(32, 7),
+  };
+  EXPECT_TRUE(exec::batch_is_stream_preserving(
+      ptrs(preserving).data(), preserving.size(), FrameMode::kExact));
+
+  const std::vector<FrameRequest> divergent = {
+      FrameRequest::bloom(
+          bloom_cfg(hash::PersistenceMode::kIdealBernoulli, 0.0625)),
+      FrameRequest::aloha(1024, 0.5, 7),
+  };
+  for (const FrameRequest& r : divergent) {
+    const FrameRequest* one = &r;
+    EXPECT_FALSE(
+        exec::batch_is_stream_preserving(&one, 1, FrameMode::kExact));
+  }
+
+  // One divergent frame poisons the whole batch: the walk decision is
+  // batch-wide.
+  std::vector<FrameRequest> mixed = preserving;
+  mixed.push_back(divergent.front());
+  EXPECT_FALSE(exec::batch_is_stream_preserving(
+      ptrs(mixed).data(), mixed.size(), FrameMode::kExact));
+}
+
+TEST(StreamPreserving, SampledScatterShapesDiverge) {
+  // The batched sampler's Bloom/ALOHA scatter is counter-addressed —
+  // law-equivalent, not stream-identical — even at p = 1. Single-slot
+  // and lottery draw the caller's stream in request order on both
+  // walks.
+  const FrameRequest bloom =
+      FrameRequest::bloom(bloom_cfg(hash::PersistenceMode::kIdealBernoulli));
+  const FrameRequest aloha = FrameRequest::aloha(1024, 1.0, 7);
+  const FrameRequest single = FrameRequest::single_slot(1.0, 7);
+  const FrameRequest lottery = FrameRequest::lottery(32, 7);
+  for (const FrameRequest* r : {&bloom, &aloha}) {
+    EXPECT_FALSE(exec::batch_is_stream_preserving(&r, 1, FrameMode::kSampled));
+  }
+  for (const FrameRequest* r : {&single, &lottery}) {
+    EXPECT_TRUE(exec::batch_is_stream_preserving(&r, 1, FrameMode::kSampled));
+  }
+}
+
+TEST(PlanDecision, LawDivergentDecisionIgnoresHintAndSimd) {
+  // The reproducibility clause: for a law-divergent batch the routing
+  // decision must be the same on a 1-core scalar host and a 64-core
+  // AVX-512 host — otherwise the simulation's bits depend on the
+  // machine. Sweep hint × simd and demand one answer.
+  const exec::CostModel& m = exec::CostModel::active();
+  const std::vector<FrameRequest> batch(
+      16, FrameRequest::bloom(
+              bloom_cfg(hash::PersistenceMode::kIdealBernoulli, 0.0625)));
+  const auto p = ptrs(batch);
+  for (std::size_t n : {std::size_t{100}, std::size_t{10000},
+                        std::size_t{1000000}}) {
+    const bool reference = exec::plan_prefers_sharded(
+        m, p.data(), p.size(), n, FrameMode::kExact, 1, false);
+    for (std::uint32_t hint : {1u, 2u, 8u, 64u}) {
+      for (bool simd : {false, true}) {
+        EXPECT_EQ(exec::plan_prefers_sharded(m, p.data(), p.size(), n,
+                                             FrameMode::kExact, hint, simd),
+                  reference)
+            << "hint=" << hint << " simd=" << simd << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(PlanDecision, EmptyAndTinyBatchesStaySequential) {
+  const exec::CostModel& m = exec::CostModel::active();
+  EXPECT_FALSE(exec::plan_prefers_sharded(m, nullptr, 0, 100000,
+                                          FrameMode::kExact, 8, true));
+  const FrameRequest aloha = FrameRequest::aloha(128, 1.0, 7);
+  const FrameRequest* one = &aloha;
+  EXPECT_FALSE(exec::plan_prefers_sharded(m, &one, 1, 0, FrameMode::kExact,
+                                          8, true));
+  // A handful of tags can never amortise the walk's fixed cost.
+  EXPECT_FALSE(exec::plan_prefers_sharded(m, &one, 1, 16, FrameMode::kExact,
+                                          8, true));
+}
+
+TEST(PlanDecision, SampledNonScatterBatchesStaySequential) {
+  // Sampled single-slot / lottery do identical work on both walks, so
+  // the sharded path is pure overhead and the planner must never pick
+  // it, at any scale or hint.
+  const exec::CostModel& m = exec::CostModel::active();
+  const std::vector<FrameRequest> batch = {
+      FrameRequest::single_slot(0.01, 1),
+      FrameRequest::lottery(32, 2),
+      FrameRequest::single_slot(0.5, 3),
+  };
+  const auto p = ptrs(batch);
+  for (std::size_t n : {std::size_t{1000}, std::size_t{100000000}}) {
+    for (std::uint32_t hint : {1u, 64u}) {
+      EXPECT_FALSE(exec::plan_prefers_sharded(m, p.data(), p.size(), n,
+                                              FrameMode::kSampled, hint,
+                                              true));
+    }
+  }
+}
+
+TEST(PlanDecision, HintScalesTheParallelSide) {
+  // A big stream-preserving batch that sequential wins at one shard
+  // must eventually flip sharded as shards grow — the per-item parallel
+  // cost is divided across them. Use the committed table's RN-bits
+  // column, whose par cost exceeds seq (no vector kernel), so the
+  // one-shard decision is sequential by construction.
+  const exec::CostModel& m = exec::CostModel::committed_defaults();
+  const std::vector<FrameRequest> batch(
+      16, FrameRequest::bloom(bloom_cfg(hash::PersistenceMode::kRnBits)));
+  const auto p = ptrs(batch);
+  const std::size_t n = 1000000;
+  EXPECT_FALSE(exec::plan_prefers_sharded(m, p.data(), p.size(), n,
+                                          FrameMode::kExact, 1, false));
+  EXPECT_TRUE(exec::plan_prefers_sharded(m, p.data(), p.size(), n,
+                                         FrameMode::kExact, 16, false));
+}
+
+TEST(CostModel, CommittedTableShape) {
+  // Invariants the planner's conservatism relies on: nonnegative
+  // coefficients, SIMD never priced above scalar, and overheads that
+  // are actually nonzero (a zero fixed cost would let the planner shard
+  // single-tag frames).
+  const exec::CostModel m = exec::CostModel::committed_defaults();
+  for (const exec::PathCost* c :
+       {&m.bloom_packed, &m.bloom_plain, &m.bloom_rn, &m.aloha, &m.single,
+        &m.lottery, &m.sampled_draw}) {
+    EXPECT_GT(c->seq, 0.0);
+    EXPECT_GT(c->par, 0.0);
+    EXPECT_GT(c->par_simd, 0.0);
+    EXPECT_LE(c->par_simd, c->par);
+  }
+  EXPECT_GT(m.walk_fixed_ns, 0.0);
+  EXPECT_GT(m.shard_fixed_ns, 0.0);
+  EXPECT_GT(m.slot_ns, 0.0);
+  EXPECT_GT(m.plane_word_ns, 0.0);
+}
+
+}  // namespace
+}  // namespace bfce::rfid

@@ -973,5 +973,123 @@ TEST(FrameEngineCounters, CountFramesSlotsAndTransmissions) {
   EXPECT_EQ(engine.counters().total().frames, 0u);
 }
 
+// ---- the adaptive policy (ExecutionPolicy::automatic) -----------------
+//
+// kAuto's contract: whatever the cost model decides, results are
+// bit-identical for any shard count (stream-preserving batches because
+// both walks agree bit-for-bit, law-divergent batches because the
+// decision is pinned to the committed floor and the sharded walk itself
+// is shard-count invariant). These tests drive the real engine through
+// kAuto at pool sizes 1/4/8 and against the sequential policy.
+
+TEST(FrameEngineAuto, ResultsInvariantAcrossShardHints) {
+  const TagPopulation pop = test_pop(3000);
+  const Channel ch;
+  const std::vector<FrameRequest> batch = {
+      FrameRequest::bloom(bloom_cfg(hash::PersistenceMode::kRnBits)),
+      FrameRequest::bloom(bloom_cfg(hash::PersistenceMode::kIdealBernoulli)),
+      FrameRequest::bloom(bloom_cfg(hash::PersistenceMode::kSharedDraw)),
+      FrameRequest::aloha(128, 1.0, 5),
+      FrameRequest::aloha(128, 0.25, 6),
+      FrameRequest::single_slot(0.01, 7),
+      FrameRequest::lottery(32, 8),
+  };
+  for (const FrameMode mode : {FrameMode::kExact, FrameMode::kSampled}) {
+    std::vector<std::vector<FrameResult>> runs;
+    std::vector<std::uint64_t> next_draw;
+    for (const std::uint32_t shards : {1u, 4u, 8u}) {
+      FrameEngine engine(pop, ch, mode, ExecutionPolicy::automatic(shards));
+      util::Xoshiro256ss rng(99);
+      runs.push_back(engine.execute_batch(batch, rng));
+      next_draw.push_back(rng());
+    }
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+      ASSERT_EQ(runs[0].size(), runs[i].size());
+      for (std::size_t f = 0; f < runs[0].size(); ++f) {
+        EXPECT_EQ(runs[0][f].busy.words(), runs[i][f].busy.words());
+        EXPECT_EQ(runs[0][f].states, runs[i][f].states);
+        EXPECT_EQ(runs[0][f].single, runs[i][f].single);
+        EXPECT_EQ(runs[0][f].tx, runs[i][f].tx);
+      }
+      // Caller-RNG stream position is part of the contract.
+      EXPECT_EQ(next_draw[0], next_draw[i]);
+    }
+  }
+}
+
+TEST(FrameEngineAuto, StreamPreservingFramesMatchSequentialExactly) {
+  // Per-frame execute() through kAuto, for every stream-preserving
+  // (shape, mode) pair: bit-identical to the sequential policy,
+  // including the RNG stream — regardless of which walk the model
+  // picked.
+  const TagPopulation pop = test_pop(2500);
+  const Channel ch;
+  const std::vector<FrameRequest> frames = {
+      FrameRequest::bloom(bloom_cfg(hash::PersistenceMode::kRnBits)),
+      FrameRequest::aloha(256, 1.0, 3),
+      FrameRequest::single_slot(0.5, 4),
+      FrameRequest::lottery(32, 5),
+  };
+  FrameEngine seq(pop, ch, FrameMode::kExact);
+  FrameEngine adaptive(pop, ch, FrameMode::kExact,
+                       ExecutionPolicy::automatic(4));
+  util::Xoshiro256ss seq_rng(21);
+  util::Xoshiro256ss auto_rng(21);
+  for (const FrameRequest& r : frames) {
+    const FrameResult a = seq.execute(r, seq_rng);
+    const FrameResult b = adaptive.execute(r, auto_rng);
+    EXPECT_EQ(a.busy.words(), b.busy.words());
+    EXPECT_EQ(a.states, b.states);
+    EXPECT_EQ(a.single, b.single);
+    EXPECT_EQ(a.tx, b.tx);
+    expect_same_rng(seq_rng, auto_rng);
+  }
+}
+
+TEST(FrameEngineAuto, LawDivergentFramesMatchSequentialLaw) {
+  // Stochastic persistence through kAuto realises the sequential law
+  // (the decision may route either walk; both are law-equivalent).
+  const TagPopulation pop = test_pop(1500);
+  const Channel ch;
+  const auto cfg = bloom_cfg(hash::PersistenceMode::kIdealBernoulli, 256);
+  std::vector<double> seq_occupancy, auto_occupancy;
+  for (std::uint64_t trial = 0; trial < 40; ++trial) {
+    util::Xoshiro256ss s_rng(1000 + trial);
+    util::Xoshiro256ss a_rng(1000 + trial);
+    FrameEngine seq(pop, ch, FrameMode::kExact);
+    FrameEngine adaptive(pop, ch, FrameMode::kExact,
+                         ExecutionPolicy::automatic(4));
+    seq_occupancy.push_back(static_cast<double>(
+        seq.execute(FrameRequest::bloom(cfg), s_rng).busy.count_ones()));
+    auto_occupancy.push_back(static_cast<double>(
+        adaptive.execute(FrameRequest::bloom(cfg), a_rng).busy.count_ones()));
+  }
+  const double d = math::ks_statistic(seq_occupancy, auto_occupancy);
+  if (d > 0.0) {  // d == 0 ⇔ kAuto routed sequential: samples identical
+    const double p =
+        math::ks_pvalue(d, seq_occupancy.size(), auto_occupancy.size());
+    EXPECT_GT(p, 1e-3) << "KS D=" << d;
+  }
+}
+
+TEST(FrameEngineAuto, CountsEveryDecision) {
+  const TagPopulation pop = test_pop(2000);
+  const Channel ch;
+  FrameEngine engine(pop, ch, FrameMode::kExact,
+                     ExecutionPolicy::automatic());
+  util::Xoshiro256ss rng(3);
+  engine.execute(FrameRequest::aloha(64, 1.0, 1), rng);
+  engine.execute(FrameRequest::lottery(32, 2), rng);
+  const std::vector<FrameRequest> batch(
+      4, FrameRequest::bloom(bloom_cfg(hash::PersistenceMode::kRnBits)));
+  engine.execute_batch(batch, rng);
+  const EngineCounters& c = engine.counters();
+  // Two per-frame decisions plus one batch-wide decision.
+  EXPECT_EQ(c.auto_sharded + c.auto_sequential, 3u);
+  // And the sequential/sharded bookkeeping stays consistent: every
+  // sharded decision produced a sharded walk.
+  EXPECT_EQ(c.sharded_walks, c.auto_sharded);
+}
+
 }  // namespace
 }  // namespace bfce::rfid

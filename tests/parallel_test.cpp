@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
+#include <string>
 #include <vector>
 
 namespace bfce::util {
@@ -61,6 +62,39 @@ TEST(DefaultThreadCount, IsAtLeastOne) {
 TEST(DefaultThreadCount, HonoursEnvOverride) {
   ::setenv("BFCE_THREADS", "3", 1);
   EXPECT_EQ(default_thread_count(), 3u);
+  ::unsetenv("BFCE_THREADS");
+}
+
+TEST(DefaultThreadCount, RejectsGarbageEnvValues) {
+  // "abc" used to strtol to 0 and silently fall through; any non-integer,
+  // zero, negative, trailing-junk, or absurd value must fall back to the
+  // hardware count (>= 1), never to 0 and never to a truncated parse.
+  const unsigned fallback = [] {
+    ::unsetenv("BFCE_THREADS");
+    return default_thread_count();
+  }();
+  for (const char* bad :
+       {"abc", "0", "-4", "8x", "", " ", "4.5", "99999999999999999999"}) {
+    ::setenv("BFCE_THREADS", bad, 1);
+    EXPECT_EQ(default_thread_count(), fallback) << "BFCE_THREADS=" << bad;
+  }
+  ::unsetenv("BFCE_THREADS");
+}
+
+TEST(DefaultThreadCount, WarnsOnceOnGarbage) {
+  // The diagnostic is once-per-process; this test may run after the
+  // rejection test above has already tripped it, so assert the invariant
+  // that holds either way: repeated garbage lookups never warn twice.
+  ::setenv("BFCE_THREADS", "not-a-number", 1);
+  testing::internal::CaptureStderr();
+  default_thread_count();
+  default_thread_count();
+  const std::string err = testing::internal::GetCapturedStderr();
+  const auto first = err.find("BFCE_THREADS");
+  if (first != std::string::npos) {
+    EXPECT_EQ(err.find("BFCE_THREADS", first + 1), std::string::npos)
+        << "warning repeated: " << err;
+  }
   ::unsetenv("BFCE_THREADS");
 }
 

@@ -36,6 +36,8 @@
 #include "rfid/reader.hpp"
 #include "service/service.hpp"
 #include "service/wire.hpp"
+#include "util/executor.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace bfce::service {
@@ -318,6 +320,71 @@ TEST(RaceStress, SampledZoeSweepUnderShardedServiceWorkers) {
   }
   EXPECT_GT(svc.metrics().engine.sampled_batches, 0u);
   EXPECT_GT(svc.metrics().engine.sharded_walks, 0u);
+}
+
+// The persistent executor's reuse seams: two service generations run
+// sharded jobs through the ONE process-wide pool back to back while a
+// chaos thread repeatedly calls Executor::shutdown() — exercising the
+// documented mid-run join ("workers finish their current index and
+// exit; the run() caller drains the rest itself") and the lazy respawn
+// on the next dispatch. TSan watches the park/wake cv, the lane CAS
+// discipline and the join/respawn handoff; the assertions check that
+// results stay bit-identical across generations and pool lifecycles,
+// and that every job still completes (liveness through shutdown storms).
+TEST(RaceStress, ExecutorReuseUnderServiceStorm) {
+  constexpr std::uint64_t kDistinctSeeds = 4;
+  constexpr std::uint64_t kReplicas = 3;
+  std::array<double, kDistinctSeeds> first{};
+  std::array<bool, kDistinctSeeds> seen{};
+
+  std::atomic<bool> done{false};
+  std::thread chaos([&] {
+    while (!done.load()) {
+      util::Executor::instance().shutdown();
+      std::this_thread::yield();
+    }
+  });
+
+  for (int generation = 0; generation < 2; ++generation) {
+    ServiceConfig cfg;
+    cfg.workers = 4;
+    cfg.mode = rfid::FrameMode::kExact;
+    rfid::ExecutionPolicy policy = rfid::ExecutionPolicy::sharded(4);
+    policy.min_tags_per_shard = 1;
+    cfg.engine_policy = policy;
+    EstimationService svc(cfg);
+
+    std::vector<JobId> ids;
+    for (std::uint64_t i = 0; i < kDistinctSeeds * kReplicas; ++i) {
+      JobSpec spec;
+      spec.population = &stress_pop();
+      spec.factory = [] { return std::make_unique<ShardedBloomEstimator>(); };
+      spec.seed = 700 + i % kDistinctSeeds;
+      ids.push_back(svc.submit(spec));
+    }
+    for (std::uint64_t i = 0; i < ids.size(); ++i) {
+      const JobResult r = svc.wait(ids[i]);
+      ASSERT_EQ(r.status, JobStatus::kDone);
+      const std::size_t group = i % kDistinctSeeds;
+      if (!seen[group]) {
+        seen[group] = true;
+        first[group] = r.outcome.n_hat;
+      } else {
+        EXPECT_EQ(r.outcome.n_hat, first[group])
+            << "seed group " << group << " generation " << generation;
+      }
+    }
+    svc.shutdown();
+  }
+
+  done.store(true);
+  chaos.join();
+
+  // The pool survived the storm in a usable state: a fresh dispatch
+  // after the last shutdown() must still run every index exactly once.
+  std::atomic<std::uint64_t> hits{0};
+  util::parallel_for(0, 64, [&](std::size_t) { ++hits; }, 4);
+  EXPECT_EQ(hits.load(), 64u);
 }
 
 TEST(RaceStress, PlannerChooseStatsClearStorm) {

@@ -31,6 +31,12 @@ RULES: list[RuleInfo] = [
     RuleInfo("lock-across-dispatch", "lock-discipline",
              "no lock may be held across parallel_for / worker-pool "
              "dispatch: the workers contend or deadlock on it"),
+    # -- Executor reentrancy (semantic) ------------------------------------
+    RuleInfo("executor-reentrancy", "executor-reentrancy",
+             "no blocking join (thread join, condition-variable wait, "
+             "pool shutdown) inside a lambda dispatched onto the worker "
+             "pool — it stalls or deadlocks the lane; nested "
+             "parallel_for is the sanctioned nesting-safe path"),
     # -- Counter-addressed draw discipline (semantic) ----------------------
     RuleInfo("caller-draw-in-shard", "draw-discipline",
              "inside a sharded region, drawing from a caller-owned RNG "
@@ -73,8 +79,9 @@ RULES: list[RuleInfo] = [
              "function-local mutable `static` state in estimator code "
              "breaks the fresh-instance-per-attempt contract"),
     RuleInfo("raw-thread", "determinism",
-             "raw std::thread outside src/service and src/util/parallel; "
-             "route concurrency through the pool or util::parallel_for"),
+             "raw std::thread outside src/service and the src/util "
+             "executor/parallel_for layer; route concurrency through "
+             "the pool or util::parallel_for"),
 ]
 
 RULE_IDS = {r.id for r in RULES}

@@ -16,7 +16,7 @@ import json
 import os
 import sys
 
-from . import (rules_draws, rules_legacy, rules_locks, rules_rng)
+from . import (rules_draws, rules_exec, rules_legacy, rules_locks, rules_rng)
 from .findings import Finding, apply_suppressions, collect_suppressions
 from .model import Repo, parse_file
 
@@ -93,7 +93,7 @@ def discover(root: str, paths: list[str] | None = None) -> list[str]:
     return sorted(set(globbed))
 
 
-RULE_MODULES = (rules_rng, rules_locks, rules_draws, rules_legacy)
+RULE_MODULES = (rules_rng, rules_locks, rules_exec, rules_draws, rules_legacy)
 
 
 def run_analysis(root: str, paths: list[str] | None = None,

@@ -35,7 +35,8 @@ NOW_ALLOWLIST = {
 # Directories whose files may construct raw std::thread.
 THREAD_ALLOWLIST_PREFIXES = (
     "src/service/",       # the worker pool
-    "src/util/parallel",  # parallel_for's fork/join pool
+    "src/util/executor",  # the persistent work-stealing pool
+    "src/util/parallel",  # parallel_for's dispatch front-end
 )
 
 # Estimator/tracker/engine code where function-local mutable `static`
@@ -97,9 +98,10 @@ def _token_rules(fm) -> list[Finding]:
                 not fm.rel.startswith(THREAD_ALLOWLIST_PREFIXES):
             out.append(Finding(
                 rule="raw-thread", rel=fm.rel, line=t.line, col=t.col,
-                message=("raw std::thread outside src/service and "
-                         "src/util/parallel; route concurrency through "
-                         "EstimationService or util::parallel_for")))
+                message=("raw std::thread outside src/service and the "
+                         "src/util executor/parallel_for layer; route "
+                         "concurrency through EstimationService or "
+                         "util::parallel_for")))
     return out
 
 

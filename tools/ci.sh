@@ -35,12 +35,13 @@
 #      conformance_test.cpp. Also works against a tsan build dir:
 #      `ctest --test-dir build-tsan -L conformance`.
 #   5. Opt-in (--perf-smoke): reruns `micro_frame --baseline` in the
-#      release build and fails if engine_tags_per_s or
-#      sampled_tags_per_s at any n regresses more than 30% against the
-#      committed BENCH_frame.json. The gate compares the sequential
-#      columns only — they exist on every host, whereas the sharded
-#      columns' absolute numbers depend on core count and AVX-512
-#      availability. Then replays the committed BENCH_service.json
+#      release build and fails if any gated throughput column —
+#      engine/sampled/aloha sequential plus the three kAuto adaptive
+#      columns — regresses more than 30% at any n against the committed
+#      BENCH_frame.json. The raw sharded columns stay informational:
+#      their absolute numbers depend on core count and AVX-512
+#      availability, while the kAuto columns gate the planner's "never
+#      a pessimization" promise on every host. Then replays the committed BENCH_service.json
 #      workload through fleet_service and fails if throughput collapses
 #      below 0.5x of the committed baseline (or if the cached pass ever
 #      diverges from the uncached one).
@@ -150,7 +151,19 @@ with open(sys.argv[1]) as f:
 with open(sys.argv[2]) as f:
     fresh = {p["n"]: p for p in json.load(f)["points"]}
 
-GATED = ("engine_tags_per_s", "sampled_tags_per_s")
+# Sequential columns exist on every host; the *_auto columns gate the
+# adaptive planner's "never a pessimization" promise (kAuto must track
+# the faster walk, so a collapse there means the cost model routed a
+# batch onto a losing path). aloha_tags_per_s rides the ALOHA pair
+# stage the same way engine/sampled ride theirs.
+GATED = (
+    "engine_tags_per_s",
+    "sampled_tags_per_s",
+    "aloha_tags_per_s",
+    "bloom_auto_tags_per_s",
+    "sampled_auto_tags_per_s",
+    "aloha_auto_tags_per_s",
+)
 failed = False
 for n, base in sorted(committed.items()):
     if n not in fresh:
@@ -174,7 +187,8 @@ if failed:
     print("FAIL: a gated throughput column regressed more than 30% "
           "against the committed BENCH_frame.json")
     sys.exit(1)
-print("perf smoke: engine and sampled throughput within 30% of baseline")
+print("perf smoke: sequential, aloha and kAuto throughput within 30% "
+      "of baseline")
 EOF
   echo "==== perf smoke: service throughput ========================"
   if [ ! -f BENCH_service.json ]; then
